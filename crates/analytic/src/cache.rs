@@ -1,0 +1,396 @@
+//! Bandwidth bounds for natural-order cacheline accesses (Section 5.1).
+//!
+//! A conventional memory controller services streams as a sequence of
+//! cacheline fills in the order the computation touches them. These models
+//! bound the effective bandwidth of that approach; they deliberately ignore
+//! dirty-line writebacks and assume a conflict-free data placement, so they
+//! are *optimistic* — a real system does no better.
+
+use serde::{Deserialize, Serialize};
+
+use rdram::{Cycle, Timing, WORDS_PER_PACKET};
+
+use crate::{percent_of_peak, Organization};
+
+/// Parameters of the modeled memory system: device timing plus the cacheline
+/// and DRAM page geometry, in 64-bit words.
+///
+/// The default is the paper's system: 32-byte lines (`L_c = 4`), 1 KB pages
+/// (`L_P = 128`), -800/-50 Direct RDRAM timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamSystem {
+    /// Direct RDRAM timing parameters.
+    pub timing: Timing,
+    /// Cacheline size in 64-bit words (`L_c`).
+    pub line_words: u64,
+    /// DRAM page size in 64-bit words (`L_P`).
+    pub page_words: u64,
+}
+
+impl Default for StreamSystem {
+    fn default() -> Self {
+        StreamSystem {
+            timing: Timing::default(),
+            line_words: 4,
+            page_words: 128,
+        }
+    }
+}
+
+impl StreamSystem {
+    /// Validate the geometry: the line must be a whole number of packets and
+    /// the page a whole number of lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated relation.
+    pub fn validate(&self) -> Result<(), String> {
+        self.timing.validate()?;
+        if self.line_words == 0 || !self.line_words.is_multiple_of(WORDS_PER_PACKET) {
+            return Err(format!(
+                "cacheline ({} words) must be a non-zero multiple of the packet ({} words)",
+                self.line_words, WORDS_PER_PACKET
+            ));
+        }
+        if !self.page_words.is_multiple_of(self.line_words) {
+            return Err(format!(
+                "page ({} words) must be a multiple of the cacheline ({} words)",
+                self.page_words, self.line_words
+            ));
+        }
+        Ok(())
+    }
+
+    /// `T_LCC` (Eq. 5.2): cycles to transfer one cacheline including the
+    /// page-miss latency (closed-page case).
+    pub fn line_access_closed(&self) -> Cycle {
+        let t = &self.timing;
+        t.t_rac + t.t_pack * (self.line_words / WORDS_PER_PACKET - 1)
+    }
+
+    /// `T_LCO` (Eq. 5.7): cycles to transfer one cacheline from an already
+    /// open page.
+    pub fn line_access_open(&self) -> Cycle {
+        let t = &self.timing;
+        t.t_cac + t.t_pack * (self.line_words / WORDS_PER_PACKET - 1)
+    }
+
+    /// Useful 64-bit words obtained per fetched cacheline at `stride`
+    /// (in words): `L_c / σ` for small strides, one word once the stride
+    /// exceeds the line.
+    pub fn useful_words_per_line(&self, stride: u64) -> f64 {
+        assert!(stride >= 1, "stride must be at least 1");
+        if stride >= self.line_words {
+            1.0
+        } else {
+            self.line_words as f64 / stride as f64
+        }
+    }
+
+    /// Single-stream bound (Eqs. 5.2/5.3 for CLI, 5.7/5.8 for PI, extended
+    /// to strides beyond the cacheline as in Hong's thesis): percent of peak
+    /// bandwidth when reading one stream of the given stride in natural
+    /// order. This is the model behind the paper's Figure 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn single_stream(&self, org: Organization, stride: u64) -> f64 {
+        assert!(stride >= 1, "stride must be at least 1");
+        let t = &self.timing;
+        let useful = self.useful_words_per_line(stride);
+        let avg = match org {
+            Organization::CacheLineInterleaved => {
+                // Every line fetch pays the full closed-page access; lines
+                // whose words are all skipped are never fetched.
+                self.line_access_closed() as f64 / useful
+            }
+            Organization::PageInterleaved => {
+                // One precharge + page-miss line per page, the remaining
+                // touched lines stream from the open sense amps.
+                let lines_touched = if stride >= self.line_words {
+                    (self.page_words as f64 / stride as f64).max(1.0)
+                } else {
+                    (self.page_words / self.line_words) as f64
+                };
+                let page_cycles = t.t_rp as f64
+                    + self.line_access_closed() as f64
+                    + self.line_access_open() as f64 * (lines_touched - 1.0);
+                let useful_per_page = useful * lines_touched;
+                page_cycles / useful_per_page
+            }
+        };
+        percent_of_peak(avg, t)
+    }
+
+    /// Steady-state cycles per "tour" — one cacheline fetched for each of
+    /// the `s` streams — for pipelined natural-order accesses.
+    ///
+    /// Resolved forms (see the crate-level fidelity note):
+    ///
+    /// * **CLI**: `tRAC + max(tRR·(s−1), (L_c/w_p)·tPACK·s)` — the
+    ///   load-to-store `tRAC` dependency of each iteration is exposed on top
+    ///   of whichever is longer, the ACT command chain or the data transfer
+    ///   itself (Eq. 5.4).
+    /// * **PI**: `T_LCO + ((L_c/w_p)·(s−1) + 1)·tPACK` — one open-page line
+    ///   latency plus the data packets of the other streams and one packet
+    ///   of slack (Eq. 5.9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s < 2`; use [`single_stream`](Self::single_stream) for one
+    /// stream.
+    pub fn tour_cycles(&self, org: Organization, s: u64) -> Cycle {
+        assert!(s >= 2, "tour model needs at least two streams");
+        let t = &self.timing;
+        let packets_per_line = self.line_words / WORDS_PER_PACKET;
+        match org {
+            Organization::CacheLineInterleaved => {
+                t.t_rac + (t.t_rr * (s - 1)).max(packets_per_line * t.t_pack * s)
+            }
+            Organization::PageInterleaved => {
+                self.line_access_open() + (packets_per_line * (s - 1) + 1) * t.t_pack
+            }
+        }
+    }
+
+    /// Latency of the final, non-overlapped tour (Eq. 5.5).
+    fn last_tour_closed(&self, s: u64) -> Cycle {
+        let t = &self.timing;
+        t.t_rr * (s - 2) + t.t_rac + self.line_access_closed()
+    }
+
+    /// First-tour cost on PI, including the initial precharges (Eq. 5.10).
+    fn init_open(&self, s: u64) -> Cycle {
+        let t = &self.timing;
+        2 * t.t_rp + t.t_rac + self.line_access_closed() + (t.t_rp + t.t_rr) * (s - 2)
+    }
+
+    /// Multi-stream natural-order bound (Eqs. 5.4–5.6 for CLI, 5.9–5.11 for
+    /// PI): percent of peak bandwidth for a computation on `s` streams of
+    /// `ls` elements each at the given stride.
+    ///
+    /// The model assumes one stream is written (as in every kernel of the
+    /// paper's Figure 4); the written line is transferred like the loads and
+    /// dirty-line writeback is ignored, making the bound optimistic. See
+    /// [`multi_stream_with_writebacks`](Self::multi_stream_with_writebacks)
+    /// for the pessimistic variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s < 2`, `ls == 0`, or `stride == 0`.
+    pub fn multi_stream(&self, org: Organization, s: u64, ls: u64, stride: u64) -> f64 {
+        self.multi_stream_model(org, s, 0, ls, stride)
+    }
+
+    /// The natural-order bound when dirty-line **writebacks** are charged:
+    /// each of the `sw` written streams eventually writes its line back,
+    /// adding one full line transfer per tour on the data bus. The paper
+    /// ignores writebacks in its bounds but notes that "when we take …
+    /// cache writebacks into account, the SMC's advantages become even more
+    /// significant" — this is that accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s < 2`, `sw > s`, `ls == 0`, or `stride == 0`.
+    pub fn multi_stream_with_writebacks(
+        &self,
+        org: Organization,
+        s: u64,
+        sw: u64,
+        ls: u64,
+        stride: u64,
+    ) -> f64 {
+        assert!(sw <= s, "cannot write more streams than exist");
+        self.multi_stream_model(org, s, sw, ls, stride)
+    }
+
+    /// Shared tour accounting: `extra_lines` additional line transfers per
+    /// tour (used for writebacks).
+    fn multi_stream_model(
+        &self,
+        org: Organization,
+        s: u64,
+        extra_lines: u64,
+        ls: u64,
+        stride: u64,
+    ) -> f64 {
+        assert!(s >= 2, "multi-stream model needs at least two streams");
+        assert!(ls > 0, "streams must be non-empty");
+        assert!(stride >= 1, "stride must be at least 1");
+        let t = &self.timing;
+        let ppl = self.line_words / WORDS_PER_PACKET;
+        let useful = self.useful_words_per_line(stride);
+        let tours = (ls as f64 / useful).max(1.0);
+        let pipe = (self.tour_cycles(org, s) + extra_lines * ppl * t.t_pack) as f64;
+        let cycles = match org {
+            Organization::CacheLineInterleaved => {
+                (tours - 1.0) * pipe + self.last_tour_closed(s) as f64
+            }
+            Organization::PageInterleaved => self.init_open(s) as f64 + (tours - 1.0) * pipe,
+        };
+        let avg = cycles / (s * ls) as f64;
+        percent_of_peak(avg, &self.timing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Organization::{CacheLineInterleaved as Cli, PageInterleaved as Pi};
+
+    fn sys() -> StreamSystem {
+        StreamSystem::default()
+    }
+
+    #[test]
+    fn default_validates() {
+        sys().validate().unwrap();
+    }
+
+    #[test]
+    fn line_access_times() {
+        assert_eq!(sys().line_access_closed(), 24);
+        assert_eq!(sys().line_access_open(), 12);
+    }
+
+    #[test]
+    fn figure8_unit_stride_endpoints() {
+        // CLI single stream, stride 1: T = 24/4 = 6 cycles/word -> 33.3%.
+        assert!((sys().single_stream(Cli, 1) - 100.0 / 3.0).abs() < 0.1);
+        // PI single stream, stride 1: (10+24+12*31)/128 cycles/word -> 63%.
+        let pi = sys().single_stream(Pi, 1);
+        assert!((pi - 63.05).abs() < 0.2, "pi = {pi}");
+    }
+
+    #[test]
+    fn figure8_large_strides_flatten_cli() {
+        let s = sys();
+        let at4 = s.single_stream(Cli, 4);
+        for stride in [8, 16, 32] {
+            assert!((s.single_stream(Cli, stride) - at4).abs() < 1e-9);
+        }
+        assert!((at4 - 100.0 / 12.0).abs() < 0.01); // 8.33%
+    }
+
+    #[test]
+    fn figure8_monotone_decreasing_up_to_line() {
+        let s = sys();
+        for org in [Cli, Pi] {
+            let mut prev = f64::INFINITY;
+            for stride in 1..=4 {
+                let v = s.single_stream(org, stride);
+                assert!(v < prev, "{org:?} stride {stride}: {v} !< {prev}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn figure8_pi_stays_above_cli() {
+        let s = sys();
+        for stride in 1..=32 {
+            assert!(
+                s.single_stream(Pi, stride) > s.single_stream(Cli, stride),
+                "stride {stride}"
+            );
+        }
+    }
+
+    #[test]
+    fn eight_stream_bounds_match_the_papers_numbers() {
+        // Section 6: 88.68% (PI) and 76.11% (CLI) for eight unit-stride
+        // streams; 22.17% / 19.03% at stride four.
+        let s = sys();
+        assert!((s.multi_stream(Pi, 8, 1024, 1) - 88.68).abs() < 0.5);
+        assert!((s.multi_stream(Cli, 8, 1024, 1) - 76.11).abs() < 0.2);
+        assert!((s.multi_stream(Pi, 8, 1024, 4) - 22.17).abs() < 0.2);
+        assert!((s.multi_stream(Cli, 8, 1024, 4) - 19.03).abs() < 0.2);
+    }
+
+    #[test]
+    fn copy_cli_is_the_papers_44_percent_floor() {
+        // "accessing unit-stride streams ... exploits from 44-76% of the
+        // peak bandwidth": the low end is copy (2 streams) on CLI.
+        let v = sys().multi_stream(Cli, 2, 1024, 1);
+        assert!((v - 44.4).abs() < 0.5, "copy CLI bound = {v}");
+    }
+
+    #[test]
+    fn writebacks_lower_the_bound_and_widen_the_smc_gap() {
+        let s = sys();
+        for org in [Cli, Pi] {
+            for n in 2..=4 {
+                let plain = s.multi_stream(org, n, 1024, 1);
+                let wb = s.multi_stream_with_writebacks(org, n, 1, 1024, 1);
+                assert!(wb < plain, "{org:?} s={n}: {wb} !< {plain}");
+                // One written stream of n costs roughly one extra line per
+                // tour: the bound drops by a sizeable fraction.
+                assert!(wb > 0.5 * plain, "{org:?} s={n}: implausible drop");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more streams")]
+    fn writebacks_bounded_by_stream_count() {
+        let _ = sys().multi_stream_with_writebacks(Cli, 2, 3, 64, 1);
+    }
+
+    #[test]
+    fn bandwidth_grows_with_stream_count() {
+        let s = sys();
+        for org in [Cli, Pi] {
+            let mut prev = 0.0;
+            for n in 2..=8 {
+                let v = s.multi_stream(org, n, 1024, 1);
+                assert!(v > prev, "{org:?} s={n}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn pi_beats_cli_for_multi_stream_unit_stride() {
+        let s = sys();
+        for n in 2..=8 {
+            assert!(s.multi_stream(Pi, n, 1024, 1) > s.multi_stream(Cli, n, 1024, 1));
+        }
+    }
+
+    #[test]
+    fn short_vectors_cost_more_on_pi() {
+        // T_init is amortized over fewer tours.
+        let s = sys();
+        assert!(s.multi_stream(Pi, 3, 128, 1) < s.multi_stream(Pi, 3, 1024, 1));
+    }
+
+    #[test]
+    fn useful_words_per_line_clamps_at_one() {
+        let s = sys();
+        assert_eq!(s.useful_words_per_line(1), 4.0);
+        assert_eq!(s.useful_words_per_line(2), 2.0);
+        assert_eq!(s.useful_words_per_line(4), 1.0);
+        assert_eq!(s.useful_words_per_line(100), 1.0);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        let bad = StreamSystem {
+            line_words: 3,
+            ..sys()
+        };
+        assert!(bad.validate().is_err());
+        let bad = StreamSystem {
+            page_words: 130,
+            ..sys()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two streams")]
+    fn tour_needs_two_streams() {
+        let _ = sys().tour_cycles(Cli, 1);
+    }
+}

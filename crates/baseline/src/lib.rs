@@ -1,0 +1,47 @@
+//! The conventional comparator: **natural-order cacheline accesses**.
+//!
+//! A traditional memory controller treats stream references like any other
+//! traffic: each miss fetches a whole cacheline, in exactly the order the
+//! computation touches the data. This crate models that controller at the
+//! level of the paper's Figures 5 and 6:
+//!
+//! * per-stream linefill buffers with **forwarding** — the processor can
+//!   consume an element as soon as *its* DATA packet arrives, before the
+//!   whole line is in (as in the PowerPC 604e the paper cites);
+//! * a non-blocking front end with up to four line transfers in flight (the
+//!   Direct RDRAM's outstanding-request limit), so consecutive line fetches
+//!   pipeline at the `tRR` command rate;
+//! * in-order issue with the paper's one data dependency: the store of
+//!   iteration *i* cannot begin until the loads of iteration *i* have
+//!   delivered their elements;
+//! * closed-page (auto-precharge after each line burst) or open-page
+//!   management, matching the CLI / PI organizations;
+//! * no dirty-line writebacks and no cache-conflict misses — the same
+//!   optimistic simplifications as the paper's analytic bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use baseline::BaselineController;
+//! use rdram::{AddressMap, DeviceConfig, Interleave, Rdram};
+//! use smc::StreamDescriptor;
+//!
+//! let cfg = DeviceConfig::default();
+//! let map = AddressMap::new(Interleave::Cacheline { line_bytes: 32 }, &cfg).unwrap();
+//! let mut dev = Rdram::new(cfg);
+//! let streams = vec![
+//!     StreamDescriptor::read("x", 0, 1, 128),
+//!     StreamDescriptor::write("y", 1 << 20, 1, 128),
+//! ];
+//! let mut ctl = BaselineController::new(streams, map, baseline::LinePolicy::ClosedPage, 32);
+//! let result = ctl.run_to_completion(&mut dev);
+//! assert!(result.last_data_cycle > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod controller;
+
+pub use controller::{BaselineController, BaselineResult, LinePolicy, WritePolicy};

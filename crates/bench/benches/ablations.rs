@@ -1,0 +1,281 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Runs under `cargo bench -p bench --bench ablations` (plain harness).
+//!
+//! 1. MSU scheduling policy: round-robin vs bank-aware vs speculative
+//!    precharge/activation (paper Section 6's proposed improvement).
+//! 2. Vector placement: aligned vs staggered bases at several FIFO depths.
+//! 3. Memory organization under *random* (non-stream) accesses — the
+//!    flip side of the streaming results: CLI/closed-page wins.
+//! 4. The substrate swap the paper's Section 5.2 highlights: an SMC on the
+//!    authors' earlier fast-page-mode memory is page-miss-limited, while on
+//!    Direct RDRAM it is turnaround-limited and approaches 1.6 GB/s.
+
+use kernels::Kernel;
+use rdram::Interleave;
+use sim::report::{pct, Table};
+use sim::{run_kernel, Alignment, MemorySystem, SystemConfig};
+use smc::Policy;
+
+fn scheduling_policy() {
+    println!("--- ablation 1: MSU scheduling policy (PI, aligned vectors, f=64) ---\n");
+    let mut t = Table::new(vec![
+        "kernel".into(),
+        "round-robin %".into(),
+        "bank-aware %".into(),
+        "rr+spec %".into(),
+        "ba+spec %".into(),
+    ]);
+    for kernel in Kernel::PAPER_SUITE {
+        let base =
+            SystemConfig::smc(MemorySystem::PageInterleaved, 64).with_alignment(Alignment::Aligned);
+        let run = |cfg: SystemConfig| run_kernel(kernel, 1024, 1, &cfg).percent_peak();
+        t.row(vec![
+            kernel.name().into(),
+            pct(run(base.clone())),
+            pct(run(base.clone().with_policy(Policy::BankAware))),
+            pct(run(base.clone().with_speculation())),
+            pct(run(base
+                .clone()
+                .with_policy(Policy::BankAware)
+                .with_speculation())),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn placement() {
+    println!("--- ablation 2: vector placement (vaxpy, 1024 elements) ---\n");
+    let mut t = Table::new(vec![
+        "org".into(),
+        "fifo".into(),
+        "staggered %".into(),
+        "aligned %".into(),
+    ]);
+    for memory in [
+        MemorySystem::CacheLineInterleaved,
+        MemorySystem::PageInterleaved,
+    ] {
+        for depth in [8usize, 16, 32, 64, 128] {
+            let run = |alignment| {
+                run_kernel(
+                    Kernel::Vaxpy,
+                    1024,
+                    1,
+                    &SystemConfig::smc(memory, depth).with_alignment(alignment),
+                )
+                .percent_peak()
+            };
+            t.row(vec![
+                memory.label().into(),
+                depth.to_string(),
+                pct(run(Alignment::Staggered)),
+                pct(run(Alignment::Aligned)),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn random_access() {
+    println!("--- ablation 3: random (non-stream) cacheline accesses ---\n");
+    let n = 2000;
+    let cli = bench::random_access_cycles(
+        Interleave::Cacheline { line_bytes: 32 },
+        bench::RandomPolicy::ClosedPage,
+        n,
+        42,
+    );
+    let pi = bench::random_access_cycles(Interleave::Page, bench::RandomPolicy::OpenPage, n, 42);
+    let mut t = Table::new(vec![
+        "organization".into(),
+        "cycles".into(),
+        "cycles/line".into(),
+    ]);
+    t.row(vec![
+        "CLI closed-page".into(),
+        cli.to_string(),
+        format!("{:.1}", cli as f64 / n as f64),
+    ]);
+    t.row(vec![
+        "PI open-page".into(),
+        pi.to_string(),
+        format!("{:.1}", pi as f64 / n as f64),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "PI pays {:.2}x more for random traffic — the organizations trade\n\
+         streaming bandwidth against random-access latency, as the paper notes.\n",
+        pi as f64 / cli as f64
+    );
+}
+
+fn substrate() {
+    println!("--- ablation 4: SMC substrate — fast-page-mode DRAM vs Direct RDRAM ---\n");
+    let sys = analytic::cache::StreamSystem::default();
+    let w = analytic::smc::Workload::unit(2, 1, 4096);
+    let fpm_streams = |n: u64| {
+        vec![
+            smc::StreamDescriptor::read("x", 0, 1, n),
+            smc::StreamDescriptor::read("y", 1 << 20, 1, n),
+            smc::StreamDescriptor::write("z", 1 << 21, 1, n),
+        ]
+    };
+    let mut t = Table::new(vec![
+        "burst / FIFO depth".into(),
+        "FPM SMC sim GB/s".into(),
+        "FPM asymptote GB/s".into(),
+        "RDRAM SMC GB/s".into(),
+    ]);
+    for depth in [8u64, 16, 32, 64, 128, 256] {
+        let sim_fpm = fpm::FpmSmc::new(
+            fpm::SystemSpec::default(),
+            fpm_streams(4096),
+            depth as usize,
+        )
+        .run()
+        .mbytes_per_sec()
+            / 1000.0;
+        let asym = bench::fpm_smc_bandwidth_gbs(depth);
+        let rdram_pct = sys.smc_asymptotic_bound(&w, depth);
+        let rdram = 1.6 * rdram_pct / 100.0;
+        t.row(vec![
+            depth.to_string(),
+            format!("{sim_fpm:.3}"),
+            format!("{asym:.3}"),
+            format!("{rdram:.3}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "FPM saturates at the page-mode cycle rate (the `fpm` crate's two-bank\n\
+         simulator tops out near 0.53 GB/s; a single non-interleaved part at\n\
+         ~0.27 GB/s); the Direct RDRAM SMC is limited only by bus turnaround\n\
+         and approaches 1.6 GB/s."
+    );
+}
+
+fn crisp_contrast() {
+    println!("--- ablation 5: channel population under pipelined random reads ---\n");
+    let mut t = Table::new(vec![
+        "devices".into(),
+        "banks".into(),
+        "efficiency %".into(),
+    ]);
+    for devices in [1usize, 2, 4, 8, 16] {
+        let e = bench::pipelined_random_efficiency(devices, 2000, 11);
+        t.row(vec![
+            devices.to_string(),
+            (8 * devices).to_string(),
+            pct(100.0 * e),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "The paper's results are \"lower than the 95% efficiency rate that\n\
+         Crisp reports\" because it models a single device; with many devices\n\
+         on the channel, tRR no longer serializes row activations and random\n\
+         traffic approaches full efficiency."
+    );
+}
+
+fn cpu_speed() {
+    println!("--- ablation 6: CPU speed vs FIFO depth (daxpy, CLI, 1024 elements) ---\n");
+    let mut t = Table::new(vec![
+        "fifo".into(),
+        "matched CPU %".into(),
+        "2x CPU %".into(),
+    ]);
+    for depth in [8usize, 16, 32, 64] {
+        let run = |cycles| {
+            let mut cfg = SystemConfig::smc(MemorySystem::CacheLineInterleaved, depth);
+            cfg.cpu_access_cycles = cycles;
+            run_kernel(Kernel::Daxpy, 1024, 1, &cfg).percent_peak()
+        };
+        t.row(vec![depth.to_string(), pct(run(2)), pct(run(1))]);
+    }
+    println!("{}", t.render());
+    println!(
+        "A faster processor raises shallow-FIFO performance toward the full\n\
+         system bandwidth, as the paper's Section 5.2 predicts.\n"
+    );
+}
+
+fn refresh_cost() {
+    println!("--- ablation 7: honouring DRAM refresh (SMC, 1024 elements) ---\n");
+    let mut t = Table::new(vec![
+        "kernel".into(),
+        "org".into(),
+        "no refresh %".into(),
+        "with refresh %".into(),
+    ]);
+    for memory in [
+        MemorySystem::CacheLineInterleaved,
+        MemorySystem::PageInterleaved,
+    ] {
+        for kernel in [Kernel::Copy, Kernel::Vaxpy] {
+            let base = SystemConfig::smc(memory, 64);
+            let mut refr = base.clone();
+            refr.refresh = true;
+            t.row(vec![
+                kernel.name().into(),
+                memory.label().into(),
+                pct(run_kernel(kernel, 1024, 1, &base).percent_peak()),
+                pct(run_kernel(kernel, 1024, 1, &refr).percent_peak()),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "The paper ignores refresh; measuring it confirms the assumption\n\
+         costs at most a couple of percent.\n"
+    );
+}
+
+fn cache_conflicts() {
+    println!("--- ablation 8: real caches vs idealized line buffers (vaxpy, CLI, 1024) ---\n");
+    let mut t = Table::new(vec![
+        "stride".into(),
+        "ideal buffers %".into(),
+        "16KB 4-way %".into(),
+        "16KB direct-mapped %".into(),
+    ]);
+    for stride in [1u64, 2, 4, 16] {
+        let run_with = |cache: Option<baseline::cache::CacheConfig>| {
+            let mut cfg = SystemConfig::natural_order(MemorySystem::CacheLineInterleaved)
+                .with_alignment(Alignment::Aligned);
+            cfg.cache = cache;
+            run_kernel(Kernel::Vaxpy, 1024, stride, &cfg).percent_peak()
+        };
+        let four_way = baseline::cache::CacheConfig::i860xp();
+        let direct = baseline::cache::CacheConfig {
+            ways: 1,
+            ..four_way
+        };
+        t.row(vec![
+            stride.to_string(),
+            pct(run_with(None)),
+            pct(run_with(Some(four_way))),
+            pct(run_with(Some(direct))),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Two effects the paper's idealized model misses, measured: a real\n\
+         cache lets vaxpy's y-write hit the y-read's fetched line (the 4-way\n\
+         column BEATS the ideal model), while aligned vectors in a\n\
+         direct-mapped cache conflict on every iteration — the \"many cache\n\
+         conflicts\" the paper flags as beyond its scope.\n"
+    );
+}
+
+fn main() {
+    scheduling_policy();
+    placement();
+    random_access();
+    substrate();
+    crisp_contrast();
+    cpu_speed();
+    refresh_cost();
+    cache_conflicts();
+}

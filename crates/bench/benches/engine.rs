@@ -1,0 +1,81 @@
+//! Criterion microbenchmarks: how fast the simulator itself runs.
+//!
+//! `cargo bench -p bench --bench engine`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use kernels::Kernel;
+use rdram::{AddressMap, Command, DeviceConfig, Interleave, Rdram};
+use sim::{run_kernel, MemorySystem, SystemConfig};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_kernel");
+    let n = 1024u64;
+    for memory in [
+        MemorySystem::CacheLineInterleaved,
+        MemorySystem::PageInterleaved,
+    ] {
+        for kernel in [Kernel::Copy, Kernel::Vaxpy] {
+            group.throughput(Throughput::Elements(kernel.total_streams() * n));
+            let mut smc_cfg = SystemConfig::smc(memory, 64);
+            smc_cfg.verify = false;
+            group.bench_with_input(
+                BenchmarkId::new(format!("smc/{}", memory.label()), kernel),
+                &smc_cfg,
+                |b, cfg| b.iter(|| run_kernel(kernel, n, 1, cfg)),
+            );
+            let mut naive_cfg = SystemConfig::natural_order(memory);
+            naive_cfg.verify = false;
+            group.bench_with_input(
+                BenchmarkId::new(format!("natural/{}", memory.label()), kernel),
+                &naive_cfg,
+                |b, cfg| b.iter(|| run_kernel(kernel, n, 1, cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device");
+    group.bench_function("page_hit_read_issue", |b| {
+        b.iter_batched(
+            || {
+                let mut dev = Rdram::new(DeviceConfig::default());
+                let act = Command::activate(0, 0);
+                let t = dev.earliest(&act, 0);
+                dev.issue_at(&act, t).unwrap();
+                dev
+            },
+            |mut dev| {
+                let mut now = 0;
+                for i in 0..64u64 {
+                    let cmd = Command::read(0, (i % 64) * 16);
+                    let t = dev.earliest(&cmd, now);
+                    dev.issue_at(&cmd, t).unwrap();
+                    now = t;
+                }
+                dev
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("address_decode", |b| {
+        let map = AddressMap::new(
+            Interleave::Cacheline { line_bytes: 32 },
+            &DeviceConfig::default(),
+        )
+        .unwrap();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for addr in (0..65536u64).step_by(32) {
+                acc += map.decode(std::hint::black_box(addr)).bank;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_device);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! Runs under `cargo bench -p bench --bench figures` (the harness is
+//! disabled — this is a reproduction harness, not a timing benchmark; see
+//! `engine.rs` for Criterion microbenchmarks). Identical data is available
+//! from `cargo run -p sim --bin repro --release`.
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    for name in sim::experiments::ALL
+        .iter()
+        .chain(std::iter::once(&"headline"))
+    {
+        println!("{}", "=".repeat(72));
+        println!("{}", sim::experiments::render(name));
+    }
+    println!(
+        "regenerated {} experiments in {:.1}s",
+        sim::experiments::ALL.len() + 1,
+        t0.elapsed().as_secs_f64()
+    );
+}

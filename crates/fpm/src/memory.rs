@@ -1,0 +1,218 @@
+//! Word-interleaved fast-page-mode DRAM banks, timed in nanoseconds.
+
+use serde::Serialize;
+
+use rdram::legacy::ConventionalTiming;
+use rdram::ELEM_BYTES;
+
+/// Geometry and timing of the fast-page-mode memory system.
+///
+/// The default mirrors the authors' proof-of-concept hardware: two banks of
+/// fast-page-mode DRAM with 1 KB pages, interleaved at 64-bit word
+/// granularity, with Figure 1's FPM timing (tRAC 50 ns, tCAC 13 ns, tPC
+/// 30 ns, tRC 95 ns).
+/// (`ConventionalTiming` names are static strings, so the spec serializes
+/// but is constructed in code rather than deserialized.)
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SystemSpec {
+    /// Interleaved banks.
+    pub banks: usize,
+    /// DRAM page size per bank, in bytes.
+    pub page_bytes: u64,
+    /// FPM timing parameters (nanoseconds).
+    pub timing: ConventionalTiming,
+}
+
+impl Default for SystemSpec {
+    fn default() -> Self {
+        SystemSpec {
+            banks: 2,
+            page_bytes: 1024,
+            timing: rdram::legacy::FIGURE_1[0],
+        }
+    }
+}
+
+impl SystemSpec {
+    /// Peak (attainable) bandwidth of the interleaved system in words per
+    /// nanosecond: every bank can cycle a page-mode access each `tPC`, so
+    /// `banks / tPC` with perfect overlap.
+    pub fn peak_words_per_ns(&self) -> f64 {
+        self.banks as f64 / self.timing.t_pc_ns
+    }
+
+    /// Check internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.banks == 0 {
+            return Err("need at least one bank".into());
+        }
+        if self.page_bytes == 0 || !self.page_bytes.is_multiple_of(ELEM_BYTES) {
+            return Err("page size must be a positive multiple of the word".into());
+        }
+        if self.timing.t_pc_ns <= 0.0 || self.timing.t_rc_ns < self.timing.t_pc_ns {
+            return Err("tPC must be positive and no larger than tRC".into());
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_page: Option<u64>,
+    busy_until_ns: f64,
+}
+
+/// The memory system: banks operate independently (accesses to different
+/// banks overlap); each access to a bank occupies it for `tPC` on a page
+/// hit or `tRC` on a page miss.
+///
+/// Word-interleaving means word `w` lives in bank `w mod banks`, and the
+/// page within the bank advances every `banks x page_words` words — so a
+/// unit-stride stream alternates banks word by word while staying in one
+/// page per bank for a long run, exactly the locality the SMC exploits.
+#[derive(Debug, Clone)]
+pub struct FpmMemory {
+    spec: SystemSpec,
+    banks: Vec<Bank>,
+    page_hits: u64,
+    page_misses: u64,
+}
+
+impl FpmMemory {
+    /// Create a memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`SystemSpec::validate`].
+    pub fn new(spec: SystemSpec) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("invalid FPM system spec: {e}");
+        }
+        FpmMemory {
+            banks: vec![Bank::default(); spec.banks],
+            spec,
+            page_hits: 0,
+            page_misses: 0,
+        }
+    }
+
+    /// The system specification.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// Which bank serves the 8-byte word at `addr`.
+    pub fn bank_of(&self, addr: u64) -> usize {
+        ((addr / ELEM_BYTES) % self.spec.banks as u64) as usize
+    }
+
+    /// Perform the word access at `addr`, starting no earlier than
+    /// `earliest_ns`; returns the completion time in nanoseconds. Accesses
+    /// to different banks overlap freely; accesses to one bank serialize.
+    pub fn access(&mut self, addr: u64, earliest_ns: f64) -> f64 {
+        let word = addr / ELEM_BYTES;
+        let bank_idx = self.bank_of(addr);
+        let words_per_page = self.spec.page_bytes / ELEM_BYTES;
+        let page = word / (self.spec.banks as u64) / words_per_page;
+        let bank = &mut self.banks[bank_idx];
+        let start = earliest_ns.max(bank.busy_until_ns);
+        let done = if bank.open_page == Some(page) {
+            self.page_hits += 1;
+            start + self.spec.timing.t_pc_ns
+        } else {
+            self.page_misses += 1;
+            bank.open_page = Some(page);
+            start + self.spec.timing.t_rc_ns
+        };
+        bank.busy_until_ns = done;
+        done
+    }
+
+    /// Page hits observed.
+    pub fn page_hits(&self) -> u64 {
+        self.page_hits
+    }
+
+    /// Page misses observed.
+    pub fn page_misses(&self) -> u64 {
+        self.page_misses
+    }
+
+    /// Time at which every bank is idle.
+    pub fn drained_ns(&self) -> f64 {
+        self.banks
+            .iter()
+            .map(|b| b.busy_until_ns)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_predecessor_system() {
+        let spec = SystemSpec::default();
+        spec.validate().unwrap();
+        assert_eq!(spec.banks, 2);
+        assert_eq!(spec.timing.t_pc_ns, 30.0);
+        // 2 banks / 30 ns = one word every 15 ns at best.
+        assert!((spec.peak_words_per_ns() - 1.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn words_interleave_across_banks() {
+        let mem = FpmMemory::new(SystemSpec::default());
+        assert_eq!(mem.bank_of(0), 0);
+        assert_eq!(mem.bank_of(8), 1);
+        assert_eq!(mem.bank_of(16), 0);
+    }
+
+    #[test]
+    fn hits_and_misses_cost_tpc_and_trc() {
+        let mut mem = FpmMemory::new(SystemSpec::default());
+        let t1 = mem.access(0, 0.0);
+        assert_eq!(t1, 95.0); // cold miss
+        let t2 = mem.access(16, t1); // bank 0, same page
+        assert_eq!(t2 - t1, 30.0);
+        assert_eq!(mem.page_hits(), 1);
+        assert_eq!(mem.page_misses(), 1);
+    }
+
+    #[test]
+    fn banks_overlap() {
+        let mut mem = FpmMemory::new(SystemSpec::default());
+        let a = mem.access(0, 0.0); // bank 0
+        let b = mem.access(8, 0.0); // bank 1, concurrent
+        assert_eq!(a, 95.0);
+        assert_eq!(b, 95.0);
+        assert_eq!(mem.drained_ns(), 95.0);
+    }
+
+    #[test]
+    fn page_switch_within_a_bank_misses() {
+        let spec = SystemSpec::default();
+        let mut mem = FpmMemory::new(spec);
+        let words_per_page = spec.page_bytes / 8;
+        // Word 0 and the first word of bank 0's next page.
+        let t1 = mem.access(0, 0.0);
+        let next_page_addr = spec.banks as u64 * words_per_page * 8;
+        let t2 = mem.access(next_page_addr, t1);
+        assert_eq!(t2 - t1, 95.0);
+        assert_eq!(mem.page_misses(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FPM system spec")]
+    fn zero_banks_rejected() {
+        let _ = FpmMemory::new(SystemSpec {
+            banks: 0,
+            ..SystemSpec::default()
+        });
+    }
+}

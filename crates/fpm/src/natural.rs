@@ -1,0 +1,185 @@
+//! Natural-order comparators for the fast-page-mode system.
+
+use serde::{Deserialize, Serialize};
+
+use rdram::ELEM_BYTES;
+use smc::StreamDescriptor;
+
+use crate::{FpmMemory, FpmRunResult, SystemSpec};
+
+/// How the processor reaches memory without an SMC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NaturalMode {
+    /// "Normal caching": a blocking cache fetches whole cachelines in the
+    /// computation's natural order (write-allocate, writebacks ignored).
+    Caching {
+        /// Cacheline size in bytes.
+        line_bytes: u64,
+    },
+    /// "Non-caching": single-word loads/stores issued in program order,
+    /// each waiting for the previous (the i860's cache-bypassing accesses).
+    NonCaching,
+}
+
+/// Run the natural-order comparator over equal-length streams and return
+/// the timing summary.
+///
+/// Per iteration the processor touches one element of each stream, in
+/// stream order, exactly as the SMC's processor model does — the only
+/// difference is that accesses go straight to the page-mode DRAM, so
+/// alternating between vectors thrashes each bank's page buffer.
+///
+/// # Panics
+///
+/// Panics if `streams` is empty, lengths differ, or the cacheline size is
+/// not a positive multiple of the 8-byte word.
+pub fn natural_order_ns(
+    spec: SystemSpec,
+    streams: &[StreamDescriptor],
+    mode: NaturalMode,
+) -> FpmRunResult {
+    assert!(!streams.is_empty(), "need at least one stream");
+    let n = streams[0].length;
+    assert!(
+        streams.iter().all(|s| s.length == n),
+        "streams must have equal lengths"
+    );
+    if let NaturalMode::Caching { line_bytes } = mode {
+        assert!(
+            line_bytes > 0 && line_bytes % ELEM_BYTES == 0,
+            "cacheline must be a positive multiple of {ELEM_BYTES} bytes"
+        );
+    }
+    let mut mem = FpmMemory::new(spec);
+    let mut now = 0.0f64;
+    let mut words = 0u64;
+    let mut resident_line: Vec<Option<u64>> = vec![None; streams.len()];
+    for i in 0..n {
+        for (s, desc) in streams.iter().enumerate() {
+            let addr = desc.element_addr(i);
+            match mode {
+                NaturalMode::NonCaching => {
+                    now = mem.access(addr, now);
+                    words += 1;
+                }
+                NaturalMode::Caching { line_bytes } => {
+                    let line = addr / line_bytes;
+                    if resident_line[s] != Some(line) {
+                        // Blocking line fill: every word of the line, in
+                        // order, each waiting on its bank.
+                        let base = line * line_bytes;
+                        for w in 0..line_bytes / ELEM_BYTES {
+                            now = mem.access(base + w * ELEM_BYTES, now);
+                            words += 1;
+                        }
+                        resident_line[s] = Some(line);
+                    }
+                }
+            }
+        }
+    }
+    FpmRunResult {
+        elapsed_ns: now.max(mem.drained_ns()),
+        words,
+        page_hits: mem.page_hits(),
+        page_misses: mem.page_misses(),
+        peak_words_per_ns: spec.peak_words_per_ns(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FpmSmc;
+
+    fn daxpy_streams(n: u64) -> Vec<StreamDescriptor> {
+        vec![
+            StreamDescriptor::read("x", 0, 1, n),
+            StreamDescriptor::read("y", 1 << 20, 1, n),
+            StreamDescriptor::write("y'", 1 << 20, 1, n),
+        ]
+    }
+
+    /// Useful words per nanosecond (stores and loads of stream data only).
+    fn useful_rate(r: &FpmRunResult, useful_words: u64) -> f64 {
+        useful_words as f64 / r.elapsed_ns
+    }
+
+    #[test]
+    fn alternating_streams_thrash_the_page_buffers() {
+        let r = natural_order_ns(
+            SystemSpec::default(),
+            &daxpy_streams(512),
+            NaturalMode::NonCaching,
+        );
+        // x and the y-read land on different pages of the same banks; the
+        // y-write rides the y-read's open page: roughly 2 misses per 3
+        // accesses.
+        let miss_rate = r.page_misses as f64 / (r.page_misses + r.page_hits) as f64;
+        assert!(miss_rate > 0.5, "miss rate {miss_rate:.2}");
+    }
+
+    #[test]
+    fn smc_speedups_match_the_papers_reported_bands() {
+        // Section 3: "speedups by factors of two to 13 over normal caching
+        // and of up to 23 over non-caching accesses issued in the natural
+        // order of the computation."
+        let n = 2048;
+        let useful = 3 * n;
+        let smc = FpmSmc::new(SystemSpec::default(), daxpy_streams(n), 128).run();
+        let caching = natural_order_ns(
+            SystemSpec::default(),
+            &daxpy_streams(n),
+            NaturalMode::Caching { line_bytes: 32 },
+        );
+        let non_caching = natural_order_ns(
+            SystemSpec::default(),
+            &daxpy_streams(n),
+            NaturalMode::NonCaching,
+        );
+        let vs_caching = useful_rate(&smc, useful) / useful_rate(&caching, useful);
+        let vs_non = useful_rate(&smc, useful) / useful_rate(&non_caching, useful);
+        assert!(
+            (2.0..=13.0).contains(&vs_caching),
+            "speedup vs caching = {vs_caching:.2}"
+        );
+        assert!(
+            (2.0..=23.0).contains(&vs_non),
+            "speedup vs non-caching = {vs_non:.2}"
+        );
+        assert!(vs_non > vs_caching, "caching should sit between");
+    }
+
+    #[test]
+    fn caching_amortizes_misses_over_lines() {
+        let n = 512;
+        let caching = natural_order_ns(
+            SystemSpec::default(),
+            &daxpy_streams(n),
+            NaturalMode::Caching { line_bytes: 32 },
+        );
+        let non_caching = natural_order_ns(
+            SystemSpec::default(),
+            &daxpy_streams(n),
+            NaturalMode::NonCaching,
+        );
+        // Same total words move (write-allocate fetches whole lines, but
+        // every word of every stream is touched either way); caching takes
+        // fewer page misses and less time.
+        assert_eq!(caching.words, non_caching.words);
+        // daxpy: caching misses once per line per vector (the y-write rides
+        // the y-read's page), exactly half the non-caching miss count.
+        assert_eq!(caching.page_misses * 2, non_caching.page_misses);
+        assert!(caching.elapsed_ns < non_caching.elapsed_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn unequal_streams_rejected() {
+        let streams = vec![
+            StreamDescriptor::read("a", 0, 1, 8),
+            StreamDescriptor::read("b", 4096, 1, 9),
+        ];
+        let _ = natural_order_ns(SystemSpec::default(), &streams, NaturalMode::NonCaching);
+    }
+}

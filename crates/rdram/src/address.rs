@@ -1,0 +1,227 @@
+//! Physical address interleaving: CLI (cacheline) and PI (page) mappings.
+//!
+//! The paper evaluates two extremes of the RDRAM address-mapping design
+//! space:
+//!
+//! * **Cacheline interleaving (CLI)** — successive cachelines map to
+//!   successive banks, so a unit-stride stream touches a different bank for
+//!   every cacheline. Paired with a closed-page policy.
+//! * **Page interleaving (PI)** — a bank holds one full DRAM page of
+//!   consecutive addresses; crossing a page boundary means switching banks.
+//!   Paired with an open-page policy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DeviceConfig, PACKET_BYTES};
+
+/// Where a physical byte address lands inside the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// Bank index.
+    pub bank: usize,
+    /// Row (page) index within the bank.
+    pub row: u64,
+    /// Byte offset within the row.
+    pub col: u64,
+}
+
+/// Interleaving scheme mapping physical addresses onto (bank, row, column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Interleave {
+    /// Cacheline interleaving: line `i` lives in bank `i mod banks`.
+    Cacheline {
+        /// Cacheline size in bytes (32 B = 4 words in the paper).
+        line_bytes: u64,
+    },
+    /// Page interleaving: page `i` lives in bank `i mod banks`.
+    Page,
+}
+
+/// A concrete address map for one device configuration.
+///
+/// ```
+/// use rdram::{AddressMap, DeviceConfig, Interleave};
+///
+/// let cfg = DeviceConfig::default();
+/// let cli = AddressMap::new(Interleave::Cacheline { line_bytes: 32 }, &cfg).unwrap();
+/// // Consecutive 32-byte lines rotate across the 8 banks.
+/// assert_eq!(cli.decode(0).bank, 0);
+/// assert_eq!(cli.decode(32).bank, 1);
+///
+/// let pi = AddressMap::new(Interleave::Page, &cfg).unwrap();
+/// // A full 1 KB page stays in one bank.
+/// assert_eq!(pi.decode(0).bank, 0);
+/// assert_eq!(pi.decode(1023).bank, 0);
+/// assert_eq!(pi.decode(1024).bank, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AddressMap {
+    interleave: Interleave,
+    banks: usize,
+    page_bytes: u64,
+}
+
+impl AddressMap {
+    /// Create an address map for `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// For [`Interleave::Cacheline`], the line size must be a non-zero
+    /// multiple of the 16-byte packet and must divide the page size.
+    pub fn new(interleave: Interleave, cfg: &DeviceConfig) -> Result<Self, String> {
+        if let Interleave::Cacheline { line_bytes } = interleave {
+            if line_bytes == 0 || line_bytes % PACKET_BYTES != 0 {
+                return Err(format!(
+                    "cacheline ({line_bytes} B) must be a non-zero multiple of \
+                     the packet size ({PACKET_BYTES} B)"
+                ));
+            }
+            if !cfg.page_bytes.is_multiple_of(line_bytes) {
+                return Err(format!(
+                    "page size ({} B) must be a multiple of the cacheline ({line_bytes} B)",
+                    cfg.page_bytes
+                ));
+            }
+        }
+        Ok(AddressMap {
+            interleave,
+            banks: cfg.total_banks(),
+            page_bytes: cfg.page_bytes,
+        })
+    }
+
+    /// The interleaving scheme in use.
+    pub fn interleave(&self) -> Interleave {
+        self.interleave
+    }
+
+    /// Number of banks the map distributes addresses over.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Number of *contiguous* bytes mapped to a single bank before the map
+    /// switches banks (the cacheline for CLI, the page for PI).
+    pub fn contiguous_bytes_per_bank(&self) -> u64 {
+        match self.interleave {
+            Interleave::Cacheline { line_bytes } => line_bytes,
+            Interleave::Page => self.page_bytes,
+        }
+    }
+
+    /// Map a physical byte address to its (bank, row, column) location.
+    pub fn decode(&self, addr: u64) -> Location {
+        let banks = self.banks as u64;
+        match self.interleave {
+            Interleave::Cacheline { line_bytes } => {
+                let line = addr / line_bytes;
+                let bank = (line % banks) as usize;
+                let line_in_bank = line / banks;
+                let lines_per_page = self.page_bytes / line_bytes;
+                let row = line_in_bank / lines_per_page;
+                let col = (line_in_bank % lines_per_page) * line_bytes + addr % line_bytes;
+                Location { bank, row, col }
+            }
+            Interleave::Page => {
+                let page = addr / self.page_bytes;
+                Location {
+                    bank: (page % banks) as usize,
+                    row: page / banks,
+                    col: addr % self.page_bytes,
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`decode`](Self::decode): the physical byte address of a
+    /// location.
+    pub fn encode(&self, loc: Location) -> u64 {
+        let banks = self.banks as u64;
+        match self.interleave {
+            Interleave::Cacheline { line_bytes } => {
+                let lines_per_page = self.page_bytes / line_bytes;
+                let line_in_bank = loc.row * lines_per_page + loc.col / line_bytes;
+                let line = line_in_bank * banks + loc.bank as u64;
+                line * line_bytes + loc.col % line_bytes
+            }
+            Interleave::Page => {
+                let page = loc.row * banks + loc.bank as u64;
+                page * self.page_bytes + loc.col % self.page_bytes
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli() -> AddressMap {
+        AddressMap::new(
+            Interleave::Cacheline { line_bytes: 32 },
+            &DeviceConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn pi() -> AddressMap {
+        AddressMap::new(Interleave::Page, &DeviceConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn cli_rotates_lines_across_banks() {
+        let m = cli();
+        for line in 0..32u64 {
+            let loc = m.decode(line * 32);
+            assert_eq!(loc.bank, (line % 8) as usize, "line {line}");
+        }
+    }
+
+    #[test]
+    fn cli_stacks_lines_into_pages_within_a_bank() {
+        let m = cli();
+        // Bank 0 receives lines 0, 8, 16, ... Its page holds 1024/32 = 32
+        // lines, so line 8*32 = 256 (address 8192*...) starts row 1.
+        let first_of_row1 = 32u64 * 8 * 32; // 32 lines/page * 8 banks * 32 B
+        let loc = m.decode(first_of_row1);
+        assert_eq!(loc.bank, 0);
+        assert_eq!(loc.row, 1);
+        assert_eq!(loc.col, 0);
+    }
+
+    #[test]
+    fn pi_keeps_pages_in_one_bank() {
+        let m = pi();
+        let a = m.decode(5 * 1024 + 17);
+        assert_eq!(a.bank, 5);
+        assert_eq!(a.row, 0);
+        assert_eq!(a.col, 17);
+        let b = m.decode(8 * 1024);
+        assert_eq!(b.bank, 0);
+        assert_eq!(b.row, 1);
+    }
+
+    #[test]
+    fn encode_is_inverse_of_decode() {
+        for m in [cli(), pi()] {
+            for addr in (0..1 << 16).step_by(8) {
+                assert_eq!(m.encode(m.decode(addr)), addr, "map {m:?} addr {addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_span() {
+        assert_eq!(cli().contiguous_bytes_per_bank(), 32);
+        assert_eq!(pi().contiguous_bytes_per_bank(), 1024);
+    }
+
+    #[test]
+    fn rejects_bad_line_sizes() {
+        let cfg = DeviceConfig::default();
+        assert!(AddressMap::new(Interleave::Cacheline { line_bytes: 24 }, &cfg).is_err());
+        assert!(AddressMap::new(Interleave::Cacheline { line_bytes: 0 }, &cfg).is_err());
+        // A line larger than the page cannot divide it.
+        assert!(AddressMap::new(Interleave::Cacheline { line_bytes: 2048 }, &cfg).is_err());
+    }
+}

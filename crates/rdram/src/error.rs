@@ -1,0 +1,112 @@
+//! Protocol errors reported by the device model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Command, Cycle};
+
+/// A memory controller attempted an illegal command sequence.
+///
+/// The device validates every [`Command`](crate::Command) against the
+/// Direct RDRAM protocol; a violation indicates a controller bug, and the
+/// error carries enough context to diagnose it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The command started before the timing constraints allow.
+    TooEarly {
+        /// The offending command.
+        cmd: Command,
+        /// The requested start cycle.
+        requested: Cycle,
+        /// The earliest legal start cycle.
+        earliest: Cycle,
+    },
+    /// ACT issued to a bank whose sense amps already hold a row.
+    BankAlreadyOpen {
+        /// Target bank.
+        bank: usize,
+        /// The row currently held.
+        open_row: u64,
+    },
+    /// COL or PRER issued to a bank with no open row.
+    BankClosed {
+        /// Target bank.
+        bank: usize,
+    },
+    /// COL issued for a row other than the one the bank holds.
+    WrongOpenRow {
+        /// Target bank.
+        bank: usize,
+        /// The row currently held.
+        open_row: u64,
+    },
+    /// The command addressed a bank the device does not have.
+    NoSuchBank {
+        /// Requested bank.
+        bank: usize,
+        /// Banks present on the device.
+        banks: usize,
+    },
+    /// ACT would open a bank adjacent to an open bank on a double-bank core.
+    AdjacentBankOpen {
+        /// The bank being activated.
+        bank: usize,
+        /// The open neighbour that conflicts with it.
+        neighbour: usize,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::TooEarly { cmd, requested, earliest } => write!(
+                f,
+                "command {cmd:?} requested at cycle {requested} but earliest legal start is {earliest}"
+            ),
+            ProtocolError::BankAlreadyOpen { bank, open_row } => {
+                write!(f, "bank {bank} already holds row {open_row}; precharge first")
+            }
+            ProtocolError::BankClosed { bank } => {
+                write!(f, "bank {bank} has no open row")
+            }
+            ProtocolError::WrongOpenRow { bank, open_row } => {
+                write!(f, "bank {bank} holds row {open_row}, not the requested row")
+            }
+            ProtocolError::NoSuchBank { bank, banks } => {
+                write!(f, "bank {bank} does not exist on a {banks}-bank device")
+            }
+            ProtocolError::AdjacentBankOpen { bank, neighbour } => write!(
+                f,
+                "double-bank conflict: bank {bank} shares sense amps with open bank {neighbour}"
+            ),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProtocolError::TooEarly {
+            cmd: Command::read(0, 0),
+            requested: 5,
+            earliest: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cycle 5"));
+        assert!(s.contains("12"));
+
+        let e = ProtocolError::NoSuchBank { bank: 9, banks: 8 };
+        assert!(e.to_string().contains("bank 9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProtocolError>();
+    }
+}

@@ -1,0 +1,268 @@
+//! Conventional DRAM timing catalogue (the paper's Figure 1) and a small
+//! functional fast-page-mode DRAM model.
+//!
+//! The paper frames Direct RDRAM against the DRAMs of its day: fast-page
+//! mode (FPM), Extended Data Out (EDO), Burst-EDO, and SDRAM. This module
+//! reproduces the Figure 1 parameter table and provides a bus-occupancy
+//! model of a fast-page-mode memory system — the substrate of the authors'
+//! earlier SMC hardware — so the crate can contrast the two asymptotic
+//! regimes identified in Section 5.2: FPM SMC performance is limited by DRAM
+//! *page misses*, while Direct RDRAM SMC performance is limited by bus
+//! *turnaround*.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of a conventional (pre-Rambus) DRAM, in nanoseconds.
+///
+/// Row `tPC` is the page-mode cycle time: the bank-occupancy cost of a
+/// page-hit access. For the Direct RDRAM column of Figure 1, the packet
+/// transfer time (10 ns) plays this role.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConventionalTiming {
+    /// Device family name as printed in Figure 1.
+    pub name: &'static str,
+    /// Row-access time, ns.
+    pub t_rac_ns: f64,
+    /// Column-access time, ns.
+    pub t_cac_ns: f64,
+    /// Random read/write cycle time, ns.
+    pub t_rc_ns: f64,
+    /// Page-mode cycle time, ns.
+    pub t_pc_ns: f64,
+    /// Maximum interface frequency, MHz.
+    pub max_freq_mhz: f64,
+}
+
+/// The five columns of the paper's Figure 1.
+pub const FIGURE_1: [ConventionalTiming; 5] = [
+    ConventionalTiming {
+        name: "Fast-Page Mode",
+        t_rac_ns: 50.0,
+        t_cac_ns: 13.0,
+        t_rc_ns: 95.0,
+        t_pc_ns: 30.0,
+        max_freq_mhz: 33.0,
+    },
+    ConventionalTiming {
+        name: "EDO",
+        t_rac_ns: 50.0,
+        t_cac_ns: 13.0,
+        t_rc_ns: 89.0,
+        t_pc_ns: 20.0,
+        max_freq_mhz: 50.0,
+    },
+    ConventionalTiming {
+        name: "Burst-EDO",
+        t_rac_ns: 52.0,
+        t_cac_ns: 10.0,
+        t_rc_ns: 90.0,
+        t_pc_ns: 15.0,
+        max_freq_mhz: 66.0,
+    },
+    ConventionalTiming {
+        name: "SDRAM",
+        t_rac_ns: 50.0,
+        t_cac_ns: 9.0,
+        t_rc_ns: 100.0,
+        t_pc_ns: 10.0,
+        max_freq_mhz: 100.0,
+    },
+    ConventionalTiming {
+        name: "Direct RDRAM",
+        t_rac_ns: 50.0,
+        t_cac_ns: 20.0,
+        t_rc_ns: 85.0,
+        t_pc_ns: 10.0, // packet transfer time; tPC does not apply
+        max_freq_mhz: 400.0,
+    },
+];
+
+/// One generation of the Rambus DRAM family (the paper's Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RdramGeneration {
+    /// Generation name.
+    pub name: &'static str,
+    /// External data-bus width in bits.
+    pub bus_bits: u32,
+    /// External clock in MHz (data moves on both edges).
+    pub clock_mhz: f64,
+    /// Peak bandwidth in MB/s.
+    pub peak_mbytes_per_sec: f64,
+    /// Whether the protocol supports multiple concurrent transactions.
+    pub concurrent_transactions: bool,
+}
+
+/// The three Rambus generations the paper describes: Base (500–600 MB/s),
+/// Concurrent (same peak, better utilization), and Direct (1.6 GB/s).
+pub const RDRAM_GENERATIONS: [RdramGeneration; 3] = [
+    RdramGeneration {
+        name: "Base RDRAM",
+        bus_bits: 8,
+        clock_mhz: 250.0,
+        peak_mbytes_per_sec: 500.0,
+        concurrent_transactions: false,
+    },
+    RdramGeneration {
+        name: "Concurrent RDRAM",
+        bus_bits: 8,
+        clock_mhz: 300.0,
+        peak_mbytes_per_sec: 600.0,
+        concurrent_transactions: true,
+    },
+    RdramGeneration {
+        name: "Direct RDRAM",
+        bus_bits: 16,
+        clock_mhz: 400.0,
+        peak_mbytes_per_sec: 1600.0,
+        concurrent_transactions: true,
+    },
+];
+
+/// A functional model of a fast-page-mode DRAM memory system, timed in
+/// nanoseconds.
+///
+/// This is deliberately simple — the level of detail of the paper's
+/// *analytic* treatment of its earlier FPM SMC: a page-hit access occupies
+/// the memory for `tPC`, a page miss for `tRC`, and there is no inter-bank
+/// pipelining within one simple controller (matching the authors'
+/// proof-of-concept system with interleaved banks driven in lockstep).
+///
+/// ```
+/// use rdram::legacy::FpmDram;
+///
+/// let mut fpm = FpmDram::new(2, 1024, 8); // 2 banks, 1KB pages, 8B words
+/// let first = fpm.access(0, 0.0);     // bank 0: page miss
+/// let second = fpm.access(16, first); // bank 0 again, same page: hit
+/// assert!(second - first < first);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FpmDram {
+    timing: ConventionalTiming,
+    banks: usize,
+    page_bytes: u64,
+    word_bytes: u64,
+    open_pages: Vec<Option<u64>>,
+    page_hits: u64,
+    page_misses: u64,
+}
+
+impl FpmDram {
+    /// Create a fast-page-mode memory with `banks` banks of `page_bytes`
+    /// pages, interleaved at `word_bytes` granularity (word interleaving, as
+    /// in the authors' i860 system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(banks: usize, page_bytes: u64, word_bytes: u64) -> Self {
+        assert!(banks > 0 && page_bytes > 0 && word_bytes > 0);
+        FpmDram {
+            timing: FIGURE_1[0],
+            banks,
+            page_bytes,
+            word_bytes,
+            open_pages: vec![None; banks],
+            page_hits: 0,
+            page_misses: 0,
+        }
+    }
+
+    /// The FPM timing parameters in use.
+    pub fn timing(&self) -> &ConventionalTiming {
+        &self.timing
+    }
+
+    /// Perform a word access at byte address `addr`, not before `now` (ns).
+    /// Returns the completion time in ns.
+    pub fn access(&mut self, addr: u64, now: f64) -> f64 {
+        let word = addr / self.word_bytes;
+        let bank = (word % self.banks as u64) as usize;
+        let page = addr / (self.page_bytes * self.banks as u64);
+        if self.open_pages[bank] == Some(page) {
+            self.page_hits += 1;
+            now + self.timing.t_pc_ns
+        } else {
+            self.open_pages[bank] = Some(page);
+            self.page_misses += 1;
+            now + self.timing.t_rc_ns
+        }
+    }
+
+    /// Page hits observed so far.
+    pub fn page_hits(&self) -> u64 {
+        self.page_hits
+    }
+
+    /// Page misses observed so far.
+    pub fn page_misses(&self) -> u64 {
+        self.page_misses
+    }
+
+    /// Asymptotic effective bandwidth (bytes/ns) of a stream whose accesses
+    /// hit the page buffer with probability `hit_rate`.
+    pub fn stream_bandwidth(&self, hit_rate: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&hit_rate), "hit rate must be in [0,1]");
+        let t = hit_rate * self.timing.t_pc_ns + (1.0 - hit_rate) * self.timing.t_rc_ns;
+        self.word_bytes as f64 / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_matches_the_paper() {
+        assert_eq!(FIGURE_1.len(), 5);
+        let fpm = &FIGURE_1[0];
+        assert_eq!(fpm.t_rac_ns, 50.0);
+        assert_eq!(fpm.t_pc_ns, 30.0);
+        let rdram = &FIGURE_1[4];
+        assert_eq!(rdram.name, "Direct RDRAM");
+        assert_eq!(rdram.t_cac_ns, 20.0);
+        assert_eq!(rdram.t_rc_ns, 85.0);
+        assert_eq!(rdram.max_freq_mhz, 400.0);
+    }
+
+    #[test]
+    fn generations_match_the_papers_section_2_2() {
+        assert_eq!(RDRAM_GENERATIONS.len(), 3);
+        let direct = &RDRAM_GENERATIONS[2];
+        // 16 bits on both edges of 400 MHz = 1.6 GB/s.
+        assert_eq!(
+            direct.peak_mbytes_per_sec,
+            2.0 * direct.clock_mhz * (direct.bus_bits as f64 / 8.0)
+        );
+        assert!(!RDRAM_GENERATIONS[0].concurrent_transactions);
+        assert!(RDRAM_GENERATIONS[1].concurrent_transactions);
+    }
+
+    #[test]
+    fn hits_are_cheaper_than_misses() {
+        let mut fpm = FpmDram::new(2, 1024, 8);
+        let t1 = fpm.access(0, 0.0);
+        assert_eq!(t1, 95.0); // miss
+        let t2 = fpm.access(8, t1); // bank 1: miss
+        assert_eq!(t2 - t1, 95.0);
+        let t3 = fpm.access(16, t2); // bank 0 again, same page: hit
+        assert_eq!(t3 - t2, 30.0);
+        assert_eq!(fpm.page_hits(), 1);
+        assert_eq!(fpm.page_misses(), 2);
+    }
+
+    #[test]
+    fn stream_bandwidth_interpolates() {
+        let fpm = FpmDram::new(2, 1024, 8);
+        let all_hits = fpm.stream_bandwidth(1.0);
+        let all_misses = fpm.stream_bandwidth(0.0);
+        assert!(all_hits > all_misses);
+        assert!((all_hits - 8.0 / 30.0).abs() < 1e-12);
+        assert!((all_misses - 8.0 / 95.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "hit rate")]
+    fn bandwidth_rejects_bad_hit_rate() {
+        let _ = FpmDram::new(2, 1024, 8).stream_bandwidth(1.5);
+    }
+}

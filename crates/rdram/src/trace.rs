@@ -1,0 +1,295 @@
+//! Packet-level tracing and ASCII timing-diagram rendering.
+//!
+//! When [`DeviceConfig::trace_enabled`](crate::DeviceConfig) is set, the
+//! device records every ROW, COL, and DATA packet it schedules. The
+//! [`render`] function lays the events out on three lanes — one per bus —
+//! producing diagrams equivalent to the paper's Figures 5 and 6.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Cycle, Dir, Interval};
+
+/// Which bus an event occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceUnit {
+    /// The ROW command bus (ACT / PRER packets).
+    RowBus,
+    /// The COL command bus (RD / WR packets).
+    ColBus,
+    /// The DATA bus.
+    DataBus,
+}
+
+/// What kind of packet the event was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// ROW ACT packet opening `row` in `bank`.
+    Activate {
+        /// Target bank.
+        bank: usize,
+        /// Row being opened.
+        row: u64,
+    },
+    /// ROW PRER packet closing `bank`.
+    Precharge {
+        /// Target bank.
+        bank: usize,
+    },
+    /// Page closed via COL auto-precharge (no bus occupancy; recorded for
+    /// diagnostics with a zero-width position on the ROW lane).
+    AutoPrecharge {
+        /// Target bank.
+        bank: usize,
+    },
+    /// COL RD packet.
+    ColRead {
+        /// Target bank.
+        bank: usize,
+    },
+    /// COL WR packet.
+    ColWrite {
+        /// Target bank.
+        bank: usize,
+    },
+    /// A DATA packet moving in `dir`.
+    Data {
+        /// Transfer direction.
+        dir: Dir,
+        /// Bank supplying or absorbing the data.
+        bank: usize,
+    },
+}
+
+/// One recorded bus reservation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Cycles the packet occupied.
+    pub interval: Interval,
+    /// Bus the packet travelled on.
+    pub unit: TraceUnit,
+    /// Packet kind.
+    pub kind: TraceKind,
+    /// Optional controller-supplied annotation (e.g. `"ld x[0]"`).
+    pub label: Option<String>,
+}
+
+impl TraceEvent {
+    fn glyph(&self) -> char {
+        match self.kind {
+            TraceKind::Activate { .. } => 'A',
+            TraceKind::Precharge { .. } => 'P',
+            TraceKind::AutoPrecharge { .. } => 'p',
+            TraceKind::ColRead { .. } => 'R',
+            TraceKind::ColWrite { .. } => 'W',
+            TraceKind::Data { dir: Dir::Read, .. } => 'r',
+            TraceKind::Data {
+                dir: Dir::Write, ..
+            } => 'w',
+        }
+    }
+
+    fn describe(&self) -> String {
+        let base = match self.kind {
+            TraceKind::Activate { bank, row } => format!("ACT  b{bank} r{row}"),
+            TraceKind::Precharge { bank } => format!("PRER b{bank}"),
+            TraceKind::AutoPrecharge { bank } => format!("PREX b{bank}"),
+            TraceKind::ColRead { bank } => format!("RD   b{bank}"),
+            TraceKind::ColWrite { bank } => format!("WR   b{bank}"),
+            TraceKind::Data {
+                dir: Dir::Read,
+                bank,
+            } => format!("data<- b{bank}"),
+            TraceKind::Data {
+                dir: Dir::Write,
+                bank,
+            } => format!("data-> b{bank}"),
+        };
+        match &self.label {
+            Some(l) => format!("{base}  {l}"),
+            None => base,
+        }
+    }
+}
+
+/// A recorded sequence of bus events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in issue order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Attach `label` to the most recently recorded event group.
+    ///
+    /// A command and the DATA packet it produces are recorded together, so
+    /// labelling applies to every trailing event sharing the last event's
+    /// issue batch id is unnecessary — the device labels at issue time
+    /// instead. This helper labels only the final event.
+    pub fn label_last(&mut self, label: &str) {
+        if let Some(e) = self.events.last_mut() {
+            e.label = Some(label.to_string());
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether anything has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Last cycle covered by any event.
+    pub fn end_cycle(&self) -> Cycle {
+        self.events
+            .iter()
+            .map(|e| e.interval.end)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Render a trace as an ASCII timing diagram.
+///
+/// One lane per bus; each column is one interface-clock cycle. ROW-lane
+/// glyphs: `A` (activate), `P` (precharge); COL lane: `R`/`W`; DATA lane:
+/// `r`/`w`. An event list with labels follows the lanes. `from`/`to` bound
+/// the rendered window in cycles.
+pub fn render(trace: &Trace, from: Cycle, to: Cycle) -> String {
+    assert!(to > from, "empty render window");
+    let width = (to - from) as usize;
+    let mut lanes = [
+        vec!['.'; width], // ROW
+        vec!['.'; width], // COL
+        vec!['.'; width], // DATA
+    ];
+    for e in trace.events() {
+        let lane = match e.unit {
+            TraceUnit::RowBus => &mut lanes[0],
+            TraceUnit::ColBus => &mut lanes[1],
+            TraceUnit::DataBus => &mut lanes[2],
+        };
+        let g = e.glyph();
+        for c in e.interval.start.max(from)..e.interval.end.min(to) {
+            lane[(c - from) as usize] = g;
+        }
+    }
+    let mut out = String::new();
+    let ruler: String = (0..width)
+        .map(|i| {
+            let cyc = from + i as Cycle;
+            if cyc.is_multiple_of(10) {
+                '|'
+            } else {
+                ' '
+            }
+        })
+        .collect();
+    out.push_str(&format!("cycle {from:>5} {ruler}\n"));
+    for (name, lane) in ["ROW ", "COL ", "DATA"].iter().zip(&lanes) {
+        out.push_str(&format!(
+            "{name}        {}\n",
+            lane.iter().collect::<String>()
+        ));
+    }
+    out.push('\n');
+    for e in trace.events() {
+        if e.interval.start >= from && e.interval.start < to {
+            out.push_str(&format!(
+                "  [{:>5}, {:>5})  {}\n",
+                e.interval.start,
+                e.interval.end,
+                e.describe()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(start: Cycle, unit: TraceUnit, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            interval: Interval::with_len(start, 4),
+            unit,
+            kind,
+            label: None,
+        }
+    }
+
+    #[test]
+    fn render_places_glyphs() {
+        let mut t = Trace::new();
+        t.push(event(
+            0,
+            TraceUnit::RowBus,
+            TraceKind::Activate { bank: 0, row: 1 },
+        ));
+        t.push(event(12, TraceUnit::ColBus, TraceKind::ColRead { bank: 0 }));
+        t.push(event(
+            22,
+            TraceUnit::DataBus,
+            TraceKind::Data {
+                dir: Dir::Read,
+                bank: 0,
+            },
+        ));
+        let s = render(&t, 0, 30);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains("AAAA"));
+        assert!(lines[2].contains("RRRR"));
+        assert!(lines[3].contains("rrrr"));
+        assert!(s.contains("ACT  b0 r1"));
+    }
+
+    #[test]
+    fn labels_appear_in_listing() {
+        let mut t = Trace::new();
+        t.push(event(0, TraceUnit::ColBus, TraceKind::ColWrite { bank: 2 }));
+        t.label_last("st z[0]");
+        let s = render(&t, 0, 8);
+        assert!(s.contains("st z[0]"));
+        assert!(s.contains("WR   b2"));
+    }
+
+    #[test]
+    fn end_cycle_tracks_latest_event() {
+        let mut t = Trace::new();
+        assert_eq!(t.end_cycle(), 0);
+        assert!(t.is_empty());
+        t.push(event(
+            40,
+            TraceUnit::DataBus,
+            TraceKind::Data {
+                dir: Dir::Write,
+                bank: 1,
+            },
+        ));
+        assert_eq!(t.end_cycle(), 44);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty render window")]
+    fn render_rejects_empty_window() {
+        let _ = render(&Trace::new(), 5, 5);
+    }
+}

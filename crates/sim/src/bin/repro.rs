@@ -1,0 +1,88 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p sim --bin repro --release                   # everything
+//! cargo run -p sim --bin repro --release -- fig7           # one experiment
+//! cargo run -p sim --bin repro --release -- --out results  # + .txt/.json files
+//! cargo run -p sim --bin repro --release -- --list         # list names
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: repro [--list] [--out DIR] [EXPERIMENT...]\n\
+             experiments: {} headline (default: all)",
+            sim::experiments::ALL.join(" ")
+        );
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for name in sim::experiments::ALL {
+            println!("{name}");
+        }
+        println!("headline");
+        return ExitCode::SUCCESS;
+    }
+    let out_dir: Option<PathBuf> = args.iter().position(|a| a == "--out").map(|i| {
+        let dir = args
+            .get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--out requires a directory");
+                std::process::exit(2);
+            })
+            .clone();
+        args.drain(i..=i + 1);
+        PathBuf::from(dir)
+    });
+    if let Some(dir) = &out_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let selected: Vec<String> = if args.is_empty() {
+        sim::experiments::ALL
+            .iter()
+            .map(|s| s.to_string())
+            .chain(std::iter::once("headline".to_string()))
+            .collect()
+    } else {
+        args
+    };
+    for name in &selected {
+        let text = sim::experiments::render(name);
+        println!("{}", "=".repeat(72));
+        println!("{text}");
+        if let Some(dir) = &out_dir {
+            if let Err(e) = fs::write(dir.join(format!("{name}.txt")), &text) {
+                eprintln!("cannot write {name}.txt: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Some(json) = sim::experiments::json(name) {
+                if let Err(e) = fs::write(dir.join(format!("{name}.json")), json) {
+                    eprintln!("cannot write {name}.json: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(csv) = sim::experiments::csv(name) {
+                if let Err(e) = fs::write(dir.join(format!("{name}.csv")), csv) {
+                    eprintln!("cannot write {name}.csv: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            for (file, svg) in sim::experiments::svgs(name) {
+                if let Err(e) = fs::write(dir.join(&file), svg) {
+                    eprintln!("cannot write {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

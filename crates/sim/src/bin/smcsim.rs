@@ -1,0 +1,25 @@
+//! `smcsim` — run one streaming computation on a configurable Direct RDRAM
+//! memory system and report effective bandwidth.
+//!
+//! See `smcsim --help` for the options.
+
+use std::env;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", sim::cli::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    match sim::cli::parse(&args) {
+        Ok(job) => {
+            print!("{}", sim::cli::execute(&job));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("smcsim: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

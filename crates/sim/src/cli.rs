@@ -1,0 +1,298 @@
+//! Argument parsing and execution for the `smcsim` command-line tool.
+//!
+//! ```text
+//! smcsim --kernel daxpy --n 1024 --memory cli --order smc --fifo 64
+//! smcsim --kernel vaxpy --stride 4 --memory pi --order natural --json
+//! ```
+
+use kernels::Kernel;
+
+use crate::{run_kernel, AccessOrder, Alignment, MemorySystem, RunResult, SystemConfig};
+
+/// A fully parsed simulation job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Kernel to run.
+    pub kernel: Kernel,
+    /// Elements per stream.
+    pub n: u64,
+    /// Stride in 64-bit words.
+    pub stride: u64,
+    /// System configuration.
+    pub config: SystemConfig,
+    /// Emit JSON instead of a text summary.
+    pub json: bool,
+    /// Print the analytic bound derivation alongside the measurement.
+    pub explain: bool,
+}
+
+impl Default for Job {
+    fn default() -> Self {
+        Job {
+            kernel: Kernel::Daxpy,
+            n: 1024,
+            stride: 1,
+            config: SystemConfig::smc(MemorySystem::CacheLineInterleaved, 64),
+            json: false,
+            explain: false,
+        }
+    }
+}
+
+/// Usage text for `--help`.
+pub const USAGE: &str = "\
+usage: smcsim [OPTIONS]
+  --kernel NAME     copy|daxpy|hydro|vaxpy|fill|scale|triad|swap  [daxpy]
+  --n N             elements per stream                           [1024]
+  --stride S        stride in 64-bit words                        [1]
+  --memory ORG      cli|pi                                        [cli]
+  --order KIND      smc|natural                                   [smc]
+  --fifo DEPTH      SMC FIFO depth in elements                    [64]
+  --policy P        rr|bank-aware                                 [rr]
+  --devices D       RDRAM devices on the channel                  [1]
+  --cpu-cycles C    CPU cycles per stream access                  [2]
+  --aligned         place all vectors in the same bank
+  --spec            speculative page activation
+  --refresh         honour DRAM refresh
+  --write-allocate  charge write-allocate fetches + writebacks (natural order)
+  --cache           model a real 16 KB 4-way cache with conflicts (natural order)
+  --json            JSON output
+  --explain         print the analytic bound derivation (Eqs. 5.15-5.18)
+  --help";
+
+/// Parse command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing values, or
+/// invalid parameter combinations.
+pub fn parse(args: &[String]) -> Result<Job, String> {
+    let mut job = Job::default();
+    let mut fifo = 64usize;
+    let mut order = "smc".to_string();
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--kernel" => {
+                let v = value(args, &mut i, "--kernel")?;
+                job.kernel = Kernel::ALL
+                    .into_iter()
+                    .find(|k| k.name() == v)
+                    .ok_or_else(|| format!("unknown kernel {v:?}"))?;
+            }
+            "--n" => {
+                job.n = value(args, &mut i, "--n")?
+                    .parse()
+                    .map_err(|e| format!("--n: {e}"))?;
+            }
+            "--stride" => {
+                job.stride = value(args, &mut i, "--stride")?
+                    .parse()
+                    .map_err(|e| format!("--stride: {e}"))?;
+            }
+            "--memory" => {
+                job.config.memory = match value(args, &mut i, "--memory")?.as_str() {
+                    "cli" => MemorySystem::CacheLineInterleaved,
+                    "pi" => MemorySystem::PageInterleaved,
+                    other => return Err(format!("--memory must be cli or pi, got {other:?}")),
+                };
+            }
+            "--order" => order = value(args, &mut i, "--order")?,
+            "--fifo" => {
+                fifo = value(args, &mut i, "--fifo")?
+                    .parse()
+                    .map_err(|e| format!("--fifo: {e}"))?;
+            }
+            "--policy" => {
+                job.config.policy = match value(args, &mut i, "--policy")?.as_str() {
+                    "rr" | "round-robin" => smc::Policy::RoundRobin,
+                    "bank-aware" | "ba" => smc::Policy::BankAware,
+                    other => return Err(format!("unknown policy {other:?}")),
+                };
+            }
+            "--devices" => {
+                job.config.device.devices = value(args, &mut i, "--devices")?
+                    .parse()
+                    .map_err(|e| format!("--devices: {e}"))?;
+            }
+            "--cpu-cycles" => {
+                job.config.cpu_access_cycles = value(args, &mut i, "--cpu-cycles")?
+                    .parse()
+                    .map_err(|e| format!("--cpu-cycles: {e}"))?;
+            }
+            "--aligned" => job.config.alignment = Alignment::Aligned,
+            "--spec" => job.config.speculative = true,
+            "--refresh" => job.config.refresh = true,
+            "--write-allocate" => job.config.write_allocate = true,
+            "--cache" => {
+                job.config.cache = Some(baseline::cache::CacheConfig::i860xp());
+            }
+            "--json" => job.json = true,
+            "--explain" => job.explain = true,
+            other => return Err(format!("unknown option {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    job.config.ordering = match order.as_str() {
+        "smc" => AccessOrder::Smc { fifo_depth: fifo },
+        "natural" => AccessOrder::NaturalOrder,
+        other => return Err(format!("--order must be smc or natural, got {other:?}")),
+    };
+    if job.n == 0 || job.stride == 0 {
+        return Err("--n and --stride must be positive".into());
+    }
+    Ok(job)
+}
+
+/// Run the job and format its result.
+pub fn execute(job: &Job) -> String {
+    let result = run_kernel(job.kernel, job.n, job.stride, &job.config);
+    if job.json {
+        return serde_json::to_string_pretty(&result).expect("result serializes");
+    }
+    let mut out = String::new();
+    if job.explain {
+        let sys = job.config.stream_system();
+        let org = job.config.memory.organization();
+        out.push_str(&format!(
+            "{}\n\n",
+            analytic::explain::explain_cache(
+                &sys,
+                org,
+                job.kernel.total_streams(),
+                job.n,
+                job.stride
+            )
+        ));
+        if let AccessOrder::Smc { fifo_depth } = job.config.ordering {
+            let w = analytic::smc::Workload {
+                reads: job.kernel.reads(),
+                writes: job.kernel.writes(),
+                length: job.n,
+                stride: job.stride,
+            };
+            out.push_str(&format!(
+                "{}\n\n",
+                analytic::explain::explain_smc(&sys, org, &w, fifo_depth as u64)
+            ));
+        }
+    }
+    out.push_str(&summarize(&result));
+    out
+}
+
+fn summarize(r: &RunResult) -> String {
+    let mut out = format!(
+        "{} x {} elements (stride {}): {} cycles, {:.1}% of peak ({:.2} GB/s effective)\n",
+        r.kernel,
+        r.n,
+        r.stride,
+        r.cycles,
+        r.percent_peak(),
+        1.6 * r.percent_peak() / 100.0,
+    );
+    if r.stride > 1 {
+        out.push_str(&format!(
+            "  {:.1}% of attainable (50% cap for non-unit strides)\n",
+            r.percent_attainable()
+        ));
+    }
+    let d = &r.device_stats;
+    out.push_str(&format!(
+        "  device: {} activates, {} reads, {} writes, {} turnarounds, page-hit rate {}\n",
+        d.activates,
+        d.read_packets,
+        d.write_packets,
+        d.turnarounds,
+        d.page_hit_rate()
+            .map_or("n/a".into(), |h| format!("{:.1}%", 100.0 * h)),
+    ));
+    if let Some(m) = &r.msu_stats {
+        out.push_str(&format!(
+            "  msu: {} fifo switches, {} idle cycles, {} speculative row commands\n",
+            m.fifo_switches, m.idle_cycles, m.speculative_activates
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let job = parse(&[]).unwrap();
+        assert_eq!(job.kernel, Kernel::Daxpy);
+        assert_eq!(job.n, 1024);
+        assert_eq!(job.config.ordering, AccessOrder::Smc { fifo_depth: 64 });
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let job = parse(&args(
+            "--kernel vaxpy --n 256 --stride 4 --memory pi --order smc --fifo 32 \
+             --policy bank-aware --devices 2 --cpu-cycles 1 --aligned --spec \
+             --refresh --write-allocate --json",
+        ))
+        .unwrap();
+        assert_eq!(job.kernel, Kernel::Vaxpy);
+        assert_eq!(job.n, 256);
+        assert_eq!(job.stride, 4);
+        assert_eq!(job.config.memory, MemorySystem::PageInterleaved);
+        assert_eq!(job.config.ordering, AccessOrder::Smc { fifo_depth: 32 });
+        assert_eq!(job.config.policy, smc::Policy::BankAware);
+        assert_eq!(job.config.device.devices, 2);
+        assert_eq!(job.config.cpu_access_cycles, 1);
+        assert_eq!(job.config.alignment, Alignment::Aligned);
+        assert!(job.config.speculative && job.config.refresh && job.json);
+        assert!(job.config.write_allocate);
+    }
+
+    #[test]
+    fn natural_order_parses() {
+        let job = parse(&args("--order natural --memory cli")).unwrap();
+        assert_eq!(job.config.ordering, AccessOrder::NaturalOrder);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&args("--kernel bogus"))
+            .unwrap_err()
+            .contains("unknown kernel"));
+        assert!(parse(&args("--frobnicate"))
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse(&args("--n")).unwrap_err().contains("needs a value"));
+        assert!(parse(&args("--n 0")).unwrap_err().contains("positive"));
+        assert!(parse(&args("--memory tape"))
+            .unwrap_err()
+            .contains("cli or pi"));
+        assert!(parse(&args("--order chaos"))
+            .unwrap_err()
+            .contains("smc or natural"));
+    }
+
+    #[test]
+    fn execute_produces_a_summary_and_json() {
+        let mut job = parse(&args("--kernel copy --n 64 --fifo 16")).unwrap();
+        let text = execute(&job);
+        assert!(text.contains("% of peak"), "{text}");
+        assert!(text.contains("fifo switches"));
+        job.json = true;
+        let json = execute(&job);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["kernel"], "Copy");
+        assert_eq!(v["n"], 64);
+    }
+}

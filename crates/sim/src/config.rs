@@ -1,0 +1,227 @@
+//! System-level configuration: memory organization, access ordering, and
+//! vector placement.
+
+use serde::{Deserialize, Serialize};
+
+use analytic::Organization;
+use baseline::LinePolicy;
+use rdram::{DeviceConfig, Interleave};
+use smc::{PagePolicy, Policy};
+
+/// Default cacheline size: 32 bytes = 4 elements, as in the paper.
+pub const DEFAULT_LINE_BYTES: u64 = 32;
+
+/// The two memory organizations of the paper's Section 4, coupling an
+/// interleaving scheme with its natural page policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemorySystem {
+    /// Cacheline interleaving + closed-page policy ("CLI").
+    CacheLineInterleaved,
+    /// Page interleaving + open-page policy ("PI").
+    PageInterleaved,
+}
+
+impl MemorySystem {
+    /// The address interleaving for this organization.
+    pub fn interleave(self, line_bytes: u64) -> Interleave {
+        match self {
+            MemorySystem::CacheLineInterleaved => Interleave::Cacheline { line_bytes },
+            MemorySystem::PageInterleaved => Interleave::Page,
+        }
+    }
+
+    /// Page policy for the natural-order (cacheline) controller.
+    pub fn line_policy(self) -> LinePolicy {
+        match self {
+            MemorySystem::CacheLineInterleaved => LinePolicy::ClosedPage,
+            MemorySystem::PageInterleaved => LinePolicy::OpenPage,
+        }
+    }
+
+    /// Page policy for the SMC's MSU.
+    pub fn page_policy(self) -> PagePolicy {
+        match self {
+            MemorySystem::CacheLineInterleaved => PagePolicy::ClosedPage,
+            MemorySystem::PageInterleaved => PagePolicy::OpenPage,
+        }
+    }
+
+    /// The corresponding analytic-model organization.
+    pub fn organization(self) -> Organization {
+        match self {
+            MemorySystem::CacheLineInterleaved => Organization::CacheLineInterleaved,
+            MemorySystem::PageInterleaved => Organization::PageInterleaved,
+        }
+    }
+
+    /// "CLI" / "PI".
+    pub fn label(self) -> &'static str {
+        self.organization().label()
+    }
+}
+
+/// How stream accesses reach the DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessOrder {
+    /// Conventional controller: cacheline fills in the computation's
+    /// natural order.
+    NaturalOrder,
+    /// Stream Memory Controller with per-stream FIFOs of the given depth
+    /// (in elements).
+    Smc {
+        /// FIFO depth in 64-bit elements.
+        fifo_depth: usize,
+    },
+}
+
+/// Vector base-address placement (Section 4.2): the two extremes the paper
+/// simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Alignment {
+    /// All vector bases map to the same bank: maximal bank conflicts when
+    /// the MSU switches FIFOs.
+    Aligned,
+    /// Bases staggered so successive vectors start in different banks.
+    Staggered,
+}
+
+/// A complete simulated system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Memory organization (interleaving + page policy).
+    pub memory: MemorySystem,
+    /// Access-ordering scheme.
+    pub ordering: AccessOrder,
+    /// Vector placement.
+    pub alignment: Alignment,
+    /// MSU scheduling policy (SMC runs only).
+    pub policy: Policy,
+    /// Speculatively activate upcoming pages (SMC runs only).
+    pub speculative: bool,
+    /// Cacheline size in bytes.
+    pub line_bytes: u64,
+    /// RDRAM device configuration.
+    pub device: DeviceConfig,
+    /// Cycles between successive CPU stream accesses. The paper's
+    /// matched-bandwidth assumption is 2 (one 64-bit element per two
+    /// interface-clock cycles = the memory's peak supply rate); 1 models a
+    /// CPU twice as fast as the memory.
+    pub cpu_access_cycles: u64,
+    /// Honour DRAM refresh obligations during SMC runs (the paper ignores
+    /// refresh; enabling it measures the ~1% cost of that assumption).
+    pub refresh: bool,
+    /// Charge write-allocate fetches and dirty-line writebacks in
+    /// natural-order runs (the paper's bounds ignore writebacks; this
+    /// measures them).
+    pub write_allocate: bool,
+    /// Route natural-order runs through a real set-associative cache (with
+    /// conflict misses and dirty evictions) instead of the paper's
+    /// idealized per-stream line buffers.
+    pub cache: Option<baseline::cache::CacheConfig>,
+    /// Record a packet trace (needed for the timing-diagram figures).
+    pub trace: bool,
+    /// Verify the memory image against the kernel's scalar reference after
+    /// the run (always possible because simulations move real data).
+    pub verify: bool,
+}
+
+impl SystemConfig {
+    /// An SMC system with the paper's round-robin MSU and staggered vectors.
+    pub fn smc(memory: MemorySystem, fifo_depth: usize) -> Self {
+        SystemConfig {
+            memory,
+            ordering: AccessOrder::Smc { fifo_depth },
+            ..Self::natural_order(memory)
+        }
+    }
+
+    /// A conventional natural-order system with staggered vectors.
+    pub fn natural_order(memory: MemorySystem) -> Self {
+        SystemConfig {
+            memory,
+            ordering: AccessOrder::NaturalOrder,
+            alignment: Alignment::Staggered,
+            policy: Policy::RoundRobin,
+            speculative: false,
+            line_bytes: DEFAULT_LINE_BYTES,
+            device: DeviceConfig::default(),
+            cpu_access_cycles: crate::CYCLES_PER_ACCESS,
+            refresh: false,
+            write_allocate: false,
+            cache: None,
+            trace: false,
+            verify: true,
+        }
+    }
+
+    /// Replace the vector alignment.
+    pub fn with_alignment(mut self, alignment: Alignment) -> Self {
+        self.alignment = alignment;
+        self
+    }
+
+    /// Replace the MSU scheduling policy.
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enable speculative next-page activation in the MSU.
+    pub fn with_speculation(mut self) -> Self {
+        self.speculative = true;
+        self
+    }
+
+    /// Enable packet tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// The analytic stream-system parameters matching this configuration.
+    pub fn stream_system(&self) -> analytic::cache::StreamSystem {
+        analytic::cache::StreamSystem {
+            timing: self.device.timing,
+            line_words: self.line_bytes / rdram::ELEM_BYTES,
+            page_words: self.device.words_per_page(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn organizations_couple_policies() {
+        let cli = MemorySystem::CacheLineInterleaved;
+        assert_eq!(cli.line_policy(), LinePolicy::ClosedPage);
+        assert_eq!(cli.page_policy(), PagePolicy::ClosedPage);
+        assert_eq!(cli.label(), "CLI");
+        let pi = MemorySystem::PageInterleaved;
+        assert_eq!(pi.line_policy(), LinePolicy::OpenPage);
+        assert_eq!(pi.page_policy(), PagePolicy::OpenPage);
+        assert_eq!(pi.interleave(32), Interleave::Page);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = SystemConfig::smc(MemorySystem::PageInterleaved, 32)
+            .with_alignment(Alignment::Aligned)
+            .with_policy(Policy::BankAware)
+            .with_speculation()
+            .with_trace();
+        assert_eq!(cfg.ordering, AccessOrder::Smc { fifo_depth: 32 });
+        assert_eq!(cfg.alignment, Alignment::Aligned);
+        assert_eq!(cfg.policy, Policy::BankAware);
+        assert!(cfg.speculative && cfg.trace && cfg.verify);
+    }
+
+    #[test]
+    fn stream_system_mirrors_geometry() {
+        let sys = SystemConfig::natural_order(MemorySystem::CacheLineInterleaved).stream_system();
+        assert_eq!(sys.line_words, 4);
+        assert_eq!(sys.page_words, 128);
+        sys.validate().unwrap();
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 1: typical DRAM timing parameters across device families.
+
+use rdram::legacy::FIGURE_1;
+
+use crate::report::Table;
+
+/// Render the Figure 1 parameter table.
+pub fn render() -> String {
+    let mut t = Table::new(vec![
+        "parameter".into(),
+        "Fast-Page Mode".into(),
+        "EDO".into(),
+        "Burst-EDO".into(),
+        "SDRAM".into(),
+        "Direct RDRAM".into(),
+    ]);
+    let row = |name: &str, f: &dyn Fn(usize) -> String, t: &mut Table| {
+        let mut cells = vec![name.to_string()];
+        cells.extend((0..FIGURE_1.len()).map(f));
+        t.row(cells);
+    };
+    row(
+        "tRAC (ns)",
+        &|i| format!("{}", FIGURE_1[i].t_rac_ns),
+        &mut t,
+    );
+    row(
+        "tCAC (ns)",
+        &|i| format!("{}", FIGURE_1[i].t_cac_ns),
+        &mut t,
+    );
+    row("tRC (ns)", &|i| format!("{}", FIGURE_1[i].t_rc_ns), &mut t);
+    row("tPC (ns)", &|i| format!("{}", FIGURE_1[i].t_pc_ns), &mut t);
+    row(
+        "max freq (MHz)",
+        &|i| format!("{}", FIGURE_1[i].max_freq_mhz),
+        &mut t,
+    );
+    format!("Figure 1: typical DRAM timing parameters\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_families() {
+        let s = super::render();
+        for name in [
+            "Fast-Page Mode",
+            "EDO",
+            "Burst-EDO",
+            "SDRAM",
+            "Direct RDRAM",
+        ] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        assert!(s.contains("400"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 2: Direct RDRAM timing parameter definitions (-800/-50 part).
+
+use rdram::Timing;
+
+use crate::report::Table;
+
+/// Render the Figure 2 parameter table.
+pub fn render() -> String {
+    let t = Timing::default();
+    let rows: [(&str, u64, &str); 11] = [
+        ("tCYCLE", 1, "interface clock cycle (400 MHz)"),
+        ("tPACK", t.t_pack, "packet transfer time"),
+        ("tRCD", t.t_rcd, "min interval between ROW & COL packets"),
+        ("tRP", t.t_rp, "page precharge time"),
+        ("tCPOL", t.t_cpol, "max overlap of last COL & row PRER"),
+        ("tCAC", t.t_cac, "page-hit latency"),
+        ("tRAC", t.t_rac, "page-miss latency (tRCD + tCAC + 1)"),
+        ("tRC", t.t_rc, "page-miss cycle time (same bank)"),
+        ("tRR", t.t_rr, "row/row packet delay (same device)"),
+        ("tRDLY", t.t_rdly, "roundtrip bus delay (reads only)"),
+        ("tRW", t.t_rw, "read/write bus turnaround (tPACK + tRDLY)"),
+    ];
+    let mut table = Table::new(vec![
+        "parameter".into(),
+        "cycles".into(),
+        "ns".into(),
+        "description".into(),
+    ]);
+    for (name, cycles, desc) in rows {
+        table.row(vec![
+            name.into(),
+            cycles.to_string(),
+            format!("{}", cycles as f64 * rdram::CYCLE_NS),
+            desc.into(),
+        ]);
+    }
+    format!(
+        "Figure 2: Direct RDRAM timing parameters (-800/-50 part)\n\
+         peak bandwidth: {:.1} GB/s\n\n{}",
+        t.peak_gbytes_per_sec(),
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_key_parameters() {
+        let s = super::render();
+        assert!(s.contains("tRAC"));
+        assert!(s.contains("tRW"));
+        assert!(s.contains("1.6 GB/s"));
+        assert!(s.contains("27.5")); // tRCD in ns
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 4: benchmark kernel definitions.
+
+use kernels::Kernel;
+
+use crate::report::Table;
+
+fn definition(k: Kernel) -> &'static str {
+    match k {
+        Kernel::Copy => "forall i: y[i] <- x[i]",
+        Kernel::Daxpy => "forall i: y[i] <- a*x[i] + y[i]",
+        Kernel::Hydro => "forall i: x[i] <- q + y[i]*(r*zx[i+10] + t*zx[i+11])",
+        Kernel::Vaxpy => "forall i: y[i] <- a[i]*x[i] + y[i]",
+        Kernel::Fill => "forall i: y[i] <- a",
+        Kernel::Scale => "forall i: y[i] <- a*x[i]",
+        Kernel::Triad => "forall i: y[i] <- x[i] + a*z[i]",
+        Kernel::Swap => "forall i: x[i] <-> y[i]",
+    }
+}
+
+/// Render the kernel definition table (paper suite plus extensions).
+pub fn render() -> String {
+    let mut t = Table::new(vec![
+        "kernel".into(),
+        "definition".into(),
+        "reads".into(),
+        "writes".into(),
+        "suite".into(),
+    ]);
+    for k in Kernel::ALL {
+        t.row(vec![
+            k.name().into(),
+            definition(k).into(),
+            k.reads().to_string(),
+            k.writes().to_string(),
+            if Kernel::PAPER_SUITE.contains(&k) {
+                "paper"
+            } else {
+                "extension"
+            }
+            .into(),
+        ]);
+    }
+    format!("Figure 4: benchmark kernels\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_paper_suite_and_extensions() {
+        let s = super::render();
+        assert!(s.contains("daxpy"));
+        assert!(s.contains("zx[i+10]"));
+        assert!(s.contains("extension"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Regeneration of every table and figure in the paper's evaluation.
+//!
+//! Each submodule produces a serializable result plus a plain-text
+//! rendering. The `repro` binary (`cargo run -p sim --bin repro --release`)
+//! runs them all and records paper-vs-measured comparisons for
+//! EXPERIMENTS.md.
+
+pub mod extra;
+pub mod fig1;
+pub mod fig2;
+pub mod fig4;
+pub mod fig56;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod headline;
+
+/// Names of all experiments, in paper order (`extra` is this reproduction's
+/// extension study; `headline` is appended by the `repro` binary).
+pub const ALL: [&str; 9] = [
+    "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "extra",
+];
+
+/// Render one experiment by name (`"headline"` for the Section 6 numbers).
+///
+/// # Panics
+///
+/// Panics on an unknown experiment name.
+pub fn render(name: &str) -> String {
+    match name {
+        "fig1" => fig1::render(),
+        "fig2" => fig2::render(),
+        "fig4" => fig4::render(),
+        "fig5" => fig56::render_fig5(),
+        "fig6" => fig56::render_fig6(),
+        "fig7" => fig7::run().render(),
+        "fig8" => fig8::run().render(),
+        "fig9" => fig9::run().render(),
+        "extra" => extra::run().render(),
+        "headline" => headline::run().render(),
+        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, headline"),
+    }
+}
+
+/// The experiment's data as pretty-printed JSON, for the experiments that
+/// produce structured series (fig7, fig8, fig9, headline). `None` for the
+/// purely textual ones.
+///
+/// # Panics
+///
+/// Panics on an unknown experiment name.
+pub fn json(name: &str) -> Option<String> {
+    let to = |v: &dyn erased::Ser| serde_json::to_string_pretty(v).expect("serializable");
+    match name {
+        "fig7" => Some(to(&fig7::run())),
+        "fig8" => Some(to(&fig8::run())),
+        "fig9" => Some(to(&fig9::run())),
+        "extra" => Some(to(&extra::run())),
+        "headline" => Some(to(&headline::run())),
+        "fig1" | "fig2" | "fig4" | "fig5" | "fig6" => None,
+        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, headline"),
+    }
+}
+
+/// The experiment's data as CSV, for the figures with plottable series.
+/// `None` otherwise.
+///
+/// # Panics
+///
+/// Panics on an unknown experiment name.
+pub fn csv(name: &str) -> Option<String> {
+    match name {
+        "fig7" => Some(fig7::run().to_csv()),
+        "fig8" => Some(fig8::run().to_csv()),
+        "fig9" => Some(fig9::run().to_csv()),
+        "fig1" | "fig2" | "fig4" | "fig5" | "fig6" | "extra" | "headline" => None,
+        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, headline"),
+    }
+}
+
+/// SVG renderings of the experiment's figure(s): `(file name, document)`
+/// pairs. Empty for the experiments without plottable series.
+///
+/// # Panics
+///
+/// Panics on an unknown experiment name.
+pub fn svgs(name: &str) -> Vec<(String, String)> {
+    match name {
+        "fig7" => fig7::run().to_svgs(),
+        "fig8" => vec![("fig8.svg".into(), fig8::run().to_svg())],
+        "fig9" => vec![("fig9.svg".into(), fig9::run().to_svg())],
+        "fig1" | "fig2" | "fig4" | "fig5" | "fig6" | "extra" | "headline" => Vec::new(),
+        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, headline"),
+    }
+}
+
+/// Minimal object-safe serialization shim so [`json`] can dispatch over the
+/// differently-typed experiment results.
+mod erased {
+    /// Object-safe facade over `serde::Serialize`.
+    pub trait Ser {
+        /// Serialize into a `serde_json` value.
+        fn to_value(&self) -> serde_json::Value;
+    }
+    impl<T: serde::Serialize> Ser for T {
+        fn to_value(&self) -> serde_json::Value {
+            serde_json::to_value(self).expect("serializable")
+        }
+    }
+    impl serde::Serialize for dyn Ser + '_ {
+        fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            self.to_value().serialize(s)
+        }
+    }
+}

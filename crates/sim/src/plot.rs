@@ -1,0 +1,299 @@
+//! Minimal dependency-free SVG line charts for the figure data.
+//!
+//! `repro --out DIR` uses this to emit `.svg` files alongside the text,
+//! JSON, and CSV forms of Figures 7–9, so the reproduction produces
+//! plottable figures without any external tooling.
+
+/// One named line of (x, y) samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Samples in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// A simple multi-series line chart.
+///
+/// ```
+/// use sim::plot::{LineChart, Series};
+///
+/// let chart = LineChart::new("demo", "x", "y")
+///     .with_series(Series::new("a", vec![(0.0, 1.0), (1.0, 3.0)]));
+/// let svg = chart.render_svg();
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("polyline"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    y_range: Option<(f64, f64)>,
+}
+
+/// Colour-blind-safe palette cycled across series.
+const PALETTE: [&str; 6] = [
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9",
+];
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 56.0;
+
+impl LineChart {
+    /// Create an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            y_range: None,
+        }
+    }
+
+    /// Append a series (builder style).
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Fix the y-axis range instead of auto-scaling (e.g. `0..100` for
+    /// percent-of-peak plots).
+    pub fn with_y_range(mut self, lo: f64, hi: f64) -> Self {
+        assert!(hi > lo, "y range must be non-empty");
+        self.y_range = Some((lo, hi));
+        self
+    }
+
+    fn data_bounds(&self) -> ((f64, f64), (f64, f64)) {
+        let mut xs = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut ys = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xs = (xs.0.min(x), xs.1.max(x));
+                ys = (ys.0.min(y), ys.1.max(y));
+            }
+        }
+        if !xs.0.is_finite() {
+            xs = (0.0, 1.0);
+            ys = (0.0, 1.0);
+        }
+        if xs.0 == xs.1 {
+            xs.1 = xs.0 + 1.0;
+        }
+        if let Some(r) = self.y_range {
+            ys = r;
+        } else if ys.0 == ys.1 {
+            ys = (ys.0 - 1.0, ys.1 + 1.0);
+        }
+        (xs, ys)
+    }
+
+    /// Render to an SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is non-finite.
+    pub fn render_svg(&self) -> String {
+        let ((x0, x1), (y0, y1)) = self.data_bounds();
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * plot_w;
+        let sy = |y: f64| MARGIN_T + (1.0 - (y - y0) / (y1 - y0)) * plot_h;
+
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        ));
+        svg.push('\n');
+        svg.push_str(&format!(
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        ));
+        svg.push('\n');
+        // Title and axis labels.
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="22" font-size="15" text-anchor="middle">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 14.0,
+            escape(&self.x_label)
+        ));
+        svg.push_str(&format!(
+            r#"<text x="16" y="{:.1}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        ));
+        svg.push('\n');
+        // Axes and ticks (5 divisions each).
+        svg.push_str(&format!(
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#444"/>"##
+        ));
+        for k in 0..=5 {
+            let fx = x0 + (x1 - x0) * k as f64 / 5.0;
+            let fy = y0 + (y1 - y0) * k as f64 / 5.0;
+            let px = sx(fx);
+            let py = sy(fy);
+            svg.push_str(&format!(
+                r##"<line x1="{px:.1}" y1="{:.1}" x2="{px:.1}" y2="{:.1}" stroke="#444"/>"##,
+                MARGIN_T + plot_h,
+                MARGIN_T + plot_h + 5.0
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{px:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>"#,
+                MARGIN_T + plot_h + 18.0,
+                tick(fx)
+            ));
+            svg.push_str(&format!(
+                r##"<line x1="{:.1}" y1="{py:.1}" x2="{MARGIN_L}" y2="{py:.1}" stroke="#444"/>"##,
+                MARGIN_L - 5.0
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+                MARGIN_L - 9.0,
+                py + 4.0,
+                tick(fy)
+            ));
+        }
+        svg.push('\n');
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let colour = PALETTE[i % PALETTE.len()];
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| {
+                    assert!(
+                        x.is_finite() && y.is_finite(),
+                        "non-finite sample in series {:?}",
+                        s.name
+                    );
+                    format!("{:.1},{:.1}", sx(x), sy(y))
+                })
+                .collect();
+            svg.push_str(&format!(
+                r#"<polyline points="{}" fill="none" stroke="{colour}" stroke-width="2"/>"#,
+                pts.join(" ")
+            ));
+            // Legend entry.
+            let ly = MARGIN_T + 8.0 + i as f64 * 16.0;
+            svg.push_str(&format!(
+                r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{colour}" stroke-width="3"/>"#,
+                MARGIN_L + plot_w - 150.0,
+                MARGIN_L + plot_w - 128.0
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-size="11">{}</text>"#,
+                MARGIN_L + plot_w - 122.0,
+                ly + 4.0,
+                escape(&s.name)
+            ));
+            svg.push('\n');
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn tick(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart::new("t", "x", "y")
+            .with_series(Series::new(
+                "a",
+                vec![(0.0, 0.0), (10.0, 50.0), (20.0, 100.0)],
+            ))
+            .with_series(Series::new("b", vec![(0.0, 100.0), (20.0, 0.0)]))
+            .with_y_range(0.0, 100.0)
+    }
+
+    #[test]
+    fn renders_all_series_and_labels() {
+        let svg = chart().render_svg();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+        assert!(svg.contains(">t</text>"));
+        // Balanced document.
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn scales_points_into_the_plot_area() {
+        let svg = chart().render_svg();
+        // y=100 maps to the top margin, y=0 to the bottom of the plot box.
+        assert!(svg.contains(&format!("{:.1},{:.1}", 64.0, 40.0)));
+        assert!(svg.contains(&format!("{:.1},{:.1}", 64.0, 420.0 - 56.0)));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let svg = LineChart::new("a<b&c", "x", "y")
+            .with_series(Series::new("s", vec![(0.0, 1.0)]))
+            .render_svg();
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn empty_chart_still_renders() {
+        let svg = LineChart::new("empty", "x", "y").render_svg();
+        assert!(svg.contains("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_samples_rejected() {
+        let _ = LineChart::new("bad", "x", "y")
+            .with_series(Series::new("s", vec![(0.0, f64::NAN)]))
+            .render_svg();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_y_range_rejected() {
+        let _ = LineChart::new("bad", "x", "y").with_y_range(10.0, 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Plain-text table and CSV rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// ```
+/// use sim::report::Table;
+///
+/// let mut t = Table::new(vec!["stride".into(), "CLI".into(), "PI".into()]);
+/// t.row(vec!["1".into(), "33.3".into(), "63.0".into()]);
+/// let text = t.render();
+/// assert!(text.contains("stride"));
+/// assert!(text.contains("63.0"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as aligned plain text with a separator under the header.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting; cells must not contain commas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell contains a comma or newline.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for row in std::iter::once(&self.headers).chain(&self.rows) {
+            for cell in row {
+                assert!(
+                    !cell.contains(',') && !cell.contains('\n'),
+                    "CSV cells must not contain separators: {cell:?}"
+                );
+            }
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a ratio (e.g. a speedup) with two decimals and a trailing `x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new(vec!["a".into(), "bb".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned_columns() {
+        let s = table().render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "  a  bb");
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2], "  1   2");
+        assert_eq!(lines[3], "333   4");
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let csv = table().to_csv();
+        assert_eq!(csv, "a,bb\n1,2\n333,4\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(76.114), "76.1");
+        assert_eq!(ratio(2.249), "2.25x");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        table().row(vec!["only one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "separators")]
+    fn csv_rejects_commas() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["x,y".into()]);
+        let _ = t.to_csv();
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(table().len(), 2);
+        assert!(!table().is_empty());
+        assert!(Table::new(vec!["h".into()]).is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Experimental FIFO-depth selection.
+//!
+//! For the fast-page-mode SMC the authors derived a compiler algorithm that
+//! computes the right FIFO depth analytically; for Direct RDRAM the paper
+//! concludes that "the best FIFO depth must be chosen experimentally, since
+//! the SMC performance limits developed in Section 5.2 do not help in
+//! calculating appropriate FIFO depths for a computation a priori." This
+//! module is that experiment: sweep candidate depths through the simulator
+//! and pick the winner.
+
+use kernels::Kernel;
+use serde::Serialize;
+
+use crate::{run_kernel, AccessOrder, MemorySystem, SystemConfig};
+
+/// Result of a FIFO-depth sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct DepthRecommendation {
+    /// The best depth found (elements).
+    pub depth: usize,
+    /// Effective bandwidth at that depth, percent of peak.
+    pub percent_peak: f64,
+    /// The full sweep, in candidate order.
+    pub sweep: Vec<(usize, f64)>,
+}
+
+/// The depths the paper sweeps, a reasonable default candidate set.
+pub const DEFAULT_DEPTHS: [usize; 5] = [8, 16, 32, 64, 128];
+
+/// Simulate `kernel` at every candidate depth and recommend the best.
+///
+/// Uses staggered vector placement (the favourable layout); ties go to the
+/// *shallower* depth, since FIFO storage is the SMC's main hardware cost.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or any candidate is smaller than one
+/// DATA packet (2 elements).
+pub fn recommend_fifo_depth(
+    kernel: Kernel,
+    n: u64,
+    stride: u64,
+    memory: MemorySystem,
+    candidates: &[usize],
+) -> DepthRecommendation {
+    assert!(!candidates.is_empty(), "need at least one candidate depth");
+    let mut sweep = Vec::with_capacity(candidates.len());
+    for &depth in candidates {
+        let cfg = SystemConfig {
+            ordering: AccessOrder::Smc { fifo_depth: depth },
+            ..SystemConfig::natural_order(memory)
+        };
+        let pct = run_kernel(kernel, n, stride, &cfg).percent_peak();
+        sweep.push((depth, pct));
+    }
+    let (depth, percent_peak) = sweep
+        .iter()
+        .copied()
+        // Strictly-greater comparison keeps the shallowest depth on ties.
+        .fold((candidates[0], f64::MIN), |best, cur| {
+            if cur.1 > best.1 {
+                cur
+            } else {
+                best
+            }
+        });
+    DepthRecommendation {
+        depth,
+        percent_peak,
+        sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_vectors_prefer_deep_fifos() {
+        let r = recommend_fifo_depth(
+            Kernel::Daxpy,
+            1024,
+            1,
+            MemorySystem::CacheLineInterleaved,
+            &DEFAULT_DEPTHS,
+        );
+        assert!(r.depth >= 32, "recommended {} for long vectors", r.depth);
+        assert!(r.percent_peak > 90.0);
+        assert_eq!(r.sweep.len(), 5);
+    }
+
+    #[test]
+    fn short_multi_read_vectors_avoid_the_deepest_fifo() {
+        // vaxpy on 128-element vectors: the startup delay of filling two
+        // 128-deep read FIFOs before the last read-stream delivers makes
+        // the deepest FIFO suboptimal.
+        let r = recommend_fifo_depth(
+            Kernel::Vaxpy,
+            128,
+            1,
+            MemorySystem::CacheLineInterleaved,
+            &DEFAULT_DEPTHS,
+        );
+        assert!(r.depth < 128, "recommended {} for short vectors", r.depth);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate")]
+    fn empty_candidates_rejected() {
+        let _ = recommend_fifo_depth(Kernel::Copy, 64, 1, MemorySystem::PageInterleaved, &[]);
+    }
+}

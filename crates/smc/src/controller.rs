@@ -1,0 +1,239 @@
+//! The Stream Memory Controller facade: SBU + MSU behind one interface.
+
+use rdram::{AddressMap, Cycle, MemoryImage, Rdram};
+
+use crate::{Msu, MsuConfig, MsuStats, Sbu, StreamDescriptor};
+
+/// A complete Stream Memory Controller.
+///
+/// The processor side ([`cpu_read`](SmcController::cpu_read) /
+/// [`cpu_write`](SmcController::cpu_write)) dereferences FIFO heads in the
+/// computation's natural order; the memory side
+/// ([`tick`](SmcController::tick)) reorders the actual DRAM traffic.
+///
+/// See the [crate documentation](crate) for a complete example.
+#[derive(Debug)]
+pub struct SmcController {
+    sbu: Sbu,
+    msu: Msu,
+}
+
+impl SmcController {
+    /// Program the controller with a computation's streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty or the FIFO depth in `cfg` is smaller
+    /// than one DATA packet (2 elements).
+    pub fn new(streams: Vec<StreamDescriptor>, map: AddressMap, cfg: MsuConfig) -> Self {
+        SmcController {
+            sbu: Sbu::new(streams, cfg.fifo_depth),
+            msu: Msu::new(map, cfg),
+        }
+    }
+
+    /// Honour DRAM refresh obligations (see
+    /// [`Msu::set_refresh`](crate::Msu::set_refresh)).
+    pub fn with_refresh(mut self, timer: rdram::refresh::RefreshTimer) -> Self {
+        self.msu.set_refresh(timer);
+        self
+    }
+
+    /// Refreshes performed so far (zero when refresh is disabled).
+    pub fn refreshes_issued(&self) -> u64 {
+        self.msu.refreshes_issued()
+    }
+
+    /// Processor side: dereference the head of read-stream FIFO `fifo`.
+    /// Returns `None` when the element has not arrived (processor stalls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fifo` is a write-stream or already fully consumed.
+    pub fn cpu_read(&mut self, fifo: usize, now: Cycle) -> Option<u64> {
+        self.sbu.fifo_mut(fifo).cpu_pop(now)
+    }
+
+    /// Processor side: append `value` to write-stream FIFO `fifo`. Returns
+    /// `false` when the FIFO is full (processor stalls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fifo` is a read-stream or already fully produced.
+    pub fn cpu_write(&mut self, fifo: usize, value: u64, now: Cycle) -> bool {
+        self.sbu.fifo_mut(fifo).cpu_push(value, now)
+    }
+
+    /// Memory side: advance the MSU by one interface-clock cycle.
+    pub fn tick(&mut self, now: Cycle, dev: &mut Rdram, mem: &mut MemoryImage) {
+        self.msu.tick(now, dev, mem, &mut self.sbu);
+    }
+
+    /// Reprogram the controller for a new computation, reusing the MSU and
+    /// its configuration. This models the real hardware's lifecycle: the
+    /// compiler re-transmits stream parameters between inner loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous computation has not completed
+    /// ([`mem_complete`](Self::mem_complete)) — reprogramming an active SBU
+    /// would lose buffered data — or if `streams` is empty.
+    pub fn reprogram(&mut self, streams: Vec<StreamDescriptor>) {
+        assert!(
+            self.mem_complete(),
+            "cannot reprogram while streams are still in flight"
+        );
+        let depth = self.sbu.fifo(0).depth();
+        self.sbu = Sbu::new(streams, depth);
+        self.msu.reset_service_state();
+    }
+
+    /// All streams have fully moved between the FIFOs and memory, with
+    /// nothing left in the MSU's pipeline.
+    pub fn mem_complete(&self) -> bool {
+        self.sbu.all_complete() && self.msu.quiescent()
+    }
+
+    /// The Stream Buffer Unit (FIFO states, stream descriptors).
+    pub fn sbu(&self) -> &Sbu {
+        &self.sbu
+    }
+
+    /// MSU scheduling statistics.
+    pub fn msu_stats(&self) -> &MsuStats {
+        self.msu.stats()
+    }
+
+    /// End cycle of the last DATA packet the MSU has scheduled.
+    pub fn last_data_cycle(&self) -> Cycle {
+        self.msu.stats().last_data_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PagePolicy, Policy};
+    use rdram::{DeviceConfig, Interleave};
+
+    fn setup(kind: Interleave) -> (Rdram, MemoryImage, AddressMap) {
+        let cfg = DeviceConfig::default();
+        let map = AddressMap::new(kind, &cfg).unwrap();
+        (Rdram::new(cfg), MemoryImage::new(), map)
+    }
+
+    #[test]
+    fn copy_through_the_controller_preserves_data() {
+        let (mut dev, mut mem, map) = setup(Interleave::Page);
+        let n = 128u64;
+        for i in 0..n {
+            mem.write_f64(i * 8, (i as f64).sqrt());
+        }
+        let streams = vec![
+            StreamDescriptor::read("x", 0, 1, n),
+            StreamDescriptor::write("y", 32 * 1024, 1, n),
+        ];
+        let mut ctl = SmcController::new(streams, map, MsuConfig::default());
+        let mut i = 0u64;
+        let mut held: Option<u64> = None;
+        let mut now = 0;
+        while !(ctl.mem_complete() && i == n) {
+            ctl.tick(now, &mut dev, &mut mem);
+            if i < n {
+                // A real CPU stalls on a full write FIFO, holding the value.
+                if held.is_none() {
+                    held = ctl.cpu_read(0, now);
+                }
+                if let Some(v) = held {
+                    if ctl.cpu_write(1, v, now) {
+                        held = None;
+                        i += 1;
+                    }
+                }
+            }
+            now += 1;
+            assert!(now < 1_000_000, "copy failed to complete");
+        }
+        for k in 0..n {
+            assert_eq!(
+                mem.read_f64(32 * 1024 + k * 8),
+                (k as f64).sqrt(),
+                "element {k}"
+            );
+        }
+        assert_eq!(ctl.msu_stats().packets_read, n / 2);
+        assert_eq!(ctl.msu_stats().packets_written, n / 2);
+        assert!(ctl.last_data_cycle() > 0);
+    }
+
+    #[test]
+    fn reprogramming_reuses_the_controller() {
+        let (mut dev, mut mem, map) = setup(Interleave::Page);
+        let n = 32u64;
+        for i in 0..n {
+            mem.write_f64(i * 8, i as f64);
+            mem.write_f64(64 * 1024 + i * 8, 2.0 * i as f64);
+        }
+        let mut ctl = SmcController::new(
+            vec![StreamDescriptor::read("a", 0, 1, n)],
+            map,
+            MsuConfig {
+                fifo_depth: 16,
+                ..MsuConfig::default()
+            },
+        );
+        let mut now = 0;
+        let mut popped = 0;
+        while popped < n {
+            ctl.tick(now, &mut dev, &mut mem);
+            if ctl.cpu_read(0, now).is_some() {
+                popped += 1;
+            }
+            now += 1;
+        }
+        assert!(ctl.mem_complete());
+        // Second computation on the same hardware.
+        ctl.reprogram(vec![StreamDescriptor::read("b", 64 * 1024, 1, n)]);
+        assert!(!ctl.mem_complete());
+        let mut got = Vec::new();
+        while got.len() < n as usize {
+            ctl.tick(now, &mut dev, &mut mem);
+            if let Some(v) = ctl.cpu_read(0, now) {
+                got.push(f64::from_bits(v));
+            }
+            now += 1;
+            assert!(now < 100_000);
+        }
+        assert_eq!(got[5], 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "still in flight")]
+    fn reprogramming_mid_flight_is_rejected() {
+        let (mut dev, mut mem, map) = setup(Interleave::Page);
+        let mut ctl = SmcController::new(
+            vec![StreamDescriptor::read("a", 0, 1, 64)],
+            map,
+            MsuConfig::default(),
+        );
+        for now in 0..40 {
+            ctl.tick(now, &mut dev, &mut mem);
+        }
+        ctl.reprogram(vec![StreamDescriptor::read("b", 4096, 1, 8)]);
+    }
+
+    #[test]
+    fn controller_exposes_sbu_and_config() {
+        let (_, _, map) = setup(Interleave::Cacheline { line_bytes: 32 });
+        let cfg = MsuConfig {
+            fifo_depth: 16,
+            policy: Policy::BankAware,
+            page_policy: PagePolicy::ClosedPage,
+            ..MsuConfig::default()
+        };
+        let ctl = SmcController::new(vec![StreamDescriptor::read("x", 0, 1, 8)], map, cfg);
+        assert_eq!(ctl.sbu().len(), 1);
+        assert_eq!(ctl.sbu().fifo(0).depth(), 16);
+        assert!(!ctl.mem_complete());
+    }
+}

@@ -1,0 +1,477 @@
+//! Per-stream FIFO buffers.
+//!
+//! Each stream maps to exactly one FIFO. For read-streams the MSU fills the
+//! FIFO from memory and the processor dereferences the head; for
+//! write-streams the processor pushes results and the MSU drains them to
+//! memory. Entries become visible only when their DATA packet has actually
+//! arrived, so FIFO timing reflects the memory system, not an oracle.
+
+use std::collections::VecDeque;
+
+use rdram::Cycle;
+
+use crate::{PacketAccess, StreamDescriptor, StreamKind};
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    value: u64,
+    ready_at: Cycle,
+}
+
+/// Summary of a FIFO's state, for diagnostics and scheduling decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FifoState {
+    /// Elements currently buffered (including in-flight reservations).
+    pub occupancy: usize,
+    /// Capacity in elements.
+    pub depth: usize,
+    /// Next element index the memory side will transfer.
+    pub mem_next_elem: u64,
+    /// Number of elements the CPU side has consumed (reads) or produced
+    /// (writes).
+    pub cpu_elems: u64,
+}
+
+/// One stream FIFO of the Stream Buffer Unit.
+///
+/// The FIFO tracks both sides of the transfer:
+///
+/// * the **memory side** — which elements the MSU has already issued
+///   accesses for ([`mem_next_elem`](FifoState::mem_next_elem)), and
+/// * the **CPU side** — the memory-mapped head register the processor
+///   dereferences.
+///
+/// Read-FIFO slots are *reserved* when the MSU issues the access and become
+/// CPU-visible when the DATA packet lands; this models the real SBU, where
+/// in-flight requests occupy buffer space.
+#[derive(Debug, Clone)]
+pub struct StreamFifo {
+    descriptor: StreamDescriptor,
+    depth: usize,
+    slots: VecDeque<Slot>,
+    mem_next_elem: u64,
+    cpu_elems: u64,
+    /// Read elements admitted to the MSU pipeline but not yet fetched; they
+    /// occupy buffer space so the pipeline cannot over-commit.
+    reserved: usize,
+}
+
+impl StreamFifo {
+    /// Create a FIFO of `depth` elements for `descriptor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero or smaller than one packet's worth of
+    /// elements would make progress impossible (depth must be >= 2 for
+    /// unit-stride streams to accept a full packet).
+    pub fn new(descriptor: StreamDescriptor, depth: usize) -> Self {
+        assert!(
+            depth >= 2,
+            "FIFO depth must hold at least one full packet (2 elements)"
+        );
+        StreamFifo {
+            descriptor,
+            depth,
+            slots: VecDeque::with_capacity(depth),
+            mem_next_elem: 0,
+            cpu_elems: 0,
+            reserved: 0,
+        }
+    }
+
+    /// The stream this FIFO serves.
+    pub fn descriptor(&self) -> &StreamDescriptor {
+        &self.descriptor
+    }
+
+    /// FIFO capacity in elements.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Snapshot of current state.
+    pub fn state(&self) -> FifoState {
+        FifoState {
+            occupancy: self.slots.len() + self.reserved,
+            depth: self.depth,
+            mem_next_elem: self.mem_next_elem,
+            cpu_elems: self.cpu_elems,
+        }
+    }
+
+    /// The next packet access the memory side must perform, or `None` when
+    /// the stream is exhausted.
+    pub fn next_packet(&self) -> Option<PacketAccess> {
+        if self.mem_next_elem >= self.descriptor.length {
+            return None;
+        }
+        Some(self.descriptor.packet_at(self.mem_next_elem))
+    }
+
+    /// Whether every element has been issued to / drained from memory.
+    pub fn mem_exhausted(&self) -> bool {
+        self.mem_next_elem >= self.descriptor.length
+    }
+
+    /// Whether the FIFO can perform its next memory access at `now`:
+    /// a read-FIFO needs space for the packet's elements (counting
+    /// in-flight reservations); a write-FIFO needs the CPU to have produced
+    /// them.
+    pub fn ready_for_access(&self, now: Cycle) -> bool {
+        let Some(pkt) = self.next_packet() else {
+            return false;
+        };
+        match self.descriptor.kind {
+            StreamKind::Read => self.slots.len() + self.reserved + pkt.elems as usize <= self.depth,
+            StreamKind::Write => self.available(now) >= pkt.elems as usize,
+        }
+    }
+
+    /// Memory side: admit the next packet access into the MSU pipeline.
+    /// For read-streams the elements are *reserved* (they occupy space until
+    /// [`fulfill_read`](Self::fulfill_read) delivers them); for
+    /// write-streams the values are claimed immediately and returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is not [`ready_for_access`](Self::ready_for_access)
+    /// at `now` — the MSU must check first.
+    pub fn admit_next_packet(&mut self, now: Cycle) -> (PacketAccess, Vec<u64>) {
+        assert!(
+            self.ready_for_access(now),
+            "admitting an access the FIFO cannot accept (stream {})",
+            self.descriptor.name
+        );
+        let pkt = self.next_packet().expect("readiness implies a next packet");
+        let values = match self.descriptor.kind {
+            StreamKind::Read => {
+                self.reserved += pkt.elems as usize;
+                Vec::new()
+            }
+            StreamKind::Write => {
+                let mut vals = Vec::with_capacity(pkt.elems as usize);
+                for _ in 0..pkt.elems {
+                    vals.push(self.slots.pop_front().expect("readiness checked").value);
+                }
+                vals
+            }
+        };
+        self.mem_next_elem += pkt.elems;
+        (pkt, values)
+    }
+
+    /// Memory side: deliver the data for a previously admitted read packet,
+    /// visible to the CPU at `ready_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more elements are delivered than were reserved, or on a
+    /// write-FIFO.
+    pub fn fulfill_read(&mut self, values: &[u64], ready_at: Cycle) {
+        assert_eq!(
+            self.descriptor.kind,
+            StreamKind::Read,
+            "fulfill_read on a write FIFO"
+        );
+        assert!(
+            values.len() <= self.reserved,
+            "fulfilling {} elements with only {} reserved",
+            values.len(),
+            self.reserved
+        );
+        self.reserved -= values.len();
+        for &v in values {
+            self.slots.push_back(Slot { value: v, ready_at });
+        }
+    }
+
+    /// Number of buffered elements whose data is valid at `now`.
+    fn available(&self, now: Cycle) -> usize {
+        self.slots.iter().take_while(|s| s.ready_at <= now).count()
+    }
+
+    /// Memory side: record that the packet's elements were fetched, with
+    /// `values` becoming CPU-visible at `ready_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a read-FIFO overflow or if called on a write-FIFO; the MSU
+    /// checks [`ready_for_access`](Self::ready_for_access) first, so either
+    /// is a scheduling bug.
+    pub fn push_read(&mut self, values: &[u64], ready_at: Cycle) {
+        assert_eq!(
+            self.descriptor.kind,
+            StreamKind::Read,
+            "push_read on a write FIFO"
+        );
+        assert!(
+            self.slots.len() + values.len() <= self.depth,
+            "read FIFO overflow: {} + {} > {}",
+            self.slots.len(),
+            values.len(),
+            self.depth
+        );
+        for &v in values {
+            self.slots.push_back(Slot { value: v, ready_at });
+        }
+        self.mem_next_elem += values.len() as u64;
+    }
+
+    /// Memory side: drain `n` elements of a write-FIFO for a packet write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` elements are ready at `now` or if called on
+    /// a read-FIFO.
+    pub fn pop_write(&mut self, n: usize, now: Cycle) -> Vec<u64> {
+        assert_eq!(
+            self.descriptor.kind,
+            StreamKind::Write,
+            "pop_write on a read FIFO"
+        );
+        assert!(
+            self.available(now) >= n,
+            "write FIFO underflow: {} ready < {n}",
+            self.available(now)
+        );
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.slots.pop_front().expect("available checked").value);
+        }
+        self.mem_next_elem += n as u64;
+        out
+    }
+
+    /// CPU side: dereference the FIFO head of a read-stream. Returns `None`
+    /// if the head element has not arrived yet (the processor stalls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a write-FIFO or after the whole stream has been
+    /// consumed.
+    pub fn cpu_pop(&mut self, now: Cycle) -> Option<u64> {
+        assert_eq!(
+            self.descriptor.kind,
+            StreamKind::Read,
+            "cpu_pop on a write FIFO"
+        );
+        assert!(
+            self.cpu_elems < self.descriptor.length,
+            "stream {} fully consumed",
+            self.descriptor.name
+        );
+        match self.slots.front() {
+            Some(slot) if slot.ready_at <= now => {
+                let v = slot.value;
+                self.slots.pop_front();
+                self.cpu_elems += 1;
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    /// CPU side: write the next element of a write-stream. Returns `false`
+    /// if the FIFO is full (the processor stalls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a read-FIFO or past the end of the stream.
+    pub fn cpu_push(&mut self, value: u64, now: Cycle) -> bool {
+        assert_eq!(
+            self.descriptor.kind,
+            StreamKind::Write,
+            "cpu_push on a read FIFO"
+        );
+        assert!(
+            self.cpu_elems < self.descriptor.length,
+            "stream {} fully produced",
+            self.descriptor.name
+        );
+        if self.slots.len() >= self.depth {
+            return false;
+        }
+        self.slots.push_back(Slot {
+            value,
+            ready_at: now,
+        });
+        self.cpu_elems += 1;
+        true
+    }
+
+    /// Whether nothing remains buffered (all data delivered or drained).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The whole stream has moved through the FIFO: memory side exhausted
+    /// (with no reservations still in flight) and, for write-streams, every
+    /// element drained to memory.
+    pub fn complete(&self) -> bool {
+        match self.descriptor.kind {
+            StreamKind::Read => self.mem_exhausted() && self.reserved == 0,
+            StreamKind::Write => self.mem_exhausted() && self.slots.is_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamDescriptor;
+
+    fn read_fifo(depth: usize) -> StreamFifo {
+        StreamFifo::new(StreamDescriptor::read("x", 0, 1, 8), depth)
+    }
+
+    fn write_fifo(depth: usize) -> StreamFifo {
+        StreamFifo::new(StreamDescriptor::write("z", 0, 1, 8), depth)
+    }
+
+    #[test]
+    fn read_fifo_reserves_space_at_issue() {
+        let mut f = read_fifo(4);
+        assert!(f.ready_for_access(0));
+        f.push_read(&[1, 2], 50);
+        f.push_read(&[3, 4], 54);
+        // Full: occupancy 4 of 4, even though no data has arrived yet.
+        assert!(!f.ready_for_access(0));
+        assert_eq!(f.state().occupancy, 4);
+        assert_eq!(f.state().mem_next_elem, 4);
+    }
+
+    #[test]
+    fn cpu_sees_data_only_after_arrival() {
+        let mut f = read_fifo(4);
+        f.push_read(&[7, 8], 50);
+        assert_eq!(f.cpu_pop(49), None);
+        assert_eq!(f.cpu_pop(50), Some(7));
+        assert_eq!(f.cpu_pop(50), Some(8));
+        assert_eq!(f.cpu_pop(50), None); // nothing buffered
+    }
+
+    #[test]
+    fn popping_frees_space_for_more_prefetch() {
+        let mut f = read_fifo(4);
+        f.push_read(&[1, 2], 10);
+        f.push_read(&[3, 4], 14);
+        assert!(!f.ready_for_access(20));
+        assert_eq!(f.cpu_pop(20), Some(1));
+        assert_eq!(f.cpu_pop(20), Some(2));
+        assert!(f.ready_for_access(20));
+    }
+
+    #[test]
+    fn write_fifo_gates_on_produced_elements() {
+        let mut f = write_fifo(4);
+        // Next packet needs 2 elements; none produced yet.
+        assert!(!f.ready_for_access(0));
+        assert!(f.cpu_push(11, 0));
+        assert!(!f.ready_for_access(0));
+        assert!(f.cpu_push(22, 1));
+        assert!(f.ready_for_access(1));
+        let vals = f.pop_write(2, 1);
+        assert_eq!(vals, vec![11, 22]);
+        assert_eq!(f.state().mem_next_elem, 2);
+    }
+
+    #[test]
+    fn write_fifo_full_blocks_cpu() {
+        let mut f = write_fifo(2);
+        assert!(f.cpu_push(1, 0));
+        assert!(f.cpu_push(2, 0));
+        assert!(!f.cpu_push(3, 0));
+        let _ = f.pop_write(2, 0);
+        assert!(f.cpu_push(3, 0));
+    }
+
+    #[test]
+    fn completion_semantics() {
+        let mut r = read_fifo(8);
+        for i in 0..4 {
+            r.push_read(&[i * 2, i * 2 + 1], 0);
+        }
+        assert!(r.mem_exhausted());
+        assert!(r.complete()); // reads complete once fetched
+        assert!(r.next_packet().is_none());
+
+        let mut w = write_fifo(8);
+        for i in 0..8 {
+            assert!(w.cpu_push(i, 0));
+        }
+        assert!(!w.complete());
+        for _ in 0..4 {
+            let _ = w.pop_write(2, 0);
+        }
+        assert!(w.complete());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn reservations_hold_space_until_fulfilled() {
+        let mut f = read_fifo(4);
+        let (pkt, vals) = f.admit_next_packet(0);
+        assert_eq!(pkt.elems, 2);
+        assert!(vals.is_empty());
+        assert_eq!(f.state().occupancy, 2);
+        assert_eq!(f.state().mem_next_elem, 2);
+        let (pkt2, _) = f.admit_next_packet(0);
+        assert_eq!(pkt2.first_elem, 2);
+        // Full by reservation alone.
+        assert!(!f.ready_for_access(0));
+        assert!(!f.complete());
+        f.fulfill_read(&[5, 6], 40);
+        f.fulfill_read(&[7, 8], 44);
+        assert_eq!(f.cpu_pop(44), Some(5));
+        assert_eq!(f.cpu_pop(44), Some(6));
+        assert!(f.ready_for_access(44)); // one packet of space again
+    }
+
+    #[test]
+    fn write_admission_claims_values() {
+        let mut f = write_fifo(4);
+        assert!(f.cpu_push(9, 0));
+        assert!(f.cpu_push(10, 0));
+        let (pkt, vals) = f.admit_next_packet(0);
+        assert_eq!(pkt.elems, 2);
+        assert_eq!(vals, vec![9, 10]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot accept")]
+    fn admission_requires_readiness() {
+        let mut f = write_fifo(4);
+        let _ = f.admit_next_packet(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn overfulfilling_panics() {
+        let mut f = read_fifo(8);
+        let _ = f.admit_next_packet(0);
+        f.fulfill_read(&[1, 2, 3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut f = read_fifo(2);
+        f.push_read(&[1, 2], 0);
+        f.push_read(&[3, 4], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut f = write_fifo(4);
+        f.cpu_push(1, 0);
+        let _ = f.pop_write(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn tiny_depth_rejected() {
+        let _ = read_fifo(1);
+    }
+}

@@ -1,0 +1,355 @@
+//! The SMC's memory-mapped programming interface.
+//!
+//! The paper's usage model: "The compiler detects the presence of streams
+//! …, and generates code to transmit information about those streams (base
+//! address, stride, number of elements, and whether the stream is being
+//! read or written) to the hardware at runtime. … each buffer is a FIFO,
+//! the head of which is a memory-mapped register."
+//!
+//! This module models that interface as a register file in a fixed MMIO
+//! window. Each stream slot holds four 64-bit registers — `BASE`, `STRIDE`,
+//! `LENGTH`, `MODE` — followed by one FIFO-head register per slot. Writing
+//! `MODE` with the [`MODE_GO`] bit set arms the slot; [`MmioWindow::launch`]
+//! collects the armed slots into [`StreamDescriptor`]s in slot order, ready
+//! to construct an [`SmcController`](crate::SmcController).
+//!
+//! ```
+//! use smc::regs::{MmioWindow, MODE_GO, MODE_WRITE};
+//!
+//! let mut mmio = MmioWindow::new(0xF000_0000);
+//! // The "compiler-generated" store sequence for daxpy's three streams:
+//! for (slot, (base, write)) in [(0x1000, false), (0x9000, false), (0x9000, true)]
+//!     .into_iter()
+//!     .enumerate()
+//! {
+//!     mmio.write(mmio.base_reg(slot), base).unwrap();
+//!     mmio.write(mmio.stride_reg(slot), 1).unwrap();
+//!     mmio.write(mmio.length_reg(slot), 1024).unwrap();
+//!     let mode = MODE_GO | if write { MODE_WRITE } else { 0 };
+//!     mmio.write(mmio.mode_reg(slot), mode).unwrap();
+//! }
+//! let streams = mmio.launch().unwrap();
+//! assert_eq!(streams.len(), 3);
+//! assert_eq!(streams[2].kind, smc::StreamKind::Write);
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{StreamDescriptor, StreamKind};
+
+/// Number of stream slots the SMC register file provides.
+pub const MAX_STREAMS: usize = 8;
+
+/// Registers per stream slot (`BASE`, `STRIDE`, `LENGTH`, `MODE`).
+const REGS_PER_SLOT: u64 = 4;
+
+/// `MODE` bit 0: the stream is written (otherwise read).
+pub const MODE_WRITE: u64 = 1 << 0;
+
+/// `MODE` bit 1: arm the slot; it will be collected by
+/// [`MmioWindow::launch`].
+pub const MODE_GO: u64 = 1 << 1;
+
+/// Bytes covered by the MMIO window: 8 slots x 4 registers + 8 FIFO heads.
+pub const WINDOW_BYTES: u64 = (MAX_STREAMS as u64 * REGS_PER_SLOT + MAX_STREAMS as u64) * 8;
+
+/// An invalid access to the SMC register window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MmioError {
+    /// The address does not fall on a register of the window.
+    BadAddress {
+        /// The offending byte address.
+        addr: u64,
+    },
+    /// A stream slot was armed with invalid parameters.
+    BadProgram {
+        /// Slot index.
+        slot: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// `launch` found no armed slots.
+    NothingArmed,
+}
+
+impl fmt::Display for MmioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmioError::BadAddress { addr } => {
+                write!(f, "address {addr:#x} is not an SMC register")
+            }
+            MmioError::BadProgram { slot, reason } => {
+                write!(f, "stream slot {slot} misprogrammed: {reason}")
+            }
+            MmioError::NothingArmed => write!(f, "no stream slots armed"),
+        }
+    }
+}
+
+impl Error for MmioError {}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    base: u64,
+    stride: u64,
+    length: u64,
+    mode: u64,
+}
+
+/// The SMC's register window.
+///
+/// See the [module documentation](self) for the layout and an example.
+#[derive(Debug, Clone)]
+pub struct MmioWindow {
+    window_base: u64,
+    slots: [Slot; MAX_STREAMS],
+}
+
+impl MmioWindow {
+    /// Create a register window based at `window_base` (8-byte aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_base` is not 8-byte aligned.
+    pub fn new(window_base: u64) -> Self {
+        assert_eq!(window_base % 8, 0, "MMIO window must be 8-byte aligned");
+        MmioWindow {
+            window_base,
+            slots: [Slot::default(); MAX_STREAMS],
+        }
+    }
+
+    /// Byte address of slot `slot`'s `BASE` register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= MAX_STREAMS` (same for the sibling accessors).
+    pub fn base_reg(&self, slot: usize) -> u64 {
+        self.reg_addr(slot, 0)
+    }
+
+    /// Byte address of slot `slot`'s `STRIDE` register.
+    pub fn stride_reg(&self, slot: usize) -> u64 {
+        self.reg_addr(slot, 1)
+    }
+
+    /// Byte address of slot `slot`'s `LENGTH` register.
+    pub fn length_reg(&self, slot: usize) -> u64 {
+        self.reg_addr(slot, 2)
+    }
+
+    /// Byte address of slot `slot`'s `MODE` register.
+    pub fn mode_reg(&self, slot: usize) -> u64 {
+        self.reg_addr(slot, 3)
+    }
+
+    /// Byte address of the FIFO-head register the processor dereferences
+    /// for stream slot `slot`.
+    pub fn head_reg(&self, slot: usize) -> u64 {
+        assert!(slot < MAX_STREAMS, "slot {slot} out of range");
+        self.window_base + (MAX_STREAMS as u64 * REGS_PER_SLOT + slot as u64) * 8
+    }
+
+    fn reg_addr(&self, slot: usize, reg: u64) -> u64 {
+        assert!(slot < MAX_STREAMS, "slot {slot} out of range");
+        self.window_base + (slot as u64 * REGS_PER_SLOT + reg) * 8
+    }
+
+    /// Whether `addr` falls inside the window.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.window_base && addr < self.window_base + WINDOW_BYTES
+    }
+
+    /// If `addr` is a FIFO-head register, the slot it belongs to.
+    pub fn head_slot(&self, addr: u64) -> Option<usize> {
+        (0..MAX_STREAMS).find(|&s| self.head_reg(s) == addr)
+    }
+
+    /// Store `value` to the register at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MmioError::BadAddress`] if `addr` is not a programmable register
+    /// (FIFO heads are written through
+    /// [`SmcController::cpu_write`](crate::SmcController::cpu_write), not
+    /// here).
+    pub fn write(&mut self, addr: u64, value: u64) -> Result<(), MmioError> {
+        if !self.contains(addr) || !addr.is_multiple_of(8) {
+            return Err(MmioError::BadAddress { addr });
+        }
+        let idx = (addr - self.window_base) / 8;
+        if idx >= MAX_STREAMS as u64 * REGS_PER_SLOT {
+            return Err(MmioError::BadAddress { addr }); // a FIFO head
+        }
+        let slot = &mut self.slots[(idx / REGS_PER_SLOT) as usize];
+        match idx % REGS_PER_SLOT {
+            0 => slot.base = value,
+            1 => slot.stride = value,
+            2 => slot.length = value,
+            _ => slot.mode = value,
+        }
+        Ok(())
+    }
+
+    /// Load the register at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MmioError::BadAddress`] for addresses outside the programmable
+    /// registers.
+    pub fn read(&self, addr: u64) -> Result<u64, MmioError> {
+        if !self.contains(addr) || !addr.is_multiple_of(8) {
+            return Err(MmioError::BadAddress { addr });
+        }
+        let idx = (addr - self.window_base) / 8;
+        if idx >= MAX_STREAMS as u64 * REGS_PER_SLOT {
+            return Err(MmioError::BadAddress { addr });
+        }
+        let slot = &self.slots[(idx / REGS_PER_SLOT) as usize];
+        Ok(match idx % REGS_PER_SLOT {
+            0 => slot.base,
+            1 => slot.stride,
+            2 => slot.length,
+            _ => slot.mode,
+        })
+    }
+
+    /// Collect the armed slots, in slot order, as stream descriptors, and
+    /// disarm them.
+    ///
+    /// # Errors
+    ///
+    /// [`MmioError::NothingArmed`] if no slot has [`MODE_GO`] set, or
+    /// [`MmioError::BadProgram`] if an armed slot's parameters violate the
+    /// stream invariants (unaligned base, zero stride or length).
+    pub fn launch(&mut self) -> Result<Vec<StreamDescriptor>, MmioError> {
+        let mut streams = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.mode & MODE_GO == 0 {
+                continue;
+            }
+            if slot.base % 8 != 0 {
+                return Err(MmioError::BadProgram {
+                    slot: i,
+                    reason: format!("base {:#x} is not 8-byte aligned", slot.base),
+                });
+            }
+            if slot.stride == 0 || slot.length == 0 {
+                return Err(MmioError::BadProgram {
+                    slot: i,
+                    reason: "stride and length must be non-zero".into(),
+                });
+            }
+            let kind = if slot.mode & MODE_WRITE != 0 {
+                StreamKind::Write
+            } else {
+                StreamKind::Read
+            };
+            streams.push(StreamDescriptor::new(
+                format!("s{i}"),
+                slot.base,
+                slot.stride,
+                slot.length,
+                kind,
+            ));
+            slot.mode &= !MODE_GO;
+        }
+        if streams.is_empty() {
+            return Err(MmioError::NothingArmed);
+        }
+        Ok(streams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> MmioWindow {
+        MmioWindow::new(0x8000_0000)
+    }
+
+    fn arm(m: &mut MmioWindow, slot: usize, base: u64, stride: u64, len: u64, write: bool) {
+        m.write(m.base_reg(slot), base).unwrap();
+        m.write(m.stride_reg(slot), stride).unwrap();
+        m.write(m.length_reg(slot), len).unwrap();
+        let mode = MODE_GO | if write { MODE_WRITE } else { 0 };
+        m.write(m.mode_reg(slot), mode).unwrap();
+    }
+
+    #[test]
+    fn program_and_launch_in_slot_order() {
+        let mut m = window();
+        arm(&mut m, 2, 0x2000, 1, 64, true);
+        arm(&mut m, 0, 0x1000, 4, 64, false);
+        let streams = m.launch().unwrap();
+        assert_eq!(streams.len(), 2);
+        assert_eq!(streams[0].base, 0x1000);
+        assert_eq!(streams[0].stride, 4);
+        assert_eq!(streams[0].kind, StreamKind::Read);
+        assert_eq!(streams[1].kind, StreamKind::Write);
+        // Launch disarms: a second launch has nothing.
+        assert_eq!(m.launch(), Err(MmioError::NothingArmed));
+    }
+
+    #[test]
+    fn registers_read_back() {
+        let mut m = window();
+        m.write(m.stride_reg(3), 7).unwrap();
+        assert_eq!(m.read(m.stride_reg(3)).unwrap(), 7);
+        assert_eq!(m.read(m.base_reg(3)).unwrap(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_addresses() {
+        let mut m = window();
+        assert!(matches!(
+            m.write(0x100, 1),
+            Err(MmioError::BadAddress { .. })
+        ));
+        assert!(matches!(
+            m.write(m.base_reg(0) + 1, 1),
+            Err(MmioError::BadAddress { .. })
+        ));
+        // FIFO heads are not writable through the register path.
+        assert!(matches!(
+            m.write(m.head_reg(0), 1),
+            Err(MmioError::BadAddress { .. })
+        ));
+        assert!(m.read(m.head_reg(1)).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_programs() {
+        let mut m = window();
+        arm(&mut m, 0, 0x1001, 1, 8, false); // misaligned base
+        let err = m.launch().unwrap_err();
+        assert!(matches!(err, MmioError::BadProgram { slot: 0, .. }));
+        assert!(err.to_string().contains("aligned"));
+
+        let mut m = window();
+        arm(&mut m, 1, 0x1000, 0, 8, false); // zero stride
+        assert!(matches!(
+            m.launch(),
+            Err(MmioError::BadProgram { slot: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn head_registers_are_distinct_and_in_window() {
+        let m = window();
+        for s in 0..MAX_STREAMS {
+            let h = m.head_reg(s);
+            assert!(m.contains(h));
+            assert_eq!(m.head_slot(h), Some(s));
+        }
+        assert_eq!(m.head_slot(m.base_reg(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_bounds_checked() {
+        let _ = window().base_reg(MAX_STREAMS);
+    }
+}

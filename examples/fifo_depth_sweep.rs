@@ -1,0 +1,71 @@
+//! Sweep the SMC's FIFO depth for one kernel — a single panel of the
+//! paper's Figure 7, with the analytic limits alongside the simulation.
+//!
+//! ```text
+//! cargo run --release --example fifo_depth_sweep -- [kernel] [cli|pi] [len]
+//! cargo run --release --example fifo_depth_sweep -- vaxpy pi 1024
+//! ```
+
+use std::env;
+
+use analytic::smc::Workload;
+use kernels::Kernel;
+use sim::report::{pct, Table};
+use sim::{run_kernel, AccessOrder, Alignment, MemorySystem, SystemConfig};
+
+fn parse_kernel(name: &str) -> Kernel {
+    Kernel::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .unwrap_or_else(|| panic!("unknown kernel {name:?}"))
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let kernel = args.first().map_or(Kernel::Daxpy, |s| parse_kernel(s));
+    let memory = match args.get(1).map(String::as_str) {
+        Some("pi") => MemorySystem::PageInterleaved,
+        _ => MemorySystem::CacheLineInterleaved,
+    };
+    let n: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1024);
+
+    let sys = SystemConfig::natural_order(memory).stream_system();
+    let org = memory.organization();
+    let w = Workload::unit(kernel.reads(), kernel.writes(), n);
+    let cache_limit = sys.multi_stream(org, kernel.total_streams(), n, 1);
+
+    println!(
+        "{kernel} on {} with {n}-element vectors; natural-order cacheline \
+         limit = {}% of peak\n",
+        memory.label(),
+        pct(cache_limit)
+    );
+    let mut table = Table::new(vec![
+        "fifo depth".into(),
+        "startup bound %".into(),
+        "turnaround bound %".into(),
+        "combined %".into(),
+        "sim staggered %".into(),
+        "sim aligned %".into(),
+    ]);
+    for depth in [8usize, 16, 32, 64, 128, 256] {
+        let mk = |alignment| {
+            SystemConfig {
+                ordering: AccessOrder::Smc { fifo_depth: depth },
+                ..SystemConfig::natural_order(memory)
+            }
+            .with_alignment(alignment)
+        };
+        let stag = run_kernel(kernel, n, 1, &mk(Alignment::Staggered));
+        let alig = run_kernel(kernel, n, 1, &mk(Alignment::Aligned));
+        table.row(vec![
+            depth.to_string(),
+            pct(sys.smc_startup_bound(org, &w, depth as u64)),
+            pct(sys.smc_asymptotic_bound(&w, depth as u64)),
+            pct(sys.smc_combined_bound(org, &w, depth as u64)),
+            pct(stag.percent_peak()),
+            pct(alig.percent_peak()),
+        ]);
+    }
+    println!("{}", table.render());
+}

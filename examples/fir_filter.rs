@@ -1,0 +1,94 @@
+//! A 5-tap FIR filter through the SMC: `y[i] = Σ_k c[k] · x[i+k]`.
+//!
+//! This is the pattern the paper's `hydro` kernel hints at, taken further:
+//! one input vector read through **five offset streams** (one per tap) plus
+//! one output stream — six streams total, the upper end of what the
+//! benchmark suite exercises. The SMC doesn't care that the read streams
+//! overlap in memory; each is just a FIFO with its own base address.
+//!
+//! ```text
+//! cargo run --release --example fir_filter
+//! ```
+
+use rdram::{AddressMap, DeviceConfig, Interleave, MemoryImage, Rdram, ELEM_BYTES};
+use smc::{MsuConfig, SmcController, StreamDescriptor};
+
+const TAPS: [f64; 5] = [0.1, 0.2, 0.4, 0.2, 0.1];
+
+fn main() {
+    let n = 1024u64;
+    let x_base = 0u64;
+    let y_base = 256 * 1024 + 1024; // different bank under PI
+
+    // Input: a noisy ramp.
+    let mut mem = MemoryImage::new();
+    for i in 0..n + TAPS.len() as u64 {
+        let noise = if i % 3 == 0 { 0.5 } else { -0.25 };
+        mem.write_f64(x_base + i * ELEM_BYTES, i as f64 + noise);
+    }
+
+    // One read stream per tap, offset by k elements, plus the output.
+    let mut streams: Vec<StreamDescriptor> = (0..TAPS.len() as u64)
+        .map(|k| StreamDescriptor::read(format!("x+{k}"), x_base + k * ELEM_BYTES, 1, n))
+        .collect();
+    streams.push(StreamDescriptor::write("y", y_base, 1, n));
+    let out_fifo = streams.len() - 1;
+
+    let device_cfg = DeviceConfig::default();
+    let map = AddressMap::new(Interleave::Page, &device_cfg).expect("valid map");
+    let mut dev = Rdram::new(device_cfg);
+    let mut ctl = SmcController::new(
+        streams,
+        map,
+        MsuConfig {
+            fifo_depth: 64,
+            ..MsuConfig::default()
+        },
+    );
+
+    // In-order CPU: gather the five taps, accumulate, write.
+    let mut now = 0u64;
+    let mut i = 0u64;
+    let mut gathered: Vec<f64> = Vec::with_capacity(TAPS.len());
+    let mut acc: Option<f64> = None;
+    while !(i == n && ctl.mem_complete()) {
+        ctl.tick(now, &mut dev, &mut mem);
+        if i < n {
+            if acc.is_none() && gathered.len() < TAPS.len() {
+                if let Some(bits) = ctl.cpu_read(gathered.len(), now) {
+                    gathered.push(f64::from_bits(bits));
+                }
+            }
+            if gathered.len() == TAPS.len() && acc.is_none() {
+                acc = Some(gathered.iter().zip(TAPS).map(|(x, c)| c * x).sum::<f64>());
+                gathered.clear();
+            }
+            if let Some(v) = acc {
+                if ctl.cpu_write(out_fifo, v.to_bits(), now) {
+                    acc = None;
+                    i += 1;
+                }
+            }
+        }
+        now += 1;
+    }
+
+    // Verify against a direct computation.
+    for i in [0u64, 1, 500, n - 1] {
+        let expect: f64 = TAPS
+            .iter()
+            .enumerate()
+            .map(|(k, c)| c * mem.read_f64(x_base + (i + k as u64) * ELEM_BYTES))
+            .sum();
+        let got = mem.read_f64(y_base + i * ELEM_BYTES);
+        assert!((got - expect).abs() < 1e-12, "y[{i}]: {got} vs {expect}");
+    }
+
+    let useful_cycles = (TAPS.len() as u64 + 1) * n * 2;
+    println!(
+        "5-tap FIR over {n} samples: {now} cycles, {:.1}% of peak bandwidth\n\
+         (6 streams: 5 overlapping reads of x at element offsets 0..4, 1 write)\n\
+         results verified against direct computation.",
+        100.0 * useful_cycles as f64 / now as f64
+    );
+}

@@ -1,0 +1,100 @@
+//! Drive the SMC the way compiled code would: store stream parameters into
+//! its memory-mapped register window, launch, then dereference the FIFO
+//! head registers in the loop — here for a daxpy over 512 elements.
+//!
+//! ```text
+//! cargo run --release --example program_smc
+//! ```
+
+use rdram::{AddressMap, DeviceConfig, Interleave, MemoryImage, Rdram};
+use smc::regs::{MmioWindow, MODE_GO, MODE_WRITE};
+use smc::{MsuConfig, SmcController};
+
+fn main() {
+    let n = 512u64;
+    let a = 3.0f64;
+
+    // Memory image: x at 0x0000, y at 16 KB (different banks under PI).
+    let (x_base, y_base) = (0x0000u64, 16 * 1024 + 1024);
+    let mut mem = MemoryImage::new();
+    for i in 0..n {
+        mem.write_f64(x_base + i * 8, i as f64);
+        mem.write_f64(y_base + i * 8, 0.5 * i as f64);
+    }
+
+    // "Compiler-generated" programming sequence: three streams for
+    // y[i] = a*x[i] + y[i].
+    let mut mmio = MmioWindow::new(0xF000_0000);
+    let program: [(usize, u64, u64); 3] = [
+        (0, x_base, 0),          // slot 0: read x
+        (1, y_base, 0),          // slot 1: read y
+        (2, y_base, MODE_WRITE), // slot 2: write y
+    ];
+    for (slot, base, mode_bits) in program {
+        mmio.write(mmio.base_reg(slot), base)
+            .expect("register write");
+        mmio.write(mmio.stride_reg(slot), 1)
+            .expect("register write");
+        mmio.write(mmio.length_reg(slot), n)
+            .expect("register write");
+        mmio.write(mmio.mode_reg(slot), MODE_GO | mode_bits)
+            .expect("register write");
+    }
+    let streams = mmio.launch().expect("slots armed");
+    println!(
+        "programmed {} streams via MMIO window at {:#x}; FIFO heads at {:#x}..",
+        streams.len(),
+        0xF000_0000u64,
+        mmio.head_reg(0)
+    );
+
+    // Hardware side: PI organization, 64-deep FIFOs.
+    let device_cfg = DeviceConfig::default();
+    let map = AddressMap::new(Interleave::Page, &device_cfg).expect("valid map");
+    let mut dev = Rdram::new(device_cfg);
+    let mut ctl = SmcController::new(
+        streams,
+        map,
+        MsuConfig {
+            fifo_depth: 64,
+            ..MsuConfig::default()
+        },
+    );
+
+    // The inner loop: dereference head(x), head(y), write head(y') — an
+    // in-order CPU that stalls on an empty head or a full write FIFO.
+    let mut now = 0u64;
+    let mut i = 0u64;
+    let mut x_held: Option<f64> = None;
+    let mut y_held: Option<f64> = None;
+    while !(i == n && ctl.mem_complete()) {
+        ctl.tick(now, &mut dev, &mut mem);
+        if i < n {
+            if x_held.is_none() {
+                x_held = ctl.cpu_read(0, now).map(f64::from_bits);
+            }
+            if x_held.is_some() && y_held.is_none() {
+                y_held = ctl.cpu_read(1, now).map(f64::from_bits);
+            }
+            if let (Some(x), Some(y)) = (x_held, y_held) {
+                if ctl.cpu_write(2, (a * x + y).to_bits(), now) {
+                    (x_held, y_held) = (None, None);
+                    i += 1;
+                }
+            }
+        }
+        now += 1;
+    }
+
+    // Verify a few results.
+    for i in [0u64, 7, 255, 511] {
+        let got = mem.read_f64(y_base + i * 8);
+        let expect = a * i as f64 + 0.5 * i as f64;
+        assert_eq!(got, expect, "y[{i}]");
+    }
+    println!(
+        "daxpy over {n} elements completed in {now} cycles \
+         ({:.1}% of peak bandwidth); results verified.",
+        100.0 * (3 * n * 2) as f64 / now as f64
+    );
+}

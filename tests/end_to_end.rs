@@ -1,0 +1,112 @@
+//! End-to-end integration: every kernel on every system configuration moves
+//! real data through the full simulated memory system and must reproduce
+//! the scalar reference bit-exactly (`run_kernel` verifies internally).
+
+use kernels::Kernel;
+use sim::{run_kernel, Alignment, MemorySystem, SystemConfig};
+use smc::Policy;
+
+const CLI: MemorySystem = MemorySystem::CacheLineInterleaved;
+const PI: MemorySystem = MemorySystem::PageInterleaved;
+
+#[test]
+fn every_kernel_runs_on_every_organization_and_ordering() {
+    for memory in [CLI, PI] {
+        for kernel in Kernel::ALL {
+            let naive = run_kernel(kernel, 96, 1, &SystemConfig::natural_order(memory));
+            assert!(naive.percent_peak() > 0.0, "{kernel} {memory:?} naive");
+            let smc = run_kernel(kernel, 96, 1, &SystemConfig::smc(memory, 16));
+            assert!(smc.percent_peak() > 0.0, "{kernel} {memory:?} smc");
+        }
+    }
+}
+
+#[test]
+fn smc_beats_natural_order_for_long_unit_stride_vectors() {
+    for memory in [CLI, PI] {
+        for kernel in Kernel::PAPER_SUITE {
+            let naive = run_kernel(kernel, 1024, 1, &SystemConfig::natural_order(memory));
+            let smc = run_kernel(kernel, 1024, 1, &SystemConfig::smc(memory, 128));
+            assert!(
+                smc.percent_peak() > naive.percent_peak(),
+                "{kernel} on {}: SMC {:.1}% vs natural order {:.1}%",
+                memory.label(),
+                smc.percent_peak(),
+                naive.percent_peak()
+            );
+        }
+    }
+}
+
+#[test]
+fn strided_computations_are_bit_exact() {
+    // Strides around packet/line/page boundaries; verification is internal.
+    for stride in [2, 3, 4, 5, 8, 16, 17] {
+        for memory in [CLI, PI] {
+            let r = run_kernel(Kernel::Vaxpy, 64, stride, &SystemConfig::smc(memory, 32));
+            assert!(
+                r.percent_peak() <= 50.0 + 1e-9,
+                "stride {stride} exceeds attainable"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_policies_and_placements_produce_correct_results() {
+    for policy in [Policy::RoundRobin, Policy::BankAware] {
+        for alignment in [Alignment::Aligned, Alignment::Staggered] {
+            for speculative in [false, true] {
+                let mut cfg = SystemConfig::smc(PI, 32)
+                    .with_alignment(alignment)
+                    .with_policy(policy);
+                if speculative {
+                    cfg = cfg.with_speculation();
+                }
+                let r = run_kernel(Kernel::Hydro, 256, 1, &cfg);
+                assert!(
+                    r.percent_peak() > 20.0,
+                    "{policy:?} {alignment:?} spec={speculative}: {:.1}%",
+                    r.percent_peak()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deeper_fifos_reduce_turnarounds() {
+    let turnarounds = |depth| {
+        run_kernel(Kernel::Daxpy, 1024, 1, &SystemConfig::smc(CLI, depth))
+            .device_stats
+            .turnarounds
+    };
+    let shallow = turnarounds(8);
+    let deep = turnarounds(128);
+    assert!(
+        deep < shallow / 4,
+        "128-deep FIFOs should cut turnarounds well below shallow ({shallow} -> {deep})"
+    );
+}
+
+#[test]
+fn page_hit_rates_reflect_the_organization() {
+    // PI open-page streams hit the sense amps almost always; CLI closed-page
+    // pays a miss per cacheline (every other packet at unit stride).
+    let pi = run_kernel(Kernel::Daxpy, 1024, 1, &SystemConfig::smc(PI, 64));
+    let cli = run_kernel(Kernel::Daxpy, 1024, 1, &SystemConfig::smc(CLI, 64));
+    let pi_rate = pi.device_stats.page_hit_rate().expect("traffic exists");
+    let cli_rate = cli.device_stats.page_hit_rate().expect("traffic exists");
+    assert!(pi_rate > 0.9, "PI hit rate {pi_rate}");
+    assert!(cli_rate < 0.6, "CLI hit rate {cli_rate}");
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The `rambus` facade exposes the whole stack.
+    let cfg = rambus::rdram::DeviceConfig::default();
+    let sys = rambus::analytic::cache::StreamSystem::default();
+    assert_eq!(cfg.words_per_page(), sys.page_words);
+    let k = rambus::kernels::Kernel::Copy;
+    assert_eq!(k.total_streams(), 2);
+}

@@ -1,0 +1,61 @@
+//! The experiment registry: every figure renders, serializes, and exports
+//! consistently through `sim::experiments`.
+
+use sim::experiments;
+
+#[test]
+fn every_experiment_renders_nonempty_text() {
+    for name in experiments::ALL.iter().chain(std::iter::once(&"headline")) {
+        let text = experiments::render(name);
+        assert!(
+            text.len() > 100,
+            "{name} rendered only {} bytes",
+            text.len()
+        );
+    }
+}
+
+#[test]
+fn structured_experiments_serialize_to_json() {
+    for name in ["fig7", "fig8", "fig9", "extra", "headline"] {
+        let json = experiments::json(name).unwrap_or_else(|| panic!("{name} has JSON"));
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(v.is_object(), "{name} must serialize to an object");
+    }
+    for name in ["fig1", "fig2", "fig4", "fig5", "fig6"] {
+        assert!(experiments::json(name).is_none(), "{name} is text-only");
+    }
+}
+
+#[test]
+fn csv_experiments_have_headers_and_rows() {
+    for name in ["fig7", "fig8", "fig9"] {
+        let csv = experiments::csv(name).unwrap_or_else(|| panic!("{name} has CSV"));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines.len() > 5, "{name} CSV too small");
+        let cols = lines[0].split(',').count();
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(line.split(',').count(), cols, "{name} row {i} ragged");
+        }
+    }
+    assert!(experiments::csv("headline").is_none());
+}
+
+#[test]
+fn svg_experiments_produce_well_formed_documents() {
+    let fig7 = experiments::svgs("fig7");
+    assert_eq!(fig7.len(), 16, "one SVG per Figure 7 panel");
+    for (file, svg) in fig7.iter().chain(&experiments::svgs("fig8")) {
+        assert!(file.ends_with(".svg"));
+        assert!(svg.starts_with("<svg"), "{file}");
+        assert!(svg.trim_end().ends_with("</svg>"), "{file}");
+        assert!(svg.contains("polyline"), "{file} has no series");
+    }
+    assert!(experiments::svgs("headline").is_empty());
+}
+
+#[test]
+#[should_panic(expected = "unknown experiment")]
+fn unknown_experiment_names_panic() {
+    let _ = experiments::render("fig99");
+}

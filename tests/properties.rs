@@ -1,0 +1,210 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use kernels::Kernel;
+use rdram::{AddressMap, Command, DeviceConfig, Interleave, Rdram, SenseAmps};
+use sim::{run_kernel, Alignment, MemorySystem, SystemConfig};
+use smc::{Policy, StreamDescriptor, StreamFifo};
+
+fn arb_interleave() -> impl Strategy<Value = Interleave> {
+    prop_oneof![
+        Just(Interleave::Page),
+        prop::sample::select(vec![16u64, 32, 64, 128])
+            .prop_map(|line_bytes| Interleave::Cacheline { line_bytes }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode() is the exact inverse of decode() for every interleaving.
+    #[test]
+    fn address_map_round_trips(
+        interleave in arb_interleave(),
+        addr in 0u64..(8 << 20),
+    ) {
+        let cfg = DeviceConfig::default();
+        let map = AddressMap::new(interleave, &cfg).unwrap();
+        let loc = map.decode(addr);
+        prop_assert!(loc.bank < cfg.banks);
+        prop_assert!(loc.col < cfg.page_bytes);
+        prop_assert_eq!(map.encode(loc), addr);
+    }
+
+    /// Addresses within one contiguous chunk share a (bank, row); the next
+    /// chunk moves to the next bank.
+    #[test]
+    fn interleaving_chunks_are_contiguous(
+        interleave in arb_interleave(),
+        chunk_idx in 0u64..4096,
+    ) {
+        let cfg = DeviceConfig::default();
+        let map = AddressMap::new(interleave, &cfg).unwrap();
+        let chunk = map.contiguous_bytes_per_bank();
+        let base = chunk_idx * chunk;
+        let first = map.decode(base);
+        let last = map.decode(base + chunk - 1);
+        prop_assert_eq!(first.bank, last.bank);
+        prop_assert_eq!(first.row, last.row);
+        let next = map.decode(base + chunk);
+        prop_assert_eq!(next.bank, (first.bank + 1) % cfg.banks);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A stream FIFO delivers exactly the admitted elements, in order.
+    #[test]
+    fn fifo_preserves_element_order(
+        depth in 2usize..32,
+        length in 1u64..200,
+        pop_burst in 1usize..8,
+    ) {
+        let desc = StreamDescriptor::read("x", 0, 1, length);
+        let mut fifo = StreamFifo::new(desc, depth);
+        let mut delivered = Vec::new();
+        let mut now = 0u64;
+        while (delivered.len() as u64) < length {
+            // Memory side: admit + fulfill while there is room.
+            while fifo.ready_for_access(now) {
+                let (pkt, _) = fifo.admit_next_packet(now);
+                let values: Vec<u64> =
+                    pkt.element_range().map(|e| 1000 + e).collect();
+                fifo.fulfill_read(&values, now);
+            }
+            // CPU side: pop a burst.
+            for _ in 0..pop_burst {
+                if (delivered.len() as u64) == length {
+                    break;
+                }
+                if let Some(v) = fifo.cpu_pop(now) {
+                    delivered.push(v);
+                } else {
+                    break;
+                }
+            }
+            now += 1;
+            prop_assert!(now < 10_000, "fifo failed to make progress");
+        }
+        let expect: Vec<u64> = (0..length).map(|e| 1000 + e).collect();
+        prop_assert_eq!(delivered, expect);
+    }
+
+    /// Issuing commands at their `earliest` cycle never violates the
+    /// protocol, regardless of the access pattern.
+    #[test]
+    fn device_accepts_any_state_legal_schedule(
+        ops in prop::collection::vec((0usize..8, 0u64..16, any::<bool>()), 1..200),
+    ) {
+        let mut dev = Rdram::new(DeviceConfig::default());
+        let mut now = 0;
+        for (bank, row, write) in ops {
+            // Bring the bank to the right row.
+            if let SenseAmps::Open { row: open } = dev.bank(bank).amps() {
+                if open != row {
+                    let cmd = Command::precharge(bank);
+                    let t = dev.earliest(&cmd, now);
+                    dev.issue_at(&cmd, t).unwrap();
+                    now = t;
+                }
+            }
+            if dev.bank(bank).amps() == SenseAmps::Closed {
+                let cmd = Command::activate(bank, row);
+                let t = dev.earliest(&cmd, now);
+                dev.issue_at(&cmd, t).unwrap();
+                now = t;
+            }
+            let cmd = if write { Command::write(bank, 0) } else { Command::read(bank, 0) };
+            let t = dev.earliest(&cmd, now);
+            let outcome = dev.issue_at(&cmd, t).unwrap();
+            prop_assert!(outcome.data.is_some());
+            now = t;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any kernel, stride, placement, policy, and FIFO depth produces
+    /// bit-exact results through the full simulated system (`run_kernel`
+    /// verifies against the scalar reference internally).
+    #[test]
+    fn random_configurations_are_bit_exact(
+        kernel in prop::sample::select(Kernel::ALL.to_vec()),
+        n in 8u64..80,
+        stride in 1u64..6,
+        depth in 2usize..48,
+        memory in prop::sample::select(vec![
+            MemorySystem::CacheLineInterleaved,
+            MemorySystem::PageInterleaved,
+        ]),
+        aligned in any::<bool>(),
+        bank_aware in any::<bool>(),
+        speculative in any::<bool>(),
+    ) {
+        let mut cfg = SystemConfig::smc(memory, depth);
+        if aligned {
+            cfg = cfg.with_alignment(Alignment::Aligned);
+        }
+        if bank_aware {
+            cfg = cfg.with_policy(Policy::BankAware);
+        }
+        if speculative {
+            cfg = cfg.with_speculation();
+        }
+        let r = run_kernel(kernel, n, stride, &cfg);
+        prop_assert!(r.percent_peak() > 0.0);
+        prop_assert!(r.percent_peak() <= 100.0 + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Analytic bounds stay inside (0, 100] and preserve the paper's
+    /// orderings for every workload shape.
+    #[test]
+    fn analytic_bounds_are_well_behaved(
+        s in 2u64..9,
+        ls in 16u64..4096,
+        stride in 1u64..64,
+        depth in 2u64..512,
+    ) {
+        use analytic::{cache::StreamSystem, smc::Workload, Organization};
+        let sys = StreamSystem::default();
+        let cli = sys.multi_stream(Organization::CacheLineInterleaved, s, ls, stride);
+        let pi = sys.multi_stream(Organization::PageInterleaved, s, ls, stride);
+        prop_assert!(cli > 0.0 && cli <= 100.0);
+        prop_assert!(pi > 0.0 && pi <= 100.0);
+        prop_assert!(pi > cli, "PI must beat CLI for streams: {pi} vs {cli}");
+
+        let w = Workload { reads: s - 1, writes: 1, length: ls, stride };
+        let a = sys.smc_asymptotic_bound(&w, depth);
+        let a2 = sys.smc_asymptotic_bound(&w, depth * 2);
+        prop_assert!(a > 0.0 && a <= 100.0);
+        prop_assert!(a2 >= a, "deeper FIFOs cannot lower the asymptotic bound");
+        for org in [Organization::CacheLineInterleaved, Organization::PageInterleaved] {
+            let st = sys.smc_startup_bound(org, &w, depth);
+            prop_assert!(st > 0.0 && st <= 100.0);
+            let c = sys.smc_combined_bound(org, &w, depth);
+            prop_assert!((c - st.min(a)).abs() < 1e-9);
+        }
+    }
+
+    /// The strided single-stream bound is non-increasing in stride and flat
+    /// beyond the cacheline for CLI (Figure 8's shape), for any part timing.
+    #[test]
+    fn single_stream_bound_shape(stride in 1u64..64) {
+        use analytic::{cache::StreamSystem, Organization};
+        let sys = StreamSystem::default();
+        let here = sys.single_stream(Organization::CacheLineInterleaved, stride);
+        let next = sys.single_stream(Organization::CacheLineInterleaved, stride + 1);
+        prop_assert!(next <= here + 1e-9);
+        if stride >= 4 {
+            prop_assert!((here - next).abs() < 1e-9, "flat beyond the line");
+        }
+    }
+}
