@@ -112,9 +112,12 @@ impl CacheModel {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(cfg: CacheConfig) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid cache configuration: {e}");
-        }
+        let checked = cfg.validate();
+        assert!(
+            checked.is_ok(),
+            "invalid cache configuration: {}",
+            checked.unwrap_err()
+        );
         CacheModel {
             sets: vec![Vec::with_capacity(cfg.ways); cfg.sets() as usize],
             cfg,

@@ -4,8 +4,9 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
+use faults::FaultInjector;
 use rdram::{AddressMap, Command, Cycle, Location, Rdram, PACKET_BYTES};
-use smc::{StreamDescriptor, StreamKind};
+use smc::{LivelockReport, SmcError, StreamDescriptor, StreamKind, DEFAULT_WATCHDOG_CYCLES};
 
 /// Page management applied to each cacheline burst.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -63,6 +64,10 @@ struct InFlight {
     op: LineOp,
     loc: Location,
     stage: Stage,
+    /// DATA NACKs absorbed by this line so far.
+    retries: u32,
+    /// Packet index to resume at after redoing ROW work (NACK recovery).
+    resume_at: u64,
 }
 
 /// Timing summary of a completed natural-order run.
@@ -74,6 +79,8 @@ pub struct BaselineResult {
     pub line_transfers: u64,
     /// Cycles the controller spent with work queued but nothing issuable.
     pub idle_cycles: Cycle,
+    /// DATA packets NACKed by the fault injector and retried.
+    pub data_nacks: u64,
 }
 
 /// The natural-order cacheline controller (see the [crate docs](crate)).
@@ -94,6 +101,12 @@ pub struct BaselineController {
     max_in_flight: usize,
     /// (hits, misses, writebacks) of the modeled cache, if any.
     cache_stats: Option<(u64, u64, u64)>,
+    faults: FaultInjector,
+    data_nacks: u64,
+    watchdog_limit: Cycle,
+    last_fingerprint: u64,
+    last_progress: Cycle,
+    last_issued: Option<(Command, Cycle)>,
 }
 
 impl BaselineController {
@@ -140,7 +153,33 @@ impl BaselineController {
             idle_cycles: 0,
             max_in_flight: 4,
             cache_stats: None,
+            faults: FaultInjector::inert(),
+            data_nacks: 0,
+            watchdog_limit: DEFAULT_WATCHDOG_CYCLES,
+            last_fingerprint: 0,
+            last_progress: 0,
+            last_issued: None,
         }
+    }
+
+    /// Subject the controller to an injected fault timeline. Install the
+    /// same injector (same plan and seed) on the device so both sides agree
+    /// on when banks are busy.
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// Replace the forward-progress watchdog threshold (cycles without
+    /// observable progress before [`tick`](Self::tick) returns
+    /// [`SmcError::Livelock`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn with_watchdog(mut self, limit: Cycle) -> Self {
+        assert!(limit > 0, "the watchdog needs a nonzero threshold");
+        self.watchdog_limit = limit;
+        self
     }
 
     /// Switch the store treatment (rebuilds the schedule). Call before the
@@ -376,6 +415,8 @@ impl BaselineController {
                 op,
                 loc,
                 stage: Stage::Col(0),
+                retries: 0,
+                resume_at: 0,
             });
         }
     }
@@ -387,11 +428,81 @@ impl BaselineController {
     /// Advance one cycle: admit ready transfers and issue at most one
     /// command packet.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the device rejects a command the controller scheduled
-    /// (an internal bug).
-    pub fn tick(&mut self, now: Cycle, dev: &mut Rdram) {
+    /// [`SmcError::Protocol`] if the device rejects a scheduled command,
+    /// [`SmcError::RetryExhausted`] if an injected DATA NACK outlasts the
+    /// fault plan's retry budget, or [`SmcError::Livelock`] when the
+    /// forward-progress watchdog sees no command issued for the watchdog
+    /// threshold.
+    pub fn tick(&mut self, now: Cycle, dev: &mut Rdram) -> Result<(), SmcError> {
+        if self.faults.stalled(now) {
+            if !self.done() {
+                self.idle_cycles += 1;
+            }
+            return Ok(());
+        }
+        self.step(now, dev)?;
+        if self.done() {
+            self.last_progress = now;
+            return Ok(());
+        }
+        let fp = self.fingerprint(dev);
+        if fp != self.last_fingerprint {
+            self.last_fingerprint = fp;
+            self.last_progress = now;
+        } else if now.saturating_sub(self.last_progress) >= self.watchdog_limit {
+            return Err(SmcError::Livelock(Box::new(self.livelock_report(now, dev))));
+        }
+        Ok(())
+    }
+
+    /// Hash of everything that changes when the schedule makes progress.
+    fn fingerprint(&self, dev: &Rdram) -> u64 {
+        let s = dev.stats();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mix = |h: &mut u64, v: u64| {
+            *h ^= v;
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for v in [
+            s.activates,
+            s.precharges,
+            s.auto_precharges,
+            s.read_packets,
+            s.write_packets,
+            self.queue.len() as u64,
+            self.in_flight.len() as u64,
+            self.line_transfers,
+        ] {
+            mix(&mut h, v);
+        }
+        h
+    }
+
+    fn livelock_report(&self, now: Cycle, dev: &Rdram) -> LivelockReport {
+        let banks = dev.config().total_banks();
+        let (last_command, last_command_cycle) = match self.last_issued {
+            Some((c, t)) => (Some(format!("{c:?}")), t),
+            None => (None, 0),
+        };
+        LivelockReport {
+            now,
+            stalled_for: now.saturating_sub(self.last_progress),
+            last_command,
+            last_command_cycle,
+            open_banks: (0..banks)
+                .filter_map(|b| dev.open_row(b).map(|r| (b, r)))
+                .collect(),
+            fifo_occupancy: Vec::new(),
+            in_flight: self.in_flight.len(),
+            pending: self.queue.len(),
+        }
+    }
+
+    /// One scheduling step: admit ready transfers and issue at most one
+    /// command packet.
+    fn step(&mut self, now: Cycle, dev: &mut Rdram) -> Result<(), SmcError> {
         self.try_admit(now);
         // Find the oldest in-flight op whose next command can start now.
         for k in 0..self.in_flight.len() {
@@ -423,12 +534,12 @@ impl BaselineController {
             if dev.earliest(&cmd, now) > now {
                 continue;
             }
-            self.issue(k, cmd, now, dev);
-            return;
+            return self.issue(k, cmd, now, dev);
         }
         if !self.queue.is_empty() || !self.in_flight.is_empty() {
             self.idle_cycles += 1;
         }
+        Ok(())
     }
 
     fn command_for(&self, f: &InFlight) -> Command {
@@ -451,7 +562,13 @@ impl BaselineController {
         }
     }
 
-    fn issue(&mut self, k: usize, cmd: Command, now: Cycle, dev: &mut Rdram) {
+    fn issue(
+        &mut self,
+        k: usize,
+        cmd: Command,
+        now: Cycle,
+        dev: &mut Rdram,
+    ) -> Result<(), SmcError> {
         let stage = self.in_flight[k].stage;
         // Label the op's ROW ACT (or first COL on a page hit) for the
         // timing-diagram figures.
@@ -468,15 +585,42 @@ impl BaselineController {
                 self.streams[f.op.stream].name, f.op.trigger_iter
             ));
         }
-        let outcome = dev
-            .issue_at(&cmd, now)
-            .unwrap_or_else(|e| panic!("baseline scheduled an illegal command: {e}"));
+        let outcome = dev.issue_at(&cmd, now)?;
+        self.last_issued = Some((cmd, now));
         match stage {
             Stage::Precharge => self.in_flight[k].stage = Stage::Activate,
-            Stage::Activate => self.in_flight[k].stage = Stage::Col(0),
+            Stage::Activate => {
+                self.in_flight[k].stage = Stage::Col(self.in_flight[k].resume_at);
+            }
             Stage::Col(p) => {
                 let data = outcome.data.expect("COL commands carry data");
                 self.last_data_cycle = self.last_data_cycle.max(data.end);
+                let bank = self.in_flight[k].loc.bank;
+                if self.faults.nack_data(bank, data.end, self.in_flight[k].retries) {
+                    // The bus cycles are spent but no data moved: retry the
+                    // packet. The row may have been auto-precharged away, so
+                    // re-derive the stage from live bank state.
+                    self.data_nacks += 1;
+                    self.in_flight[k].retries += 1;
+                    let retries = self.in_flight[k].retries;
+                    if retries > self.faults.nack_retry_limit() {
+                        return Err(SmcError::RetryExhausted {
+                            bank,
+                            addr: self.in_flight[k].op.line_addr + p * PACKET_BYTES,
+                            attempts: retries,
+                        });
+                    }
+                    self.in_flight[k].resume_at = p;
+                    let plan = dev.plan(self.in_flight[k].loc);
+                    self.in_flight[k].stage = if plan.needs_precharge {
+                        Stage::Precharge
+                    } else if plan.needs_activate {
+                        Stage::Activate
+                    } else {
+                        Stage::Col(p)
+                    };
+                    return Ok(());
+                }
                 // Linefill forwarding: each element becomes visible when
                 // its own packet starts arriving (the paper: the store "can
                 // be initiated as soon as the first data packet is
@@ -503,26 +647,28 @@ impl BaselineController {
                 }
             }
         }
+        Ok(())
     }
 
     /// Run the whole schedule, returning the timing summary.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the schedule fails to make progress (an internal bug).
-    pub fn run_to_completion(&mut self, dev: &mut Rdram) -> BaselineResult {
+    /// Propagates the first [`SmcError`] a tick reports — under fault
+    /// injection that can be a livelock or an exhausted retry budget; on a
+    /// fault-free run any error is an internal bug.
+    pub fn run_to_completion(&mut self, dev: &mut Rdram) -> Result<BaselineResult, SmcError> {
         let mut now = 0;
-        let budget = 200_000_000;
         while !self.done() {
-            self.tick(now, dev);
+            self.tick(now, dev)?;
             now += 1;
-            assert!(now < budget, "baseline schedule failed to complete");
         }
-        BaselineResult {
+        Ok(BaselineResult {
             last_data_cycle: self.last_data_cycle,
             line_transfers: self.line_transfers,
             idle_cycles: self.idle_cycles,
-        }
+            data_nacks: self.data_nacks,
+        })
     }
 
     /// End cycle of the last DATA packet scheduled so far.
@@ -568,7 +714,7 @@ mod tests {
         let (mut dev, map) = cli();
         let streams = vec![StreamDescriptor::read("x", 0, 1, 1024)];
         let mut ctl = BaselineController::new(streams, map, LinePolicy::ClosedPage, 32);
-        let r = ctl.run_to_completion(&mut dev);
+        let r = ctl.run_to_completion(&mut dev).expect("fault-free run");
         let words = 1024.0;
         let cyc_per_word = r.last_data_cycle as f64 / words;
         // tRR-limited: one line (4 words) per 2*tRR..=T_LCC window.
@@ -582,7 +728,7 @@ mod tests {
         let n = 1024;
         let run = |(mut dev, map): (Rdram, AddressMap), pol, unit| {
             let mut ctl = BaselineController::new(three_stream(n, unit), map, pol, 32);
-            ctl.run_to_completion(&mut dev).last_data_cycle
+            ctl.run_to_completion(&mut dev).expect("fault-free run").last_data_cycle
         };
         let cli_cycles = run(cli(), LinePolicy::ClosedPage, 32);
         let pi_cycles = run(pi(), LinePolicy::OpenPage, 1024);
@@ -597,7 +743,7 @@ mod tests {
         let (mut dev, map) = cli();
         let mut ctl =
             BaselineController::new(three_stream(64, 32), map, LinePolicy::ClosedPage, 32);
-        let _ = ctl.run_to_completion(&mut dev);
+        let _ = ctl.run_to_completion(&mut dev).expect("fault-free run");
         // x[0] and y[0] must both arrive; z's first line transfer starts
         // after them, so every arrival is defined.
         let x0 = ctl.elem_arrival(0, 0).unwrap();
@@ -613,7 +759,7 @@ mod tests {
         let (mut dev, map) = cli();
         let streams = vec![StreamDescriptor::read("x", 0, 1, 8)];
         let mut ctl = BaselineController::new(streams, map, LinePolicy::ClosedPage, 32);
-        let _ = ctl.run_to_completion(&mut dev);
+        let _ = ctl.run_to_completion(&mut dev).expect("fault-free run");
         // Elements 0-1 are in the line's first packet, 2-3 in the second.
         let a0 = ctl.elem_arrival(0, 0).unwrap();
         let a2 = ctl.elem_arrival(0, 2).unwrap();
@@ -626,7 +772,7 @@ mod tests {
         let (mut dev, map) = cli();
         let streams = vec![StreamDescriptor::read("x", 0, 8, 32)];
         let mut ctl = BaselineController::new(streams, map, LinePolicy::ClosedPage, 32);
-        let r = ctl.run_to_completion(&mut dev);
+        let r = ctl.run_to_completion(&mut dev).expect("fault-free run");
         assert_eq!(
             r.line_transfers, 32,
             "stride 8 words skips every other line"
@@ -638,7 +784,7 @@ mod tests {
         let (mut dev, map) = pi();
         let streams = vec![StreamDescriptor::write("y", 0, 1, 256)];
         let mut ctl = BaselineController::new(streams, map, LinePolicy::OpenPage, 32);
-        let r = ctl.run_to_completion(&mut dev);
+        let r = ctl.run_to_completion(&mut dev).expect("fault-free run");
         assert_eq!(r.line_transfers, 64);
         assert!(ctl.done());
     }
@@ -651,7 +797,7 @@ mod tests {
             let mut ctl =
                 BaselineController::new(three_stream(n, 32), map, LinePolicy::ClosedPage, 32)
                     .with_write_policy(policy);
-            ctl.run_to_completion(&mut dev)
+            ctl.run_to_completion(&mut dev).expect("fault-free run")
         };
         let direct = run(WritePolicy::StoreDirect);
         let allocate = run(WritePolicy::WriteAllocate);
@@ -674,12 +820,12 @@ mod tests {
         let (mut dev, map) = cli();
         let mut ideal =
             BaselineController::new(three_stream(n, 32), map, LinePolicy::ClosedPage, 32);
-        let ideal_r = ideal.run_to_completion(&mut dev);
+        let ideal_r = ideal.run_to_completion(&mut dev).expect("fault-free run");
         let (mut dev2, map2) = cli();
         let mut cached =
             BaselineController::new(three_stream(n, 32), map2, LinePolicy::ClosedPage, 32)
                 .with_cache(crate::cache::CacheConfig::i860xp());
-        let cached_r = cached.run_to_completion(&mut dev2);
+        let cached_r = cached.run_to_completion(&mut dev2).expect("fault-free run");
         let (hits, misses, _) = cached.cache_stats().unwrap();
         // Every stream's lines miss once (z's stores write-allocate).
         assert_eq!(misses, 3 * n / 4);
@@ -713,7 +859,7 @@ mod tests {
         let (mut dev, map) = cli();
         let mut cached =
             BaselineController::new(mk(1024), map, LinePolicy::ClosedPage, 32).with_cache(tiny);
-        let r = cached.run_to_completion(&mut dev);
+        let r = cached.run_to_completion(&mut dev).expect("fault-free run");
         let (_, misses, writebacks) = cached.cache_stats().unwrap();
         // Strided accesses at one-line-per-element already miss per access;
         // the conflict cache also evicts dirty z lines continuously.
@@ -722,6 +868,57 @@ mod tests {
         // resident flush at the end.
         assert!(writebacks >= n - 16, "dirty z lines evicted: {writebacks}");
         assert_eq!(r.line_transfers, 4 * n, "3n fetches + n writebacks");
+    }
+
+    #[test]
+    fn permanently_busy_banks_trip_the_watchdog() {
+        use faults::{FaultInjector, FaultPlan};
+        let (mut dev, map) = cli();
+        let plan = FaultPlan::parse("busy:*:1:1").unwrap();
+        let inj = FaultInjector::new(&plan, 7);
+        dev.set_faults(std::sync::Arc::new(inj.clone()));
+        let streams = vec![StreamDescriptor::read("x", 0, 1, 64)];
+        let mut ctl = BaselineController::new(streams, map, LinePolicy::ClosedPage, 32)
+            .with_watchdog(500);
+        ctl.set_faults(inj);
+        match ctl.run_to_completion(&mut dev) {
+            Err(SmcError::Livelock(report)) => {
+                assert!(report.stalled_for >= 500, "{report}");
+                assert!(report.last_command.is_none(), "nothing ever issued");
+                assert!(report.pending + report.in_flight > 0, "work remained");
+            }
+            other => panic!("expected livelock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nacked_data_packets_are_retried_to_completion() {
+        use faults::{FaultInjector, FaultPlan};
+        let (mut dev, map) = cli();
+        let plan = FaultPlan::parse("nack:300:10").unwrap();
+        let inj = FaultInjector::new(&plan, 11);
+        dev.set_faults(std::sync::Arc::new(inj.clone()));
+        let streams = vec![StreamDescriptor::read("x", 0, 1, 256)];
+        let mut ctl = BaselineController::new(streams, map, LinePolicy::ClosedPage, 32);
+        ctl.set_faults(inj);
+        let r = ctl.run_to_completion(&mut dev).expect("retries recover");
+        assert!(r.data_nacks > 0, "plan should have injected NACKs");
+        assert_eq!(r.line_transfers, 64, "every line still completes");
+    }
+
+    #[test]
+    fn injected_stalls_pause_but_do_not_kill_the_run() {
+        use faults::{FaultInjector, FaultPlan};
+        let (mut dev, map) = cli();
+        let plan = FaultPlan::parse("stall:100:20").unwrap();
+        let inj = FaultInjector::new(&plan, 3);
+        dev.set_faults(std::sync::Arc::new(inj.clone()));
+        let streams = vec![StreamDescriptor::read("x", 0, 1, 64)];
+        let mut ctl = BaselineController::new(streams, map, LinePolicy::ClosedPage, 32);
+        ctl.set_faults(inj);
+        let r = ctl.run_to_completion(&mut dev).expect("stalls only slow us");
+        assert_eq!(r.line_transfers, 16);
+        assert!(r.idle_cycles > 0, "stall windows count as idle time");
     }
 
     #[test]

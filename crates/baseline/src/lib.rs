@@ -34,7 +34,7 @@
 //!     StreamDescriptor::write("y", 1 << 20, 1, 128),
 //! ];
 //! let mut ctl = BaselineController::new(streams, map, baseline::LinePolicy::ClosedPage, 32);
-//! let result = ctl.run_to_completion(&mut dev);
+//! let result = ctl.run_to_completion(&mut dev).expect("fault-free run");
 //! assert!(result.last_data_cycle > 0);
 //! ```
 

@@ -1,0 +1,248 @@
+//! The injector: a fault plan bound to a seed, answering per-cycle queries.
+
+use rdram::{ChannelFaults, Cycle};
+
+use crate::{FaultClause, FaultPlan};
+
+/// Iteration bound for the busy-window fixpoint in [`FaultInjector::free_at`].
+/// Overlapping periodic windows converge in a handful of jumps; hitting the
+/// bound means the windows tile (almost) all of time, which we report as
+/// "never free" — the controllers' watchdogs then turn starvation into a
+/// structured livelock error instead of a hang.
+const FIXPOINT_BOUND: u32 = 10_000;
+
+/// A [`FaultPlan`] bound to a seed.
+///
+/// Every query is a pure function of the plan, the seed, and the query
+/// arguments, so clones held by the device model, the MSU, and the baseline
+/// controller always agree, and a `(plan, seed)` pair replays identically.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    clauses: Vec<FaultClause>,
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// Bind `plan` to `seed`.
+    pub fn new(plan: &FaultPlan, seed: u64) -> Self {
+        FaultInjector {
+            clauses: plan.clauses.clone(),
+            seed,
+        }
+    }
+
+    /// An injector that injects nothing.
+    pub fn inert() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Whether the injector has no clauses at all.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// The bound seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the controller is fault-stalled (must not issue commands)
+    /// at `now`.
+    pub fn stalled(&self, now: Cycle) -> bool {
+        self.clauses.iter().any(|c| match *c {
+            FaultClause::Stall { period, len } => now % period < len,
+            _ => false,
+        })
+    }
+
+    /// Whether the DATA packet of an access to `bank`, whose transfer ends
+    /// at `data_end`, is NACKed on retry number `attempt` (0 = first try).
+    ///
+    /// Keyed on the transfer-end cycle so a retried access (different end
+    /// cycle, different attempt number) re-rolls independently.
+    pub fn nack_data(&self, bank: usize, data_end: Cycle, attempt: u32) -> bool {
+        self.clauses.iter().any(|c| match *c {
+            FaultClause::DataNack { permille, .. } => {
+                let roll = mix(self.seed, bank as u64, data_end, u64::from(attempt)) % 1000;
+                roll < u64::from(permille)
+            }
+            _ => false,
+        })
+    }
+
+    /// The largest retry budget any NACK clause grants (0 when no NACK
+    /// clause is present).
+    pub fn nack_retry_limit(&self) -> u32 {
+        self.clauses
+            .iter()
+            .filter_map(|c| match *c {
+                FaultClause::DataNack { max_retries, .. } => Some(max_retries),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether any busy/storm clause covers `bank` at cycle `t`.
+    pub fn bank_busy(&self, bank: usize, t: Cycle) -> bool {
+        self.clauses.iter().any(|c| busy_window_end(c, bank, t).is_some())
+    }
+}
+
+impl ChannelFaults for FaultInjector {
+    fn free_at(&self, bank: usize, mut t: Cycle) -> Cycle {
+        if self.clauses.is_empty() {
+            return t;
+        }
+        for _ in 0..FIXPOINT_BOUND {
+            let mut moved = false;
+            for c in &self.clauses {
+                if let Some(end) = busy_window_end(c, bank, t) {
+                    if end == Cycle::MAX {
+                        return Cycle::MAX;
+                    }
+                    t = end;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return t;
+            }
+        }
+        Cycle::MAX
+    }
+}
+
+/// If `clause` makes `bank` busy at `t`, the first cycle after the current
+/// window ([`Cycle::MAX`] when the window never ends).
+fn busy_window_end(clause: &FaultClause, bank: usize, t: Cycle) -> Option<Cycle> {
+    let (period, len) = match *clause {
+        FaultClause::BankBusy { bank: b, period, len } => {
+            if b.is_some_and(|b| b != bank) {
+                return None;
+            }
+            (period, len)
+        }
+        FaultClause::RefreshStorm { period, len } => (period, len),
+        FaultClause::DataNack { .. } | FaultClause::Stall { .. } => return None,
+    };
+    if len >= period {
+        // The busy window covers the whole period: permanently busy.
+        return Some(Cycle::MAX);
+    }
+    let phase = t % period;
+    (phase < len).then(|| t + (len - phase))
+}
+
+/// Stateless splitmix64-style combine of the query coordinates.
+fn mix(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(a.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(b.wrapping_mul(0x94d0_49bb_1331_11eb))
+        .wrapping_add(c.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdram::ChannelFaults;
+
+    fn injector(spec: &str) -> FaultInjector {
+        FaultInjector::new(&FaultPlan::parse(spec).unwrap(), 42)
+    }
+
+    #[test]
+    fn inert_injector_is_transparent() {
+        let inj = FaultInjector::inert();
+        assert!(inj.is_empty());
+        for t in [0u64, 1, 99, 1 << 40] {
+            assert_eq!(inj.free_at(0, t), t);
+            assert!(!inj.stalled(t));
+            assert!(!inj.nack_data(0, t, 0));
+        }
+        assert_eq!(inj.nack_retry_limit(), 0);
+    }
+
+    #[test]
+    fn busy_windows_are_periodic_and_bank_scoped() {
+        let inj = injector("busy:3:100:10");
+        // Bank 3 is busy for cycles [0, 10) of each 100-cycle period.
+        assert_eq!(inj.free_at(3, 0), 10);
+        assert_eq!(inj.free_at(3, 9), 10);
+        assert_eq!(inj.free_at(3, 10), 10);
+        assert_eq!(inj.free_at(3, 99), 99);
+        assert_eq!(inj.free_at(3, 205), 210);
+        // Other banks are untouched.
+        assert_eq!(inj.free_at(2, 0), 0);
+        assert!(inj.bank_busy(3, 5) && !inj.bank_busy(2, 5));
+    }
+
+    #[test]
+    fn wildcard_busy_and_storms_hit_every_bank() {
+        for spec in ["busy:*:100:10", "storm:100:10"] {
+            let inj = injector(spec);
+            for bank in 0..8 {
+                assert_eq!(inj.free_at(bank, 5), 10, "{spec} bank {bank}");
+            }
+        }
+    }
+
+    #[test]
+    fn permanent_busy_reports_never_free() {
+        let inj = injector("busy:0:1:1");
+        assert_eq!(inj.free_at(0, 0), Cycle::MAX);
+        assert_eq!(inj.free_at(0, 12345), Cycle::MAX);
+        assert_eq!(inj.free_at(1, 12345), 12345);
+    }
+
+    #[test]
+    fn overlapping_windows_converge_to_a_common_gap() {
+        let inj = injector("busy:0:7:3;storm:11:4");
+        for t in 0..2000u64 {
+            let free = inj.free_at(0, t);
+            assert!(free >= t);
+            assert!(!inj.bank_busy(0, free), "free_at({t}) = {free} still busy");
+            // Idempotent and monotone.
+            assert_eq!(inj.free_at(0, free), free);
+            assert!(inj.free_at(0, t + 1) >= free || free >= t + 1);
+        }
+    }
+
+    #[test]
+    fn stalls_follow_their_window() {
+        let inj = injector("stall:50:5");
+        for t in 0..200u64 {
+            assert_eq!(inj.stalled(t), t % 50 < 5, "cycle {t}");
+        }
+        // Stalls do not make banks busy.
+        assert_eq!(inj.free_at(0, 2), 2);
+    }
+
+    #[test]
+    fn nack_rate_tracks_permille_and_is_deterministic() {
+        let inj = injector("nack:250:3");
+        assert_eq!(inj.nack_retry_limit(), 3);
+        let hits = (0..4000u64)
+            .filter(|&t| inj.nack_data(t as usize % 8, t * 4, 0))
+            .count();
+        // 25% +- 5% over 4000 rolls.
+        assert!((800..=1200).contains(&hits), "hits = {hits}");
+        // Same coordinates, same answer; different attempt re-rolls.
+        assert_eq!(inj.nack_data(3, 400, 0), inj.nack_data(3, 400, 0));
+        let varies = (0..100u32).any(|a| inj.nack_data(3, 400, a) != inj.nack_data(3, 400, 0));
+        assert!(varies, "attempt number never changed the roll");
+    }
+
+    #[test]
+    fn different_seeds_give_different_timelines() {
+        let plan = FaultPlan::parse("nack:100:2").unwrap();
+        let a = FaultInjector::new(&plan, 1);
+        let b = FaultInjector::new(&plan, 2);
+        let differs = (0..1000u64).any(|t| a.nack_data(0, t, 0) != b.nack_data(0, t, 0));
+        assert!(differs);
+    }
+}

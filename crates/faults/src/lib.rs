@@ -1,0 +1,49 @@
+//! Deterministic, seeded fault injection for the Rambus stream-memory
+//! simulator.
+//!
+//! A [`FaultPlan`] describes *what* can go wrong — transient bank-busy
+//! windows, channel-wide refresh storms, NACKed DATA packets that force
+//! bounded retries, and injected controller stalls. A [`FaultInjector`]
+//! binds a plan to a seed and answers, as a pure function of `(clause,
+//! seed, cycle, bank)`, whether each fault fires. Because every decision is
+//! derived by hashing rather than by mutating generator state, the injector
+//! is `Clone` and can be consulted independently by the device model
+//! ([`rdram::ChannelFaults`]), the SMC's MSU, and the baseline controller
+//! without any shared-state coordination — replaying a `(plan, seed)` pair
+//! reproduces the exact same fault timeline every time.
+//!
+//! # Spec grammar
+//!
+//! Plans parse from compact `;`-separated clause specs (the CLI's
+//! `--faults` argument):
+//!
+//! ```text
+//! busy:<bank|*>:<period>:<len>   bank (or all banks) unavailable for the
+//!                                first <len> cycles of every <period>
+//! nack:<permille>:<retries>      each DATA packet NACKed with probability
+//!                                permille/1000; at most <retries> retries
+//!                                per access before the run errors out
+//! storm:<period>:<len>           refresh storm: all banks busy for <len>
+//!                                cycles of every <period>
+//! stall:<period>:<len>           controller stalled (no command issue) for
+//!                                <len> cycles of every <period>
+//! ```
+//!
+//! ```
+//! use faults::{FaultClause, FaultPlan};
+//!
+//! let plan = FaultPlan::parse("busy:3:128:16;nack:50:4").unwrap();
+//! assert_eq!(plan.clauses.len(), 2);
+//! assert_eq!(plan.to_spec(), "busy:3:128:16;nack:50:4");
+//! assert!(matches!(plan.clauses[1],
+//!     FaultClause::DataNack { permille: 50, max_retries: 4 }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod injector;
+mod plan;
+
+pub use injector::FaultInjector;
+pub use plan::{FaultClause, FaultPlan, FaultSpecError};

@@ -1,0 +1,346 @@
+//! Fault plans: what can go wrong, independent of when it fires.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One class of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClause {
+    /// A bank (or every bank, when `bank` is `None`) refuses commands for
+    /// the first `len` cycles of every `period`-cycle window.
+    BankBusy {
+        /// The afflicted bank, or `None` for all banks.
+        bank: Option<usize>,
+        /// Window period in cycles (>= 1).
+        period: u64,
+        /// Busy cycles at the start of each window (>= 1; `len >= period`
+        /// makes the bank permanently busy).
+        len: u64,
+    },
+    /// Each DATA packet is NACKed with probability `permille / 1000` and
+    /// must be retried; an access that fails `max_retries + 1` straight
+    /// times is a hard error.
+    DataNack {
+        /// NACK probability in thousandths (0..=1000).
+        permille: u32,
+        /// Retries allowed per access before the run errors out.
+        max_retries: u32,
+    },
+    /// Channel-wide refresh storm: every bank is busy for the first `len`
+    /// cycles of every `period`-cycle window.
+    RefreshStorm {
+        /// Window period in cycles (>= 1).
+        period: u64,
+        /// Busy cycles at the start of each window (>= 1).
+        len: u64,
+    },
+    /// The memory controller is stalled — issues no commands at all — for
+    /// the first `len` cycles of every `period`-cycle window.
+    Stall {
+        /// Window period in cycles (>= 1).
+        period: u64,
+        /// Stalled cycles at the start of each window (>= 1).
+        len: u64,
+    },
+}
+
+impl fmt::Display for FaultClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultClause::BankBusy { bank, period, len } => match bank {
+                Some(b) => write!(f, "busy:{b}:{period}:{len}"),
+                None => write!(f, "busy:*:{period}:{len}"),
+            },
+            FaultClause::DataNack {
+                permille,
+                max_retries,
+            } => write!(f, "nack:{permille}:{max_retries}"),
+            FaultClause::RefreshStorm { period, len } => write!(f, "storm:{period}:{len}"),
+            FaultClause::Stall { period, len } => write!(f, "stall:{period}:{len}"),
+        }
+    }
+}
+
+/// A set of fault clauses, applied simultaneously during a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The clauses; an empty list injects nothing.
+    pub clauses: Vec<FaultClause>,
+}
+
+/// A malformed `--faults` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The offending clause text.
+    pub clause: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault clause '{}': {}", self.clause, self.reason)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+impl FaultPlan {
+    /// A plan with no clauses.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Parse a `;`-separated clause spec (see the crate docs for the
+    /// grammar). Empty clauses are ignored, so trailing `;` is fine.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultSpecError`] naming the first malformed clause.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
+        let mut clauses = Vec::new();
+        for raw in spec.split(';') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            clauses.push(parse_clause(raw)?);
+        }
+        Ok(FaultPlan { clauses })
+    }
+
+    /// Render the plan back to spec syntax (`parse` ∘ `to_spec` is the
+    /// identity).
+    pub fn to_spec(&self) -> String {
+        self.clauses
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// A pseudo-random plan derived entirely from `seed`, sized so a
+    /// kernel run under it always terminates within a (generous) cycle
+    /// budget: busy/storm/stall duty cycles stay at or below 25% and NACK
+    /// probabilities at or below 20% with at least 2 retries.
+    ///
+    /// Used by the property suite to sweep fault space deterministically.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut h = Hasher::new(seed);
+        let mut clauses = Vec::new();
+        if h.chance(2) {
+            let bank = if h.chance(2) {
+                None
+            } else {
+                Some(h.range(8) as usize)
+            };
+            let period = 64 + h.range(448);
+            let len = 1 + h.range(period / 4);
+            clauses.push(FaultClause::BankBusy { bank, period, len });
+        }
+        if h.chance(2) {
+            clauses.push(FaultClause::DataNack {
+                permille: 1 + h.range(200) as u32,
+                max_retries: 2 + h.range(5) as u32,
+            });
+        }
+        if h.chance(3) {
+            let period = 256 + h.range(1792);
+            let len = 1 + h.range(period / 8);
+            clauses.push(FaultClause::RefreshStorm { period, len });
+        }
+        if h.chance(3) {
+            let period = 128 + h.range(896);
+            let len = 1 + h.range(period / 8);
+            clauses.push(FaultClause::Stall { period, len });
+        }
+        if clauses.is_empty() {
+            // Guarantee the plan does something: a mild storm.
+            let period = 512 + h.range(512);
+            clauses.push(FaultClause::RefreshStorm {
+                period,
+                len: 1 + h.range(period / 16),
+            });
+        }
+        FaultPlan { clauses }
+    }
+}
+
+fn parse_clause(raw: &str) -> Result<FaultClause, FaultSpecError> {
+    let err = |reason: &str| FaultSpecError {
+        clause: raw.to_string(),
+        reason: reason.to_string(),
+    };
+    let parts: Vec<&str> = raw.split(':').collect();
+    let uint = |s: &str, what: &str| -> Result<u64, FaultSpecError> {
+        s.parse::<u64>()
+            .map_err(|_| err(&format!("{what} must be an unsigned integer, got '{s}'")))
+    };
+    let window = |p: &str, l: &str| -> Result<(u64, u64), FaultSpecError> {
+        let period = uint(p, "period")?;
+        let len = uint(l, "len")?;
+        if period == 0 {
+            return Err(err("period must be >= 1"));
+        }
+        if len == 0 {
+            return Err(err("len must be >= 1"));
+        }
+        Ok((period, len))
+    };
+    match parts.as_slice() {
+        ["busy", bank, p, l] => {
+            let bank = if *bank == "*" {
+                None
+            } else {
+                Some(uint(bank, "bank")? as usize)
+            };
+            let (period, len) = window(p, l)?;
+            Ok(FaultClause::BankBusy { bank, period, len })
+        }
+        ["nack", permille, retries] => {
+            let permille = uint(permille, "permille")?;
+            if permille > 1000 {
+                return Err(err("permille must be <= 1000"));
+            }
+            Ok(FaultClause::DataNack {
+                permille: permille as u32,
+                max_retries: uint(retries, "retries")? as u32,
+            })
+        }
+        ["storm", p, l] => {
+            let (period, len) = window(p, l)?;
+            Ok(FaultClause::RefreshStorm { period, len })
+        }
+        ["stall", p, l] => {
+            let (period, len) = window(p, l)?;
+            Ok(FaultClause::Stall { period, len })
+        }
+        [kind, ..] => Err(err(&format!(
+            "unknown or malformed clause kind '{kind}' \
+             (expected busy:<bank|*>:<period>:<len>, nack:<permille>:<retries>, \
+             storm:<period>:<len>, or stall:<period>:<len>)"
+        ))),
+        [] => Err(err("empty clause")),
+    }
+}
+
+/// Splitmix64-style stateless hashing used for plan generation.
+struct Hasher {
+    state: u64,
+}
+
+impl Hasher {
+    fn new(seed: u64) -> Self {
+        Hasher {
+            state: seed ^ 0xa076_1d64_78bd_642f,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    fn range(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    /// True with probability `1/denom`.
+    fn chance(&mut self, denom: u64) -> bool {
+        self.range(denom) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips() {
+        for spec in [
+            "busy:3:128:16",
+            "busy:*:64:8",
+            "nack:50:4",
+            "storm:512:32",
+            "stall:256:16",
+            "busy:0:100:25;nack:10:2;storm:1000:50;stall:300:10",
+        ] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            assert_eq!(plan.to_spec(), spec, "round-trip failed for {spec}");
+            let again = FaultPlan::parse(&plan.to_spec()).unwrap();
+            assert_eq!(again, plan);
+        }
+    }
+
+    #[test]
+    fn trailing_separators_and_whitespace_are_tolerated() {
+        let plan = FaultPlan::parse(" busy:1:10:2 ; nack:5:3 ; ").unwrap();
+        assert_eq!(plan.clauses.len(), 2);
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_the_offending_clause() {
+        for bad in [
+            "bogus:1:2",
+            "busy:x:10:2",
+            "busy:1:0:2",
+            "busy:1:10:0",
+            "nack:1001:3",
+            "nack:5",
+            "storm:10",
+            "stall:10:2:3",
+        ] {
+            let e = FaultPlan::parse(bad).unwrap_err();
+            assert!(
+                bad.starts_with(e.clause.as_str()) || e.clause == bad,
+                "error clause '{}' should reference '{bad}'",
+                e.clause
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_bounded() {
+        for seed in 0..500u64 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a, b);
+            assert!(!a.is_empty());
+            for c in &a.clauses {
+                match *c {
+                    FaultClause::BankBusy { period, len, .. } => {
+                        assert!(len * 4 <= period + 4, "busy duty too high: {c}")
+                    }
+                    FaultClause::RefreshStorm { period, len }
+                    | FaultClause::Stall { period, len } => {
+                        assert!(len * 8 <= period + 8, "window duty too high: {c}")
+                    }
+                    FaultClause::DataNack {
+                        permille,
+                        max_retries,
+                    } => {
+                        assert!(permille <= 200 && max_retries >= 2);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_vary_the_plan() {
+        let distinct: std::collections::HashSet<String> =
+            (0..64).map(|s| FaultPlan::from_seed(s).to_spec()).collect();
+        assert!(distinct.len() > 16, "only {} distinct plans", distinct.len());
+    }
+}

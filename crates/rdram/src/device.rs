@@ -1,9 +1,11 @@
 //! The Direct RDRAM device timing model.
 
+use std::sync::Arc;
+
 use crate::trace::{Trace, TraceEvent, TraceKind, TraceUnit};
 use crate::{
-    Bank, Bus, ColOp, Command, Cycle, DataBus, DeviceConfig, DeviceStats, Dir, Interval, Location,
-    ProtocolError, RowOp, SenseAmps, Timing,
+    Bank, Bus, ChannelFaults, ColOp, Command, Cycle, DataBus, DeviceConfig, DeviceStats, Dir,
+    Interval, Location, ProtocolError, RowOp, SenseAmps, Timing,
 };
 
 /// Result of issuing a command.
@@ -54,6 +56,8 @@ pub struct Rdram {
     stats: DeviceStats,
     trace: Option<Trace>,
     next_label: Option<String>,
+    /// Injected unavailability; folded into `earliest` when attached.
+    faults: Option<Arc<dyn ChannelFaults>>,
 }
 
 impl Rdram {
@@ -78,8 +82,20 @@ impl Rdram {
             stats: DeviceStats::default(),
             trace,
             next_label: None,
+            faults: None,
             cfg,
         }
+    }
+
+    /// Attach an injected-fault model; its busy windows are folded into
+    /// [`earliest`](Rdram::earliest) from this point on.
+    pub fn set_faults(&mut self, faults: Arc<dyn ChannelFaults>) {
+        self.faults = Some(faults);
+    }
+
+    /// Detach any injected-fault model.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
     }
 
     /// The device's timing parameters.
@@ -175,7 +191,7 @@ impl Rdram {
     /// would still be rejected.
     pub fn earliest(&self, cmd: &Command, now: Cycle) -> Cycle {
         let t = &self.cfg.timing;
-        match cmd {
+        let base = match cmd {
             Command::Row(RowOp::Activate { bank, .. }) => {
                 let b = &self.banks[*bank];
                 let trr = self.last_act_dev[self.device_of(*bank)].map_or(0, |a| a + t.t_rr);
@@ -200,6 +216,10 @@ impl Rdram {
                     .max(b.earliest_col())
                     .max(data_bound)
             }
+        };
+        match &self.faults {
+            Some(f) => f.free_at(cmd.bank(), base),
+            None => base,
         }
     }
 

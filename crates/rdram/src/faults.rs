@@ -1,0 +1,32 @@
+//! Hook for injected channel-level unavailability.
+//!
+//! The device model stays fault-agnostic: anything implementing
+//! [`ChannelFaults`] can be attached with [`Rdram::set_faults`]
+//! (`crate::Rdram::set_faults`), and the device folds the reported busy
+//! windows into [`Rdram::earliest`](crate::Rdram::earliest). Controllers
+//! that schedule with `earliest` then see injected faults as ordinary
+//! timing pressure — no protocol errors, just delay — which is exactly how
+//! a real channel experiences a throttled or refreshing device.
+//!
+//! The concrete implementation lives in the `faults` crate
+//! (`FaultInjector`); the trait is defined here so `rdram` does not depend
+//! on it.
+
+use crate::Cycle;
+
+/// Injected per-bank unavailability, queried by the device timing model.
+///
+/// Implementations must be deterministic pure functions of `(bank, t)` —
+/// the device may query any cycle in any order, including re-querying the
+/// past during `issue_at` validation.
+pub trait ChannelFaults: std::fmt::Debug + Send + Sync {
+    /// The first cycle `>= t` at which `bank` is free of injected
+    /// unavailability.
+    ///
+    /// Must be monotone in `t` (`free_at(bank, a) <= free_at(bank, b)` for
+    /// `a <= b`) and idempotent (`free_at(bank, free_at(bank, t)) ==
+    /// free_at(bank, t)`). Returning [`Cycle::MAX`] models a permanently
+    /// wedged bank; schedulers that gate on `earliest` then starve, which
+    /// the controllers' watchdogs convert into a livelock error.
+    fn free_at(&self, bank: usize, t: Cycle) -> Cycle;
+}

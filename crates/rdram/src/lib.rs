@@ -61,6 +61,7 @@ mod bus;
 mod config;
 mod device;
 mod error;
+mod faults;
 pub mod legacy;
 mod packet;
 pub mod refresh;
@@ -75,6 +76,7 @@ pub use bus::{Bus, DataBus};
 pub use config::DeviceConfig;
 pub use device::{AccessPlan, Outcome, Rdram};
 pub use error::ProtocolError;
+pub use faults::ChannelFaults;
 pub use packet::{ColOp, Command, Dir, Interval, RowOp};
 pub use stats::DeviceStats;
 pub use storage::MemoryImage;

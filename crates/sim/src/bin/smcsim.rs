@@ -12,14 +12,21 @@ fn main() -> ExitCode {
         println!("{}", sim::cli::USAGE);
         return ExitCode::SUCCESS;
     }
-    match sim::cli::parse(&args) {
-        Ok(job) => {
-            print!("{}", sim::cli::execute(&job));
+    let job = match sim::cli::parse(&args) {
+        Ok(job) => job,
+        Err(e) => {
+            eprintln!("smcsim: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match sim::cli::execute(&job) {
+        Ok(out) => {
+            print!("{out}");
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("smcsim: {e}");
-            ExitCode::from(2)
+            ExitCode::FAILURE
         }
     }
 }

@@ -56,6 +56,10 @@ usage: smcsim [OPTIONS]
   --refresh         honour DRAM refresh
   --write-allocate  charge write-allocate fetches + writebacks (natural order)
   --cache           model a real 16 KB 4-way cache with conflicts (natural order)
+  --faults SPEC     inject faults; ';'-separated clauses from:
+                      busy:<bank|*>:<period>:<len>  nack:<permille>:<retries>
+                      storm:<period>:<len>          stall:<period>:<len>
+  --fault-seed S    seed for the fault injector's random draws         [0]
   --json            JSON output
   --explain         print the analytic bound derivation (Eqs. 5.15-5.18)
   --help";
@@ -133,6 +137,16 @@ pub fn parse(args: &[String]) -> Result<Job, String> {
             "--cache" => {
                 job.config.cache = Some(baseline::cache::CacheConfig::i860xp());
             }
+            "--faults" => {
+                let spec = value(args, &mut i, "--faults")?;
+                job.config.faults =
+                    Some(faults::FaultPlan::parse(&spec).map_err(|e| e.to_string())?);
+            }
+            "--fault-seed" => {
+                job.config.fault_seed = value(args, &mut i, "--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("--fault-seed: {e}"))?;
+            }
             "--json" => job.json = true,
             "--explain" => job.explain = true,
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
@@ -151,10 +165,26 @@ pub fn parse(args: &[String]) -> Result<Job, String> {
 }
 
 /// Run the job and format its result.
-pub fn execute(job: &Job) -> String {
-    let result = run_kernel(job.kernel, job.n, job.stride, &job.config);
+///
+/// # Errors
+///
+/// A human-readable message when the run fails — an invalid configuration,
+/// or a structured fault-injection failure (livelock, exhausted retries,
+/// blown cycle budget).
+pub fn execute(job: &Job) -> Result<String, String> {
+    let result = run_kernel(job.kernel, job.n, job.stride, &job.config).map_err(|e| {
+        let mut msg = e.to_string();
+        if let Some(plan) = &job.config.faults {
+            msg.push_str(&format!(
+                " (faults '{}', seed {})",
+                plan.to_spec(),
+                job.config.fault_seed
+            ));
+        }
+        msg
+    })?;
     if job.json {
-        return serde_json::to_string_pretty(&result).expect("result serializes");
+        return Ok(serde_json::to_string_pretty(&result).expect("result serializes"));
     }
     let mut out = String::new();
     if job.explain {
@@ -184,7 +214,7 @@ pub fn execute(job: &Job) -> String {
         }
     }
     out.push_str(&summarize(&result));
-    out
+    Ok(out)
 }
 
 fn summarize(r: &RunResult) -> String {
@@ -218,6 +248,18 @@ fn summarize(r: &RunResult) -> String {
             "  msu: {} fifo switches, {} idle cycles, {} speculative row commands\n",
             m.fifo_switches, m.idle_cycles, m.speculative_activates
         ));
+        if m.data_nacks > 0 || m.injected_stall_cycles > 0 || m.degraded_banks > 0 {
+            out.push_str(&format!(
+                "  recovery: {} data NACKs retried, {} injected stall cycles absorbed, \
+                 {} banks degraded to closed-page\n",
+                m.data_nacks, m.injected_stall_cycles, m.degraded_banks
+            ));
+        }
+    }
+    if let Some(b) = &r.baseline {
+        if b.data_nacks > 0 {
+            out.push_str(&format!("  recovery: {} data NACKs retried\n", b.data_nacks));
+        }
     }
     out
 }
@@ -286,13 +328,43 @@ mod tests {
     #[test]
     fn execute_produces_a_summary_and_json() {
         let mut job = parse(&args("--kernel copy --n 64 --fifo 16")).unwrap();
-        let text = execute(&job);
+        let text = execute(&job).unwrap();
         assert!(text.contains("% of peak"), "{text}");
         assert!(text.contains("fifo switches"));
         job.json = true;
-        let json = execute(&job);
+        let json = execute(&job).unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["kernel"], "Copy");
         assert_eq!(v["n"], 64);
+    }
+
+    #[test]
+    fn fault_flags_parse_and_reject_bad_specs() {
+        let job = parse(&args("--faults busy:0:128:16;nack:50:4 --fault-seed 9")).unwrap();
+        let plan = job.config.faults.expect("plan parsed");
+        assert_eq!(plan.clauses.len(), 2);
+        assert_eq!(job.config.fault_seed, 9);
+        assert!(parse(&args("--faults bogus:1:2"))
+            .unwrap_err()
+            .contains("bad fault clause"));
+    }
+
+    #[test]
+    fn faulted_runs_report_recovery_counters() {
+        let job = parse(&args(
+            "--kernel copy --n 128 --fifo 16 --faults nack:200:10 --fault-seed 3",
+        ))
+        .unwrap();
+        let text = execute(&job).unwrap();
+        assert!(text.contains("recovery:"), "{text}");
+        assert!(text.contains("data NACKs retried"), "{text}");
+    }
+
+    #[test]
+    fn hopeless_faults_surface_as_errors_not_panics() {
+        let job = parse(&args("--kernel copy --n 32 --faults busy:*:1:1")).unwrap();
+        let err = execute(&job).unwrap_err();
+        assert!(err.contains("livelock") || err.contains("no forward progress"), "{err}");
+        assert!(err.contains("busy:*:1:1"), "error names the plan: {err}");
     }
 }

@@ -123,6 +123,12 @@ pub struct SystemConfig {
     /// Verify the memory image against the kernel's scalar reference after
     /// the run (always possible because simulations move real data).
     pub verify: bool,
+    /// Fault-injection plan, applied identically to the device and the
+    /// controller (both evaluate the same deterministic schedule). `None`
+    /// or an empty plan runs clean.
+    pub faults: Option<faults::FaultPlan>,
+    /// Seed for the fault injector's pseudo-random draws.
+    pub fault_seed: u64,
 }
 
 impl SystemConfig {
@@ -151,6 +157,8 @@ impl SystemConfig {
             cache: None,
             trace: false,
             verify: true,
+            faults: None,
+            fault_seed: 0,
         }
     }
 
@@ -175,6 +183,13 @@ impl SystemConfig {
     /// Enable packet tracing.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Inject `plan` with the given injector seed.
+    pub fn with_faults(mut self, plan: faults::FaultPlan, seed: u64) -> Self {
+        self.faults = Some(plan);
+        self.fault_seed = seed;
         self
     }
 

@@ -50,8 +50,12 @@ pub fn run() -> Extra {
             .into_iter()
             .map(|kernel| {
                 let natural =
-                    run_kernel(kernel, n, 1, &SystemConfig::natural_order(memory)).percent_peak();
-                let smc = run_kernel(kernel, n, 1, &SystemConfig::smc(memory, 128)).percent_peak();
+                    run_kernel(kernel, n, 1, &SystemConfig::natural_order(memory))
+                        .expect("fault-free run")
+                        .percent_peak();
+                let smc = run_kernel(kernel, n, 1, &SystemConfig::smc(memory, 128))
+                    .expect("fault-free run")
+                    .percent_peak();
                 ExtraRow {
                     kernel: kernel.name().to_string(),
                     streams: kernel.total_streams(),

@@ -82,8 +82,10 @@ pub fn panel(label: char, kernel: Kernel, n: u64, memory: MemorySystem) -> Fig7P
                 1,
                 &smc_config(memory, depth, Alignment::Staggered),
             )
+            .expect("fault-free run")
             .percent_peak();
             let aligned = run_kernel(kernel, n, 1, &smc_config(memory, depth, Alignment::Aligned))
+                .expect("fault-free run")
                 .percent_peak();
             Fig7Row {
                 depth,

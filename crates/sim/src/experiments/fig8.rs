@@ -79,7 +79,7 @@ fn simulate_single(memory: MemorySystem, stride: u64) -> f64 {
     let streams = vec![StreamDescriptor::read("x", 0, stride, n)];
     let mut ctl = BaselineController::new(streams, map, cfg.memory.line_policy(), cfg.line_bytes)
         .with_max_in_flight(1);
-    let r = ctl.run_to_completion(&mut dev);
+    let r = ctl.run_to_completion(&mut dev).expect("fault-free run");
     let useful_cycles = n as f64 * cfg.device.timing.t_pack as f64 / rdram::WORDS_PER_PACKET as f64;
     100.0 * useful_cycles / r.last_data_cycle as f64
 }

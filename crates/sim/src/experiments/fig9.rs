@@ -59,6 +59,7 @@ pub fn run() -> Fig9 {
                     stride,
                     &SystemConfig::smc(memory, FIFO_DEPTH),
                 )
+                .expect("fault-free run")
                 .percent_attainable()
             };
             let cache = |memory: MemorySystem| {

@@ -56,7 +56,9 @@ fn smc_speedup_range() -> (f64, f64) {
     ] {
         let sys = SystemConfig::natural_order(mem).stream_system();
         for kernel in Kernel::PAPER_SUITE {
-            let smc = run_kernel(kernel, 1024, 1, &SystemConfig::smc(mem, 128)).percent_peak();
+            let smc = run_kernel(kernel, 1024, 1, &SystemConfig::smc(mem, 128))
+                .expect("fault-free run")
+                .percent_peak();
             let cache = sys.multi_stream(mem.organization(), kernel.total_streams(), 1024, 1);
             let ratio = smc / cache;
             lo = lo.min(ratio);
@@ -75,7 +77,9 @@ fn worst_aligned_fraction_of_bound() -> f64 {
         let sys = SystemConfig::natural_order(mem).stream_system();
         for kernel in Kernel::PAPER_SUITE {
             let cfg = SystemConfig::smc(mem, 128).with_alignment(Alignment::Aligned);
-            let got = run_kernel(kernel, 1024, 1, &cfg).percent_peak();
+            let got = run_kernel(kernel, 1024, 1, &cfg)
+                .expect("fault-free run")
+                .percent_peak();
             let w = Workload::unit(kernel.reads(), kernel.writes(), 1024);
             let bound = sys.smc_combined_bound(mem.organization(), &w, 128);
             worst = worst.min(got / bound);
@@ -130,6 +134,7 @@ pub fn run() -> Headline {
         1,
         &SystemConfig::smc(MemorySystem::CacheLineInterleaved, 128),
     )
+    .expect("fault-free run")
     .percent_peak();
     claims.push(Claim {
         claim: "copy on 1024-element vectors: SMC exploits over 98% of peak",

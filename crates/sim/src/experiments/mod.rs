@@ -50,7 +50,7 @@ pub fn render(name: &str) -> String {
 ///
 /// Panics on an unknown experiment name.
 pub fn json(name: &str) -> Option<String> {
-    let to = |v: &dyn erased::Ser| serde_json::to_string_pretty(v).expect("serializable");
+    let to = |v: &dyn serde::Serialize| serde_json::to_string_pretty(v).expect("serializable");
     match name {
         "fig7" => Some(to(&fig7::run())),
         "fig8" => Some(to(&fig8::run())),
@@ -91,25 +91,5 @@ pub fn svgs(name: &str) -> Vec<(String, String)> {
         "fig9" => vec![("fig9.svg".into(), fig9::run().to_svg())],
         "fig1" | "fig2" | "fig4" | "fig5" | "fig6" | "extra" | "headline" => Vec::new(),
         other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, headline"),
-    }
-}
-
-/// Minimal object-safe serialization shim so [`json`] can dispatch over the
-/// differently-typed experiment results.
-mod erased {
-    /// Object-safe facade over `serde::Serialize`.
-    pub trait Ser {
-        /// Serialize into a `serde_json` value.
-        fn to_value(&self) -> serde_json::Value;
-    }
-    impl<T: serde::Serialize> Ser for T {
-        fn to_value(&self) -> serde_json::Value {
-            serde_json::to_value(self).expect("serializable")
-        }
-    }
-    impl serde::Serialize for dyn Ser + '_ {
-        fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-            self.to_value().serialize(s)
-        }
     }
 }

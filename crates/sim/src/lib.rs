@@ -24,11 +24,11 @@
 //! use sim::{MemorySystem, SystemConfig};
 //!
 //! let smc = SystemConfig::smc(MemorySystem::CacheLineInterleaved, 64);
-//! let result = sim::run_kernel(Kernel::Copy, 1024, 1, &smc);
+//! let result = sim::run_kernel(Kernel::Copy, 1024, 1, &smc).expect("fault-free run");
 //! assert!(result.percent_peak() > 90.0, "{}", result.percent_peak());
 //!
 //! let naive = SystemConfig::natural_order(MemorySystem::CacheLineInterleaved);
-//! let base = sim::run_kernel(Kernel::Copy, 1024, 1, &naive);
+//! let base = sim::run_kernel(Kernel::Copy, 1024, 1, &naive).expect("fault-free run");
 //! assert!(result.percent_peak() > 2.0 * base.percent_peak());
 //! ```
 
@@ -38,6 +38,7 @@
 pub mod cli;
 mod config;
 mod cpu;
+mod error;
 pub mod experiments;
 mod layout;
 pub mod plot;
@@ -47,5 +48,6 @@ pub mod tuning;
 
 pub use config::{AccessOrder, Alignment, MemorySystem, SystemConfig};
 pub use cpu::{StreamCpu, CYCLES_PER_ACCESS};
+pub use error::SimError;
 pub use layout::vector_bases;
 pub use runner::{run_kernel, RunResult};

@@ -3,11 +3,16 @@
 use serde::Serialize;
 
 use baseline::{BaselineController, BaselineResult};
+use faults::FaultInjector;
 use kernels::{Coefficients, Kernel, ReferenceMachine};
 use rdram::{trace::Trace, AddressMap, Cycle, DeviceStats, MemoryImage, Rdram, WORDS_PER_PACKET};
 use smc::{MsuConfig, MsuStats, SmcController};
 
-use crate::{vector_bases, AccessOrder, StreamCpu, SystemConfig};
+use crate::{vector_bases, AccessOrder, SimError, StreamCpu, SystemConfig};
+
+/// Consecutive injected conflicts on one bank before the MSU demotes it to
+/// closed-page during fault-injection runs.
+const DEGRADE_AFTER_FAULTY: u32 = 16;
 
 /// Outcome of one simulated kernel run.
 #[derive(Debug, Clone, Serialize)]
@@ -37,8 +42,11 @@ pub struct RunResult {
 impl RunResult {
     /// Effective bandwidth as percent of the device's peak (Eq. 5.1): the
     /// cycles of useful data transferred at peak rate over total cycles.
+    /// A run that transferred nothing (zero cycles) delivered 0% of peak.
     pub fn percent_peak(&self) -> f64 {
-        assert!(self.cycles > 0, "run transferred no data");
+        if self.cycles == 0 {
+            return 0.0;
+        }
         100.0 * (self.useful_words as f64 * self.t_pack as f64 / WORDS_PER_PACKET as f64)
             / self.cycles as f64
     }
@@ -68,16 +76,29 @@ fn seed(mem: &mut MemoryImage, kernel: Kernel, bases: &[u64], n: u64, stride: u6
 /// scalar reference, proving that dynamic access reordering did not change
 /// the computation.
 ///
+/// # Errors
+///
+/// [`SimError::Config`] for an invalid device or address map, and — under
+/// fault injection — [`SimError::Controller`] for livelocks, protocol
+/// violations, or exhausted retry budgets, or [`SimError::Budget`] if the
+/// faults slow the run past its cycle budget.
+///
 /// # Panics
 ///
-/// Panics if the configuration is invalid, the layout exceeds the device,
-/// the simulation fails to make progress, or verification fails.
-pub fn run_kernel(kernel: Kernel, n: u64, stride: u64, cfg: &SystemConfig) -> RunResult {
+/// Panics if verification fails: injected faults may slow a run or abort it
+/// with a structured error, but they must never corrupt data, so a
+/// divergent image is an internal bug.
+pub fn run_kernel(
+    kernel: Kernel,
+    n: u64,
+    stride: u64,
+    cfg: &SystemConfig,
+) -> Result<RunResult, SimError> {
     cfg.device
         .validate()
-        .unwrap_or_else(|e| panic!("invalid device config: {e}"));
+        .map_err(|e| SimError::Config(format!("invalid device config: {e}")))?;
     let map = AddressMap::new(cfg.memory.interleave(cfg.line_bytes), &cfg.device)
-        .unwrap_or_else(|e| panic!("invalid address map: {e}"));
+        .map_err(|e| SimError::Config(format!("invalid address map: {e}")))?;
     let bases = vector_bases(kernel, n, stride, cfg);
     let coeffs = Coefficients::default();
 
@@ -86,6 +107,17 @@ pub fn run_kernel(kernel: Kernel, n: u64, stride: u64, cfg: &SystemConfig) -> Ru
     let mut dev = Rdram::new(device_cfg);
     let mut mem = MemoryImage::new();
     seed(&mut mem, kernel, &bases, n, stride);
+
+    // The device and the controller get clones of one injector, so both
+    // sides of the channel agree on every injected fault.
+    let injector = cfg
+        .faults
+        .as_ref()
+        .filter(|p| !p.is_empty())
+        .map(|p| FaultInjector::new(p, cfg.fault_seed));
+    if let Some(inj) = &injector {
+        dev.set_faults(std::sync::Arc::new(inj.clone()));
+    }
 
     let streams = kernel.stream_descriptors(&bases, n, stride);
     let useful_words = streams.len() as u64 * n;
@@ -103,7 +135,10 @@ pub fn run_kernel(kernel: Kernel, n: u64, stride: u64, cfg: &SystemConfig) -> Ru
             if let Some(cache_cfg) = cfg.cache {
                 ctl = ctl.with_cache(cache_cfg);
             }
-            let result = ctl.run_to_completion(&mut dev);
+            if let Some(inj) = &injector {
+                ctl.set_faults(inj.clone());
+            }
+            let result = ctl.run_to_completion(&mut dev)?;
             // The conventional system's data path is order-preserving per
             // element, so its results are by construction the reference's;
             // apply them so the image reflects the completed computation.
@@ -116,24 +151,41 @@ pub fn run_kernel(kernel: Kernel, n: u64, stride: u64, cfg: &SystemConfig) -> Ru
                 policy: cfg.policy,
                 page_policy: cfg.memory.page_policy(),
                 speculative_activate: cfg.speculative,
+                degrade_after: if injector.is_some() {
+                    DEGRADE_AFTER_FAULTY
+                } else {
+                    0
+                },
                 ..MsuConfig::default()
             };
             let mut ctl = SmcController::new(streams, map, msu_cfg);
             if cfg.refresh {
                 ctl = ctl.with_refresh(rdram::refresh::RefreshTimer::new(&cfg.device));
             }
+            if let Some(inj) = &injector {
+                ctl.set_faults(inj.clone());
+            }
             let mut cpu =
                 StreamCpu::new(kernel, coeffs, n).with_access_cycles(cfg.cpu_access_cycles);
             let mut now: Cycle = 0;
-            let budget = 400 * (useful_words + 1024) + 2_000_000;
+            // Bounded-duty fault plans can at most quadruple a run; the
+            // watchdog catches genuine livelock long before the budget.
+            let mut budget = 400 * (useful_words + 1024) + 2_000_000;
+            if injector.is_some() {
+                budget *= 4;
+            }
             while !(cpu.done() && ctl.mem_complete()) {
-                ctl.tick(now, &mut dev, &mut mem);
+                ctl.tick(now, &mut dev, &mut mem)?;
                 cpu.tick(now, &mut ctl);
                 now += 1;
-                assert!(
-                    now < budget,
-                    "SMC run of {kernel} (n={n}, stride={stride}) stalled at cycle {now}"
-                );
+                if now >= budget {
+                    return Err(SimError::Budget {
+                        kernel: kernel.to_string(),
+                        n,
+                        stride,
+                        cycles: budget,
+                    });
+                }
             }
             let cycles = ctl.last_data_cycle().max(cpu.finish_cycle());
             (cycles, Some(*ctl.msu_stats()), None)
@@ -156,7 +208,7 @@ pub fn run_kernel(kernel: Kernel, n: u64, stride: u64, cfg: &SystemConfig) -> Ru
         }
     }
 
-    RunResult {
+    Ok(RunResult {
         kernel,
         n,
         stride,
@@ -167,7 +219,7 @@ pub fn run_kernel(kernel: Kernel, n: u64, stride: u64, cfg: &SystemConfig) -> Ru
         baseline,
         trace: dev.take_trace(),
         t_pack: cfg.device.timing.t_pack,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -182,7 +234,7 @@ mod tests {
     fn smc_copy_long_vectors_exceed_98_percent() {
         // Paper, Section 6: "for copy with streams of 1024 elements, the
         // SMC exploits over 98% of the system's peak bandwidth."
-        let r = run_kernel(Kernel::Copy, 1024, 1, &SystemConfig::smc(CLI, 128));
+        let r = run_kernel(Kernel::Copy, 1024, 1, &SystemConfig::smc(CLI, 128)).expect("fault-free run");
         assert!(
             r.percent_peak() > 97.5,
             "copy CLI 1024 = {}",
@@ -193,8 +245,8 @@ mod tests {
     #[test]
     fn smc_always_beats_natural_order_on_cli() {
         for kernel in Kernel::PAPER_SUITE {
-            let smc = run_kernel(kernel, 1024, 1, &SystemConfig::smc(CLI, 64));
-            let naive = run_kernel(kernel, 1024, 1, &SystemConfig::natural_order(CLI));
+            let smc = run_kernel(kernel, 1024, 1, &SystemConfig::smc(CLI, 64)).expect("fault-free run");
+            let naive = run_kernel(kernel, 1024, 1, &SystemConfig::natural_order(CLI)).expect("fault-free run");
             assert!(
                 smc.percent_peak() > naive.percent_peak(),
                 "{kernel}: smc {} !> naive {}",
@@ -213,7 +265,7 @@ mod tests {
         for mem in [CLI, PI] {
             for kernel in Kernel::PAPER_SUITE {
                 let cfg = SystemConfig::natural_order(mem);
-                let r = run_kernel(kernel, 1024, 1, &cfg);
+                let r = run_kernel(kernel, 1024, 1, &cfg).expect("fault-free run");
                 let bound = cfg.stream_system().multi_stream(
                     mem.organization(),
                     kernel.total_streams(),
@@ -234,13 +286,13 @@ mod tests {
     fn aligned_vectors_are_no_faster_than_staggered() {
         let base = SystemConfig::smc(PI, 16);
         for kernel in [Kernel::Daxpy, Kernel::Vaxpy] {
-            let stag = run_kernel(kernel, 256, 1, &base.clone());
+            let stag = run_kernel(kernel, 256, 1, &base.clone()).expect("fault-free run");
             let alig = run_kernel(
                 kernel,
                 256,
                 1,
                 &base.clone().with_alignment(Alignment::Aligned),
-            );
+            ).expect("fault-free run");
             assert!(
                 alig.percent_peak() <= stag.percent_peak() + 1e-9,
                 "{kernel}: aligned {} > staggered {}",
@@ -252,7 +304,7 @@ mod tests {
 
     #[test]
     fn strided_smc_caps_at_half_peak() {
-        let r = run_kernel(Kernel::Vaxpy, 512, 4, &SystemConfig::smc(PI, 64));
+        let r = run_kernel(Kernel::Vaxpy, 512, 4, &SystemConfig::smc(PI, 64)).expect("fault-free run");
         assert!(r.percent_peak() <= 50.0 + 1e-9);
         assert!(r.percent_attainable() > r.percent_peak());
     }
@@ -265,8 +317,8 @@ mod tests {
         let mut with = SystemConfig::smc(CLI, 64);
         with.refresh = true;
         let without = SystemConfig::smc(CLI, 64);
-        let r_with = run_kernel(Kernel::Daxpy, 1024, 1, &with);
-        let r_without = run_kernel(Kernel::Daxpy, 1024, 1, &without);
+        let r_with = run_kernel(Kernel::Daxpy, 1024, 1, &with).expect("fault-free run");
+        let r_without = run_kernel(Kernel::Daxpy, 1024, 1, &without).expect("fault-free run");
         assert!(
             r_with.percent_peak() > 0.95 * r_without.percent_peak(),
             "refresh too costly: {} vs {}",
@@ -285,7 +337,7 @@ mod tests {
         let run_with = |cache| {
             let mut cfg = SystemConfig::natural_order(CLI).with_alignment(Alignment::Aligned);
             cfg.cache = cache;
-            run_kernel(Kernel::Vaxpy, 512, 1, &cfg).percent_peak()
+            run_kernel(Kernel::Vaxpy, 512, 1, &cfg).expect("fault-free run").percent_peak()
         };
         let ideal = run_with(None);
         let four_way = run_with(Some(baseline::cache::CacheConfig::i860xp()));
@@ -303,7 +355,7 @@ mod tests {
     #[test]
     fn traces_are_captured_on_request() {
         let cfg = SystemConfig::natural_order(CLI).with_trace();
-        let r = run_kernel(Kernel::Triad, 32, 1, &cfg);
+        let r = run_kernel(Kernel::Triad, 32, 1, &cfg).expect("fault-free run");
         let trace = r.trace.expect("trace requested");
         assert!(!trace.is_empty());
     }
@@ -314,7 +366,7 @@ mod tests {
         // four kernels on both organizations is the end-to-end data check.
         for mem in [CLI, PI] {
             for kernel in Kernel::PAPER_SUITE {
-                let r = run_kernel(kernel, 128, 1, &SystemConfig::smc(mem, 32));
+                let r = run_kernel(kernel, 128, 1, &SystemConfig::smc(mem, 32)).expect("fault-free run");
                 assert!(r.percent_peak() > 0.0);
             }
         }

@@ -50,7 +50,9 @@ pub fn recommend_fifo_depth(
             ordering: AccessOrder::Smc { fifo_depth: depth },
             ..SystemConfig::natural_order(memory)
         };
-        let pct = run_kernel(kernel, n, stride, &cfg).percent_peak();
+        let pct = run_kernel(kernel, n, stride, &cfg)
+            .expect("fault-free run")
+            .percent_peak();
         sweep.push((depth, pct));
     }
     let (depth, percent_peak) = sweep

@@ -1,8 +1,15 @@
 //! The Stream Memory Controller facade: SBU + MSU behind one interface.
 
+use faults::FaultInjector;
 use rdram::{AddressMap, Cycle, MemoryImage, Rdram};
 
-use crate::{Msu, MsuConfig, MsuStats, Sbu, StreamDescriptor};
+use crate::{LivelockReport, Msu, MsuConfig, MsuStats, Sbu, SmcError, StreamDescriptor};
+
+/// Default forward-progress watchdog threshold: cycles without a single
+/// command issued or FIFO element moved before the controller declares
+/// livelock. Generous — the worst legitimate gaps (refresh trains, injected
+/// stall windows) are orders of magnitude shorter.
+pub const DEFAULT_WATCHDOG_CYCLES: Cycle = 50_000;
 
 /// A complete Stream Memory Controller.
 ///
@@ -16,6 +23,9 @@ use crate::{Msu, MsuConfig, MsuStats, Sbu, StreamDescriptor};
 pub struct SmcController {
     sbu: Sbu,
     msu: Msu,
+    watchdog_limit: Cycle,
+    last_fingerprint: u64,
+    last_progress: Cycle,
 }
 
 impl SmcController {
@@ -29,7 +39,30 @@ impl SmcController {
         SmcController {
             sbu: Sbu::new(streams, cfg.fifo_depth),
             msu: Msu::new(map, cfg),
+            watchdog_limit: DEFAULT_WATCHDOG_CYCLES,
+            last_fingerprint: 0,
+            last_progress: 0,
         }
+    }
+
+    /// Replace the forward-progress watchdog threshold (cycles without
+    /// observable progress before [`tick`](Self::tick) returns
+    /// [`SmcError::Livelock`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn with_watchdog(mut self, limit: Cycle) -> Self {
+        assert!(limit > 0, "the watchdog needs a nonzero threshold");
+        self.watchdog_limit = limit;
+        self
+    }
+
+    /// Subject the controller to an injected fault timeline. Install the
+    /// same injector (same plan and seed) on the device so both sides agree
+    /// on when banks are busy.
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.msu.set_faults(faults);
     }
 
     /// Honour DRAM refresh obligations (see
@@ -65,8 +98,81 @@ impl SmcController {
     }
 
     /// Memory side: advance the MSU by one interface-clock cycle.
-    pub fn tick(&mut self, now: Cycle, dev: &mut Rdram, mem: &mut MemoryImage) {
-        self.msu.tick(now, dev, mem, &mut self.sbu);
+    ///
+    /// # Errors
+    ///
+    /// Propagates the MSU's [`SmcError`]s and adds
+    /// [`SmcError::Livelock`] when the forward-progress watchdog sees no
+    /// command issued and no FIFO element moved for the watchdog threshold
+    /// (see [`with_watchdog`](Self::with_watchdog)).
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        dev: &mut Rdram,
+        mem: &mut MemoryImage,
+    ) -> Result<(), SmcError> {
+        self.msu.tick(now, dev, mem, &mut self.sbu)?;
+        if self.mem_complete() {
+            self.last_progress = now;
+            return Ok(());
+        }
+        let fp = self.fingerprint(dev);
+        if fp != self.last_fingerprint {
+            self.last_fingerprint = fp;
+            self.last_progress = now;
+        } else if now.saturating_sub(self.last_progress) >= self.watchdog_limit {
+            return Err(SmcError::Livelock(Box::new(self.livelock_report(now, dev))));
+        }
+        Ok(())
+    }
+
+    /// Hash of everything that changes when the system makes progress:
+    /// device command counters plus per-FIFO element positions. The
+    /// watchdog declares livelock when this stays constant too long while
+    /// work remains.
+    fn fingerprint(&self, dev: &Rdram) -> u64 {
+        let s = dev.stats();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mix = |h: &mut u64, v: u64| {
+            *h ^= v;
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for v in [
+            s.activates,
+            s.precharges,
+            s.auto_precharges,
+            s.read_packets,
+            s.write_packets,
+        ] {
+            mix(&mut h, v);
+        }
+        for f in self.sbu.iter() {
+            let st = f.state();
+            mix(&mut h, st.mem_next_elem);
+            mix(&mut h, st.cpu_elems);
+            mix(&mut h, st.occupancy as u64);
+        }
+        h
+    }
+
+    fn livelock_report(&self, now: Cycle, dev: &Rdram) -> LivelockReport {
+        let banks = dev.config().total_banks();
+        let (last_command, last_command_cycle) = match self.msu.last_issued() {
+            Some((c, t)) => (Some(format!("{c:?}")), t),
+            None => (None, 0),
+        };
+        LivelockReport {
+            now,
+            stalled_for: now.saturating_sub(self.last_progress),
+            last_command,
+            last_command_cycle,
+            open_banks: (0..banks)
+                .filter_map(|b| dev.open_row(b).map(|r| (b, r)))
+                .collect(),
+            fifo_occupancy: self.sbu.iter().map(|f| f.state().occupancy).collect(),
+            in_flight: self.msu.in_flight(),
+            pending: 0,
+        }
     }
 
     /// Reprogram the controller for a new computation, reusing the MSU and
@@ -138,7 +244,7 @@ mod tests {
         let mut held: Option<u64> = None;
         let mut now = 0;
         while !(ctl.mem_complete() && i == n) {
-            ctl.tick(now, &mut dev, &mut mem);
+            ctl.tick(now, &mut dev, &mut mem).expect("fault-free run");
             if i < n {
                 // A real CPU stalls on a full write FIFO, holding the value.
                 if held.is_none() {
@@ -185,7 +291,7 @@ mod tests {
         let mut now = 0;
         let mut popped = 0;
         while popped < n {
-            ctl.tick(now, &mut dev, &mut mem);
+            ctl.tick(now, &mut dev, &mut mem).expect("fault-free run");
             if ctl.cpu_read(0, now).is_some() {
                 popped += 1;
             }
@@ -197,7 +303,7 @@ mod tests {
         assert!(!ctl.mem_complete());
         let mut got = Vec::new();
         while got.len() < n as usize {
-            ctl.tick(now, &mut dev, &mut mem);
+            ctl.tick(now, &mut dev, &mut mem).expect("fault-free run");
             if let Some(v) = ctl.cpu_read(0, now) {
                 got.push(f64::from_bits(v));
             }
@@ -217,9 +323,135 @@ mod tests {
             MsuConfig::default(),
         );
         for now in 0..40 {
-            ctl.tick(now, &mut dev, &mut mem);
+            ctl.tick(now, &mut dev, &mut mem).expect("fault-free run");
         }
         ctl.reprogram(vec![StreamDescriptor::read("b", 4096, 1, 8)]);
+    }
+
+    #[test]
+    fn permanently_busy_banks_trip_the_watchdog() {
+        use faults::{FaultInjector, FaultPlan};
+        let (mut dev, mut mem, map) = setup(Interleave::Page);
+        // Every bank busy on every cycle: the MSU can never issue anything.
+        let plan = FaultPlan::parse("busy:*:1:1").unwrap();
+        let inj = FaultInjector::new(&plan, 7);
+        dev.set_faults(std::sync::Arc::new(inj.clone()));
+        let mut ctl = SmcController::new(
+            vec![StreamDescriptor::read("x", 0, 1, 64)],
+            map,
+            MsuConfig::default(),
+        )
+        .with_watchdog(500);
+        ctl.set_faults(inj);
+        let mut err = None;
+        for now in 0..5_000 {
+            if let Err(e) = ctl.tick(now, &mut dev, &mut mem) {
+                err = Some(e);
+                break;
+            }
+        }
+        match err.expect("watchdog should have tripped") {
+            SmcError::Livelock(report) => {
+                assert!(report.stalled_for >= 500, "{report}");
+                assert_eq!(report.fifo_occupancy.len(), 1);
+                assert!(report.last_command.is_none(), "nothing ever issued");
+            }
+            other => panic!("expected livelock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn nacked_data_packets_are_retried_to_completion() {
+        use faults::{FaultInjector, FaultPlan};
+        let (mut dev, mut mem, map) = setup(Interleave::Page);
+        let n = 64u64;
+        for i in 0..n {
+            mem.write_u64(i * 8, 5000 + i);
+        }
+        let plan = FaultPlan::parse("nack:300:10").unwrap();
+        let inj = FaultInjector::new(&plan, 11);
+        dev.set_faults(std::sync::Arc::new(inj.clone()));
+        let mut ctl = SmcController::new(
+            vec![StreamDescriptor::read("x", 0, 1, n)],
+            map,
+            MsuConfig::default(),
+        );
+        ctl.set_faults(inj);
+        let mut got = Vec::new();
+        let mut now = 0;
+        while got.len() < n as usize {
+            ctl.tick(now, &mut dev, &mut mem).expect("retries suffice");
+            if let Some(v) = ctl.cpu_read(0, now) {
+                got.push(v);
+            }
+            now += 1;
+            assert!(now < 200_000, "NACK retries starved the stream");
+        }
+        assert_eq!(got, (0..n).map(|i| 5000 + i).collect::<Vec<_>>());
+        assert!(ctl.msu_stats().data_nacks > 0, "the fault never fired");
+    }
+
+    #[test]
+    fn repeated_bank_conflicts_degrade_to_closed_page() {
+        use faults::{FaultInjector, FaultPlan};
+        let (mut dev, mut mem, map) = setup(Interleave::Page);
+        let n = 512u64;
+        for i in 0..n {
+            mem.write_u64(i * 8, i);
+        }
+        // Bank 0 spends half of every 64-cycle window busy; with a low
+        // degradation threshold the MSU demotes it quickly.
+        let plan = FaultPlan::parse("busy:0:64:32").unwrap();
+        let inj = FaultInjector::new(&plan, 3);
+        dev.set_faults(std::sync::Arc::new(inj.clone()));
+        let cfg = MsuConfig {
+            degrade_after: 8,
+            ..MsuConfig::default()
+        };
+        let mut ctl =
+            SmcController::new(vec![StreamDescriptor::read("x", 0, 1, n)], map, cfg);
+        ctl.set_faults(inj);
+        let mut popped = 0u64;
+        let mut now = 0;
+        while popped < n {
+            ctl.tick(now, &mut dev, &mut mem).expect("degraded run completes");
+            if ctl.cpu_read(0, now).is_some() {
+                popped += 1;
+            }
+            now += 1;
+            assert!(now < 1_000_000, "degraded run starved");
+        }
+        assert_eq!(ctl.msu_stats().degraded_banks, 1, "bank 0 should demote");
+    }
+
+    #[test]
+    fn injected_stalls_pause_but_do_not_kill_the_run() {
+        use faults::{FaultInjector, FaultPlan};
+        let (mut dev, mut mem, map) = setup(Interleave::Page);
+        let n = 128u64;
+        for i in 0..n {
+            mem.write_u64(i * 8, i);
+        }
+        let plan = FaultPlan::parse("stall:100:20").unwrap();
+        let inj = FaultInjector::new(&plan, 1);
+        dev.set_faults(std::sync::Arc::new(inj.clone()));
+        let mut ctl = SmcController::new(
+            vec![StreamDescriptor::read("x", 0, 1, n)],
+            map,
+            MsuConfig::default(),
+        );
+        ctl.set_faults(inj);
+        let mut popped = 0u64;
+        let mut now = 0;
+        while popped < n {
+            ctl.tick(now, &mut dev, &mut mem).expect("stalls are transient");
+            if ctl.cpu_read(0, now).is_some() {
+                popped += 1;
+            }
+            now += 1;
+            assert!(now < 100_000, "stalls starved the stream");
+        }
+        assert!(ctl.msu_stats().injected_stall_cycles > 0);
     }
 
     #[test]

@@ -47,7 +47,7 @@
 //! let mut got = Vec::new();
 //! let mut now = 0;
 //! while got.len() < 1024 {
-//!     ctl.tick(now, &mut dev, &mut mem);
+//!     ctl.tick(now, &mut dev, &mut mem).expect("fault-free run");
 //!     if let Some(bits) = ctl.cpu_read(0, now) {
 //!         got.push(f64::from_bits(bits));
 //!     }
@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 mod controller;
+mod error;
 mod fifo;
 mod msu;
 pub mod regs;
@@ -67,7 +68,8 @@ mod sbu;
 mod scheduler;
 mod stream;
 
-pub use controller::SmcController;
+pub use controller::{SmcController, DEFAULT_WATCHDOG_CYCLES};
+pub use error::{LivelockReport, SmcError};
 pub use fifo::{FifoState, StreamFifo};
 pub use msu::{Msu, MsuConfig, MsuStats, PagePolicy};
 pub use sbu::Sbu;

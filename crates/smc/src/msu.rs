@@ -16,12 +16,15 @@
 //! enable [`MsuConfig::speculative_activate`] to get exactly that
 //! improvement.
 
+use std::collections::{HashMap, HashSet};
+
 use serde::{Deserialize, Serialize};
 
+use faults::FaultInjector;
 use rdram::{AddressMap, Command, Cycle, Location, MemoryImage, Rdram};
 
 use crate::scheduler::{FifoCandidate, ServiceView};
-use crate::{PacketAccess, Policy, Sbu, SchedulingPolicy, StreamKind};
+use crate::{PacketAccess, Policy, Sbu, SchedulingPolicy, SmcError, StreamKind};
 
 /// Page-management policy the MSU applies to its accesses.
 ///
@@ -56,6 +59,11 @@ pub struct MsuConfig {
     /// outstanding transactions; a 32-byte cacheline transaction is two
     /// packet accesses, so the default window is eight.
     pub window: usize,
+    /// Graceful degradation under faults: after this many consecutive
+    /// injected conflicts (fault-busy encounters or DATA NACKs) on a bank,
+    /// the MSU demotes that bank from open-page to closed-page service for
+    /// the rest of the run. `0` disables degradation.
+    pub degrade_after: u32,
 }
 
 impl Default for MsuConfig {
@@ -67,6 +75,7 @@ impl Default for MsuConfig {
             speculative_activate: false,
             spec_window: 6,
             window: 8,
+            degrade_after: 0,
         }
     }
 }
@@ -86,6 +95,13 @@ pub struct MsuStats {
     pub packets_written: u64,
     /// End cycle of the last DATA packet scheduled so far.
     pub last_data_cycle: Cycle,
+    /// DATA packets NACKed by the fault injector and retried.
+    pub data_nacks: u64,
+    /// Cycles lost to injected controller stalls.
+    pub injected_stall_cycles: u64,
+    /// Banks demoted from open-page to closed-page service after repeated
+    /// injected conflicts (see [`MsuConfig::degrade_after`]).
+    pub degraded_banks: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +122,8 @@ struct Slot {
     /// Claimed values for a write access; empty for reads.
     write_values: Vec<u64>,
     is_write: bool,
+    /// DATA NACKs absorbed by this access so far.
+    retries: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -129,6 +147,13 @@ pub struct Msu {
     last_spec: Option<(usize, u64)>,
     refresh: Option<rdram::refresh::RefreshTimer>,
     stats: MsuStats,
+    faults: FaultInjector,
+    /// Consecutive injected conflicts per bank (degradation trigger).
+    fault_streaks: HashMap<usize, u32>,
+    /// Banks demoted to closed-page service for the rest of the run.
+    degraded: HashSet<usize>,
+    /// The most recent command issued, for livelock diagnostics.
+    last_issued: Option<(Command, Cycle)>,
 }
 
 impl Msu {
@@ -149,7 +174,28 @@ impl Msu {
             last_spec: None,
             refresh: None,
             stats: MsuStats::default(),
+            faults: FaultInjector::inert(),
+            fault_streaks: HashMap::new(),
+            degraded: HashSet::new(),
+            last_issued: None,
         }
+    }
+
+    /// Subject this MSU to an injected fault timeline. The same injector
+    /// (same plan, same seed) must be installed on the device so both sides
+    /// agree on when banks are busy.
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// The most recent command this MSU issued, with its cycle.
+    pub fn last_issued(&self) -> Option<(Command, Cycle)> {
+        self.last_issued
+    }
+
+    /// Banks currently demoted to closed-page service by fault degradation.
+    pub fn degraded_banks(&self) -> impl Iterator<Item = usize> + '_ {
+        self.degraded.iter().copied()
     }
 
     /// Honour DRAM refresh obligations: the MSU interleaves one ACT/PRER
@@ -179,6 +225,11 @@ impl Msu {
         self.current
     }
 
+    /// Packet accesses currently in the in-flight window.
+    pub fn in_flight(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Nothing is in flight or speculatively scheduled.
     pub fn quiescent(&self) -> bool {
         self.slots.is_empty() && self.spec.is_none()
@@ -203,42 +254,55 @@ impl Msu {
     /// Advance one cycle: admit ready accesses into the window and issue at
     /// most one command packet.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the device rejects a command the MSU scheduled — that is an
-    /// internal scheduling bug, not a recoverable condition.
-    pub fn tick(&mut self, now: Cycle, dev: &mut Rdram, mem: &mut MemoryImage, sbu: &mut Sbu) {
-        self.service_refresh(now, dev);
-        self.try_issue_spec(now, dev);
+    /// [`SmcError::Protocol`] if the device rejects a scheduled command (an
+    /// internal scheduling bug) or [`SmcError::RetryExhausted`] if an
+    /// injected DATA NACK outlasts the fault plan's retry budget.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        dev: &mut Rdram,
+        mem: &mut MemoryImage,
+        sbu: &mut Sbu,
+    ) -> Result<(), SmcError> {
+        if self.faults.stalled(now) {
+            self.stats.injected_stall_cycles += 1;
+            return Ok(());
+        }
+        self.service_refresh(now, dev)?;
+        self.try_issue_spec(now, dev)?;
         self.admit(now, dev, sbu);
         self.resolve_stages(dev);
         // The ROW and COL command channels are independent buses: the MSU
         // may launch one packet on each per cycle.
-        let col = self.issue_col(now, dev, mem, sbu);
-        let row = self.issue_row(now, dev);
+        let col = self.issue_col(now, dev, mem, sbu)?;
+        let row = self.issue_row(now, dev)?;
         if !(col || row || sbu.all_complete()) {
             self.stats.idle_cycles += 1;
         }
+        Ok(())
     }
 
     /// Perform a due refresh when its target bank is free of in-flight
-    /// accesses and speculation; otherwise defer to a later cycle.
-    fn service_refresh(&mut self, now: Cycle, dev: &mut Rdram) {
+    /// accesses, speculation, and injected busy windows; otherwise defer to
+    /// a later cycle.
+    fn service_refresh(&mut self, now: Cycle, dev: &mut Rdram) -> Result<(), SmcError> {
         let Some(timer) = &mut self.refresh else {
-            return;
+            return Ok(());
         };
         if !timer.due(now) {
-            return;
+            return Ok(());
         }
         let (bank, _) = timer.peek();
         let bank_busy = self.slots.iter().any(|s| s.loc.bank == bank)
-            || self.spec.is_some_and(|sp| sp.bank == bank);
+            || self.spec.is_some_and(|sp| sp.bank == bank)
+            || self.faults.bank_busy(bank, now);
         if bank_busy {
-            return;
+            return Ok(());
         }
-        timer
-            .refresh_now(dev, now)
-            .unwrap_or_else(|e| panic!("refresh on guarded bank rejected: {e}"));
+        timer.refresh_now(dev, now)?;
+        Ok(())
     }
 
     /// Derive ROW requirements from live bank state for every slot whose
@@ -270,7 +334,7 @@ impl Msu {
         dev: &mut Rdram,
         mem: &mut MemoryImage,
         sbu: &mut Sbu,
-    ) -> bool {
+    ) -> Result<bool, SmcError> {
         for k in 0..self.slots.len() {
             if self.slots[k].stage != Stage::Col {
                 continue;
@@ -283,16 +347,17 @@ impl Msu {
             }
             let cmd = self.command_for(k, sbu);
             if dev.earliest(&cmd, now) > now {
+                self.note_hold(cmd.bank(), now);
                 continue;
             }
-            self.execute(k, cmd, now, dev, mem, sbu);
-            return true;
+            self.execute(k, cmd, now, dev, mem, sbu)?;
+            return Ok(true);
         }
-        false
+        Ok(false)
     }
 
     /// Issue the oldest ready PRER/ACT command, if any.
-    fn issue_row(&mut self, now: Cycle, dev: &mut Rdram) -> bool {
+    fn issue_row(&mut self, now: Cycle, dev: &mut Rdram) -> Result<bool, SmcError> {
         for k in 0..self.slots.len() {
             if !matches!(self.slots[k].stage, Stage::Precharge | Stage::Activate) {
                 continue;
@@ -307,18 +372,61 @@ impl Msu {
                 _ => unreachable!("filtered above"),
             };
             if dev.earliest(&cmd, now) > now {
+                self.note_hold(bank, now);
                 continue;
             }
-            dev.issue_at(&cmd, now)
-                .unwrap_or_else(|e| panic!("MSU scheduled an illegal ROW command: {e}"));
+            dev.issue_at(&cmd, now)?;
+            self.note_issued(cmd, now);
             self.slots[k].stage = match self.slots[k].stage {
                 Stage::Precharge => Stage::Activate,
                 Stage::Activate => Stage::Col,
                 _ => unreachable!("filtered above"),
             };
-            return true;
+            return Ok(true);
         }
-        false
+        Ok(false)
+    }
+
+    /// A ready command could not issue this cycle. When the hold is an
+    /// injected busy window (rather than ordinary timing pressure), extend
+    /// the bank's conflict streak; enough consecutive conflicts demote the
+    /// bank to closed-page service.
+    fn note_hold(&mut self, bank: usize, now: Cycle) {
+        if self.faults.bank_busy(bank, now) {
+            self.note_fault_conflict(bank);
+        }
+    }
+
+    /// Record one injected conflict (busy-window hold or DATA NACK) on
+    /// `bank`; a long enough streak demotes the bank to closed-page.
+    fn note_fault_conflict(&mut self, bank: usize) {
+        if self.cfg.degrade_after == 0 {
+            return;
+        }
+        let streak = self.fault_streaks.entry(bank).or_insert(0);
+        *streak += 1;
+        if *streak >= self.cfg.degrade_after
+            && self.cfg.page_policy == PagePolicy::OpenPage
+            && self.degraded.insert(bank)
+        {
+            self.stats.degraded_banks += 1;
+        }
+    }
+
+    /// A command issued cleanly: the bank's conflict streak resets.
+    fn note_issued(&mut self, cmd: Command, now: Cycle) {
+        self.fault_streaks.insert(cmd.bank(), 0);
+        self.last_issued = Some((cmd, now));
+    }
+
+    /// The page policy in force for `bank`: the configured policy unless
+    /// fault degradation has demoted the bank to closed-page.
+    fn page_policy_for(&self, bank: usize) -> PagePolicy {
+        if self.degraded.contains(&bank) {
+            PagePolicy::ClosedPage
+        } else {
+            self.cfg.page_policy
+        }
     }
 
     /// Bank/row state a new access will see once everything already in
@@ -326,7 +434,7 @@ impl Msu {
     fn effective_plan(&self, loc: Location, dev: &Rdram) -> rdram::AccessPlan {
         if let Some(s) = self.slots.iter().rev().find(|s| s.loc.bank == loc.bank) {
             let same_row = s.loc.row == loc.row;
-            return match self.cfg.page_policy {
+            return match self.page_policy_for(loc.bank) {
                 PagePolicy::OpenPage => rdram::AccessPlan {
                     needs_precharge: !same_row,
                     needs_activate: !same_row,
@@ -383,7 +491,7 @@ impl Msu {
             // with other accesses, so such an access waits for an empty
             // pipeline. Speculative activation (when enabled) opens the
             // page ahead of time, making the access a hit here.
-            if self.cfg.page_policy == PagePolicy::OpenPage
+            if self.page_policy_for(loc.bank) == PagePolicy::OpenPage
                 && !plan.is_page_hit()
                 && !self.slots.is_empty()
             {
@@ -405,6 +513,7 @@ impl Msu {
                 stage: Stage::Unresolved,
                 write_values,
                 is_write,
+                retries: 0,
             });
             self.maybe_schedule_spec(dev, sbu);
         }
@@ -436,7 +545,7 @@ impl Msu {
     /// under CLI, a page under PI). The same FIFO's next packet staying in
     /// the chunk keeps the page open; anything else closes it.
     fn should_auto_precharge(&self, k: usize, sbu: &Sbu) -> bool {
-        if self.cfg.page_policy != PagePolicy::ClosedPage {
+        if self.page_policy_for(self.slots[k].loc.bank) != PagePolicy::ClosedPage {
             return false;
         }
         let s = &self.slots[k];
@@ -464,16 +573,34 @@ impl Msu {
         dev: &mut Rdram,
         mem: &mut MemoryImage,
         sbu: &mut Sbu,
-    ) {
-        let outcome = dev
-            .issue_at(&cmd, now)
-            .unwrap_or_else(|e| panic!("MSU scheduled an illegal command: {e}"));
+    ) -> Result<(), SmcError> {
+        let outcome = dev.issue_at(&cmd, now)?;
+        self.note_issued(cmd, now);
         match self.slots[k].stage {
             Stage::Unresolved => unreachable!("stage resolved before issue"),
             Stage::Precharge => self.slots[k].stage = Stage::Activate,
             Stage::Activate => self.slots[k].stage = Stage::Col,
             Stage::Col => {
                 let data = outcome.data.expect("COL commands carry data");
+                let bank = self.slots[k].loc.bank;
+                if self.faults.nack_data(bank, data.end, self.slots[k].retries) {
+                    self.stats.data_nacks += 1;
+                    self.slots[k].retries += 1;
+                    let retries = self.slots[k].retries;
+                    if retries > self.faults.nack_retry_limit() {
+                        return Err(SmcError::RetryExhausted {
+                            bank,
+                            addr: self.slots[k].access.packet_addr,
+                            attempts: retries,
+                        });
+                    }
+                    // The bus cycle is spent but no data moved. The COL may
+                    // have auto-precharged the page, so the retry re-derives
+                    // its ROW needs from live bank state.
+                    self.slots[k].stage = Stage::Unresolved;
+                    self.note_fault_conflict(bank);
+                    return Ok(());
+                }
                 let slot = self.slots.remove(k);
                 let desc = sbu.fifo(slot.fifo).descriptor().clone();
                 if slot.is_write {
@@ -495,6 +622,7 @@ impl Msu {
                 self.stats.last_data_cycle = self.stats.last_data_cycle.max(data.end);
             }
         }
+        Ok(())
     }
 
     /// If the current FIFO will cross into a new page within the lookahead
@@ -535,29 +663,30 @@ impl Msu {
         }
     }
 
-    fn try_issue_spec(&mut self, now: Cycle, dev: &mut Rdram) {
-        let Some(t) = self.spec else { return };
+    fn try_issue_spec(&mut self, now: Cycle, dev: &mut Rdram) -> Result<(), SmcError> {
+        let Some(t) = self.spec else { return Ok(()) };
         // Never touch a bank with in-flight accesses.
         if self.slots.iter().any(|s| s.loc.bank == t.bank) {
             self.spec = None;
-            return;
+            return Ok(());
         }
         let cmd = match dev.open_row(t.bank) {
             Some(row) if row == t.row => {
                 self.spec = None;
-                return;
+                return Ok(());
             }
             Some(_) => Command::precharge(t.bank),
             None => Command::activate(t.bank, t.row),
         };
         if dev.earliest(&cmd, now) <= now {
-            dev.issue_at(&cmd, now)
-                .unwrap_or_else(|e| panic!("speculative row command rejected: {e}"));
+            dev.issue_at(&cmd, now)?;
+            self.note_issued(cmd, now);
             self.stats.speculative_activates += 1;
             if matches!(cmd, Command::Row(rdram::RowOp::Activate { .. })) {
                 self.spec = None;
             }
         }
+        Ok(())
     }
 }
 
@@ -618,7 +747,8 @@ mod tests {
                     }
                 }
             }
-            msu.tick(now, &mut dev, &mut mem, &mut sbu);
+            msu.tick(now, &mut dev, &mut mem, &mut sbu)
+                .expect("fault-free run");
             now += 1;
             assert!(now < 2_000_000, "MSU failed to make progress");
         }
@@ -799,7 +929,8 @@ mod tests {
                     break;
                 }
             }
-            msu.tick(now, &mut dev, &mut mem, &mut sbu);
+            msu.tick(now, &mut dev, &mut mem, &mut sbu)
+                .expect("fault-free run");
             now += 1;
             assert!(now < 1_000_000, "refresh starved the stream");
         }

@@ -56,8 +56,8 @@ fn main() {
             }
             .with_alignment(alignment)
         };
-        let stag = run_kernel(kernel, n, 1, &mk(Alignment::Staggered));
-        let alig = run_kernel(kernel, n, 1, &mk(Alignment::Aligned));
+        let stag = run_kernel(kernel, n, 1, &mk(Alignment::Staggered)).expect("fault-free run");
+        let alig = run_kernel(kernel, n, 1, &mk(Alignment::Aligned)).expect("fault-free run");
         table.row(vec![
             depth.to_string(),
             pct(sys.smc_startup_bound(org, &w, depth as u64)),

@@ -52,7 +52,7 @@ fn main() {
     let mut gathered: Vec<f64> = Vec::with_capacity(TAPS.len());
     let mut acc: Option<f64> = None;
     while !(i == n && ctl.mem_complete()) {
-        ctl.tick(now, &mut dev, &mut mem);
+        ctl.tick(now, &mut dev, &mut mem).expect("fault-free run");
         if i < n {
             if acc.is_none() && gathered.len() < TAPS.len() {
                 if let Some(bits) = ctl.cpu_read(gathered.len(), now) {

@@ -68,7 +68,7 @@ fn main() {
     let mut x_held: Option<f64> = None;
     let mut y_held: Option<f64> = None;
     while !(i == n && ctl.mem_complete()) {
-        ctl.tick(now, &mut dev, &mut mem);
+        ctl.tick(now, &mut dev, &mut mem).expect("fault-free run");
         if i < n {
             if x_held.is_none() {
                 x_held = ctl.cpu_read(0, now).map(f64::from_bits);

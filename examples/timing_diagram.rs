@@ -17,7 +17,7 @@ fn main() {
     // The same stream population through the SMC: triad has the identical
     // 2-read / 1-write signature. Note the bus staying saturated.
     let cfg = SystemConfig::smc(MemorySystem::CacheLineInterleaved, 32).with_trace();
-    let result = run_kernel(Kernel::Triad, 16, 1, &cfg);
+    let result = run_kernel(Kernel::Triad, 16, 1, &cfg).expect("fault-free run");
     let t = result.trace.expect("trace enabled");
     println!(
         "Same loop through the SMC (CLI, 32-deep FIFOs): accesses reordered\n\

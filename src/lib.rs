@@ -26,13 +26,13 @@
 //! // Daxpy over 1024-element vectors through the SMC on a cacheline-
 //! // interleaved Direct RDRAM, with 64-deep FIFOs.
 //! let cfg = SystemConfig::smc(MemorySystem::CacheLineInterleaved, 64);
-//! let result = sim::run_kernel(Kernel::Daxpy, 1024, 1, &cfg);
+//! let result = sim::run_kernel(Kernel::Daxpy, 1024, 1, &cfg).expect("fault-free run");
 //! assert!(result.percent_peak() > 80.0);
 //!
 //! // The same computation with natural-order cacheline accesses is far
 //! // slower.
 //! let naive = SystemConfig::natural_order(MemorySystem::CacheLineInterleaved);
-//! let base = sim::run_kernel(Kernel::Daxpy, 1024, 1, &naive);
+//! let base = sim::run_kernel(Kernel::Daxpy, 1024, 1, &naive).expect("fault-free run");
 //! assert!(result.percent_peak() > 1.15 * base.percent_peak());
 //! ```
 

@@ -155,9 +155,100 @@ proptest! {
         if speculative {
             cfg = cfg.with_speculation();
         }
-        let r = run_kernel(kernel, n, stride, &cfg);
+        let r = run_kernel(kernel, n, stride, &cfg).expect("fault-free run");
         prop_assert!(r.percent_peak() > 0.0);
         prop_assert!(r.percent_peak() <= 100.0 + 1e-9);
+    }
+}
+
+mod fault_injection {
+    use super::*;
+    use faults::FaultPlan;
+    use sim::SimError;
+    use smc::SmcError;
+
+    const CLI: MemorySystem = MemorySystem::CacheLineInterleaved;
+    const PI: MemorySystem = MemorySystem::PageInterleaved;
+
+    /// 128 seeded fault plans, each run through both access orderings:
+    /// every run either completes — in which case `run_kernel` has already
+    /// verified the memory image bit-exactly against the scalar reference —
+    /// or returns a structured [`SimError`]. Nothing panics, and nothing
+    /// runs forever: the runner's internal cycle budget and the controllers'
+    /// watchdogs convert runaway schedules into errors.
+    #[test]
+    fn seeded_fault_plans_never_panic_and_preserve_data() {
+        let kernels = [Kernel::Copy, Kernel::Daxpy, Kernel::Vaxpy, Kernel::Hydro];
+        let (mut completed, mut errored) = (0u32, 0u32);
+        for seed in 0..128u64 {
+            let plan = FaultPlan::from_seed(seed);
+            let kernel = kernels[(seed % 4) as usize];
+            for cfg in [
+                SystemConfig::smc(CLI, 32).with_faults(plan.clone(), seed),
+                SystemConfig::natural_order(PI).with_faults(plan.clone(), seed),
+            ] {
+                match run_kernel(kernel, 48, 1, &cfg) {
+                    Ok(r) => {
+                        completed += 1;
+                        assert!(r.cycles > 0, "completed runs moved data");
+                    }
+                    Err(e) => {
+                        errored += 1;
+                        assert!(!e.to_string().is_empty(), "errors render context");
+                    }
+                }
+            }
+        }
+        assert_eq!(completed + errored, 256);
+        assert!(
+            completed >= 64,
+            "bounded plans should often complete: {completed} ok, {errored} err"
+        );
+    }
+
+    /// Fault injection is a pure function of (plan, seed): re-running the
+    /// same configuration reproduces the same cycle count and counters.
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let plan = FaultPlan::parse("busy:2:128:24;nack:80:6;stall:256:16").unwrap();
+        let cfg = SystemConfig::smc(PI, 16).with_faults(plan, 42);
+        let a = run_kernel(Kernel::Daxpy, 96, 1, &cfg).expect("bounded plan completes");
+        let b = run_kernel(Kernel::Daxpy, 96, 1, &cfg).expect("bounded plan completes");
+        assert_eq!(a.cycles, b.cycles);
+        let (sa, sb) = (a.msu_stats.unwrap(), b.msu_stats.unwrap());
+        assert_eq!(sa.data_nacks, sb.data_nacks);
+        assert_eq!(sa.injected_stall_cycles, sb.injected_stall_cycles);
+    }
+
+    /// Permanently busy banks starve both controllers; the watchdog turns
+    /// that into a structured livelock report instead of an endless spin.
+    #[test]
+    fn total_starvation_is_reported_as_livelock() {
+        let plan = FaultPlan::parse("busy:*:1:1").unwrap();
+        for cfg in [
+            SystemConfig::smc(CLI, 16).with_faults(plan.clone(), 1),
+            SystemConfig::natural_order(CLI).with_faults(plan.clone(), 1),
+        ] {
+            match run_kernel(Kernel::Copy, 32, 1, &cfg) {
+                Err(SimError::Controller(SmcError::Livelock(report))) => {
+                    assert!(report.stalled_for >= smc::DEFAULT_WATCHDOG_CYCLES);
+                    assert!(report.last_command.is_none(), "nothing ever issued");
+                }
+                other => panic!("expected livelock, got {other:?}"),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Seeded plans survive the spec syntax round trip, so any plan the
+        /// property sweep exercises is reachable from the CLI's `--faults`.
+        #[test]
+        fn seeded_plans_round_trip_through_spec_syntax(seed in any::<u64>()) {
+            let plan = FaultPlan::from_seed(seed);
+            prop_assert_eq!(FaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+        }
     }
 }
 

@@ -14,7 +14,7 @@ use sim::{run_kernel, MemorySystem, SystemConfig};
 
 fn traced(kernel: Kernel, n: u64, cfg: &SystemConfig) -> Trace {
     let cfg = cfg.clone().with_trace();
-    run_kernel(kernel, n, 1, &cfg)
+    run_kernel(kernel, n, 1, &cfg).expect("fault-free run")
         .trace
         .expect("trace requested")
 }
@@ -148,7 +148,7 @@ mod random {
             if speculative {
                 cfg = cfg.with_speculation();
             }
-            let trace = sim::run_kernel(kernel, 64, stride, &cfg)
+            let trace = sim::run_kernel(kernel, 64, stride, &cfg).expect("fault-free run")
                 .trace
                 .expect("trace requested");
             check_invariants(&trace, &Timing::default());

@@ -1,0 +1,163 @@
+//! Offline stand-in for `criterion`. Benchmarks run a small fixed number of
+//! timed iterations and print the mean per-iteration wall-clock time — no
+//! statistics, warm-up tuning, or HTML reports, but the same API shape so
+//! `cargo bench` works without a crates.io mirror.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+const ITERS: u32 = 20;
+
+/// Re-export so benches can `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { name }
+    }
+}
+
+/// A named set of benchmarks sharing throughput configuration.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Record the per-iteration throughput (printed, not analyzed).
+    pub fn throughput(&mut self, t: Throughput) {
+        match t {
+            Throughput::Elements(n) => println!("  throughput: {n} elements/iter"),
+            Throughput::Bytes(n) => println!("  throughput: {n} bytes/iter"),
+        }
+    }
+
+    /// Benchmark `f` against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&self.name, &id.label);
+    }
+
+    /// Benchmark a nullary routine.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&self.name, &name);
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collects timing for one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total_nanos: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine` for a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.iters += ITERS;
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, group: &str, name: &str) {
+        if self.iters == 0 {
+            println!("  {group}/{name}: no iterations recorded");
+        } else {
+            let mean = self.total_nanos / u128::from(self.iters);
+            println!("  {group}/{name}: {mean} ns/iter (n={})", self.iters);
+        }
+    }
+}
+
+/// How `iter_batched` amortizes setup (ignored by this stand-in).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Per-iteration work, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's display label: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Compose a label from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Declare a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for `serde`, vendored so the workspace builds without a
+//! crates.io mirror. It keeps the subset of the API this workspace uses:
+//! `#[derive(Serialize, Deserialize)]` plus a JSON value model that
+//! `serde_json` (also vendored) renders and parses.
+//!
+//! [`Serialize`] is a single-method facade — `to_value` — rather than the
+//! real visitor architecture; the derive macro implements it field-by-field.
+//! [`Deserialize`] is a marker trait: the workspace only ever parses into
+//! untyped [`Value`]s.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+pub use value::Value;
+
+/// Types that can render themselves as a JSON [`Value`].
+pub trait Serialize {
+    /// The JSON value representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for types the derive macro nominally supports deserializing.
+/// The workspace parses JSON only into untyped [`Value`]s, so this carries
+/// no methods.
+pub trait Deserialize {}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    };
+}
+ser_tuple!(A: 0);
+ser_tuple!(A: 0, B: 1);
+ser_tuple!(A: 0, B: 1, C: 2);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.as_ref().to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(5u64.to_value(), Value::UInt(5));
+        assert_eq!((-3i32).to_value(), Value::Int(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_serialize() {
+        let v = vec![1u32, 2, 3].to_value();
+        assert_eq!(
+            v,
+            Value::Array(vec![Value::UInt(1), Value::UInt(2), Value::UInt(3)])
+        );
+        let t = (1u32, "x").to_value();
+        assert_eq!(
+            t,
+            Value::Array(vec![Value::UInt(1), Value::String("x".into())])
+        );
+    }
+}

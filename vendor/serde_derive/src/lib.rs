@@ -1,0 +1,307 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` by walking
+//! the raw `TokenStream` directly (no `syn`/`quote`, which are unavailable
+//! offline) and emitting the impl as source text. Supports non-generic
+//! structs (named, tuple, unit) and enums (unit, newtype, tuple, and struct
+//! variants) with serde's external tagging, plus `#[serde(skip)]` on fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut entries = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                entries.push_str(&format!(
+                    "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})),",
+                    f.name
+                ));
+            }
+            format!("::serde::Value::Object(vec![{entries}])")
+        }
+        Shape::TupleStruct(n) => {
+            if *n == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(","))
+            }
+        }
+        Shape::UnitStruct => format!("::serde::Value::String(\"{name}\".to_string())"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&variant_arm(name, v));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn variant_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),")
+        }
+        VariantShape::Tuple(1) => format!(
+            "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\
+                \"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\
+                    \"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                binds.join(","),
+                items.join(",")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let kept: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let binds: Vec<String> = kept.iter().map(|f| f.name.clone()).collect();
+            let entries: Vec<String> = kept
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vn} {{ {binds} .. }} => ::serde::Value::Object(vec![(\
+                    \"{vn}\".to_string(), ::serde::Value::Object(vec![{entries}]))]),",
+                binds = binds
+                    .iter()
+                    .map(|b| format!("{b},"))
+                    .collect::<String>(),
+                entries = entries.join(",")
+            )
+        }
+    }
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility ahead of the `struct`/`enum`
+    // keyword.
+    let kind = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                i += 1;
+                break id.to_string();
+            }
+            _ => i += 1,
+        }
+    };
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    // The workspace derives only on non-generic items; reject generics
+    // loudly rather than emitting a broken impl.
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("the vendored serde derive does not support generic types ({name})");
+        }
+    }
+    let shape = if kind == "enum" {
+        let body = match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("expected enum body, found {other}"),
+        };
+        Shape::Enum(parse_variants(body))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(split_top_level(g.stream()).len())
+            }
+            _ => Shape::UnitStruct,
+        }
+    };
+    Item { name, shape }
+}
+
+/// Split a token stream at top-level commas, tracking `<...>` depth so that
+/// commas inside generic arguments do not split (parenthesized and bracketed
+/// groups are opaque `TokenTree::Group`s, so only angle brackets need
+/// counting).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Whether a `#[...]` attribute group marks the field/variant as
+/// `#[serde(skip)]` (or `skip_serializing`).
+fn attr_is_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(args)) => args.stream().into_iter().any(|t| {
+            matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip" || id.to_string() == "skip_serializing")
+        }),
+        _ => false,
+    }
+}
+
+/// Parse `name: Type` fields (with optional attributes and visibility) from
+/// a brace-delimited struct or struct-variant body.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut skip = false;
+            let mut j = 0;
+            while j < chunk.len() {
+                match &chunk[j] {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        if let Some(TokenTree::Group(g)) = chunk.get(j + 1) {
+                            skip |= attr_is_skip(g);
+                        }
+                        j += 2;
+                    }
+                    TokenTree::Ident(id) if id.to_string() == "pub" => {
+                        j += 1;
+                        if let Some(TokenTree::Group(g)) = chunk.get(j) {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                j += 1;
+                            }
+                        }
+                    }
+                    TokenTree::Ident(id) => {
+                        return Field {
+                            name: id.to_string(),
+                            skip,
+                        };
+                    }
+                    other => panic!("unexpected token in field: {other}"),
+                }
+            }
+            panic!("field without a name")
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut j = 0;
+            // Variant-level attributes (doc comments etc.).
+            while let TokenTree::Punct(p) = &chunk[j] {
+                if p.as_char() == '#' {
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            let name = match &chunk[j] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, found {other}"),
+            };
+            j += 1;
+            let shape = match chunk.get(j) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Struct(parse_named_fields(g.stream()))
+                }
+                _ => VariantShape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
