@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
 
 use faults::FaultInjector;
-use rdram::{AddressMap, Command, Cycle, Location, Rdram, PACKET_BYTES};
+use rdram::{AddressMap, Command, Cycle, Location, Rdram, SharedSink, PACKET_BYTES};
 use smc::{LivelockReport, SmcError, StreamDescriptor, StreamKind, DEFAULT_WATCHDOG_CYCLES};
 
 /// Page management applied to each cacheline burst.
@@ -107,6 +107,7 @@ pub struct BaselineController {
     last_fingerprint: u64,
     last_progress: Cycle,
     last_issued: Option<(Command, Cycle)>,
+    trace_sink: Option<SharedSink>,
 }
 
 impl BaselineController {
@@ -159,7 +160,16 @@ impl BaselineController {
             last_fingerprint: 0,
             last_progress: 0,
             last_issued: None,
+            trace_sink: None,
         }
+    }
+
+    /// Observe every command this controller drives into the device: the
+    /// sink is installed on the device at the next [`tick`](Self::tick), so
+    /// line-transfer and retry commands all reach it. Used by the `checker`
+    /// crate's timing-conformance analyzer.
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.trace_sink = Some(sink);
     }
 
     /// Subject the controller to an injected fault timeline. Install the
@@ -436,6 +446,11 @@ impl BaselineController {
     /// forward-progress watchdog sees no command issued for the watchdog
     /// threshold.
     pub fn tick(&mut self, now: Cycle, dev: &mut Rdram) -> Result<(), SmcError> {
+        if let Some(sink) = &self.trace_sink {
+            if !dev.has_cmd_sink() {
+                dev.set_cmd_sink(sink.clone());
+            }
+        }
         if self.faults.stalled(now) {
             if !self.done() {
                 self.idle_cycles += 1;
@@ -596,7 +611,10 @@ impl BaselineController {
                 let data = outcome.data.expect("COL commands carry data");
                 self.last_data_cycle = self.last_data_cycle.max(data.end);
                 let bank = self.in_flight[k].loc.bank;
-                if self.faults.nack_data(bank, data.end, self.in_flight[k].retries) {
+                if self
+                    .faults
+                    .nack_data(bank, data.end, self.in_flight[k].retries)
+                {
                     // The bus cycles are spent but no data moved: retry the
                     // packet. The row may have been auto-precharged away, so
                     // re-derive the stage from live bank state.
@@ -728,7 +746,9 @@ mod tests {
         let n = 1024;
         let run = |(mut dev, map): (Rdram, AddressMap), pol, unit| {
             let mut ctl = BaselineController::new(three_stream(n, unit), map, pol, 32);
-            ctl.run_to_completion(&mut dev).expect("fault-free run").last_data_cycle
+            ctl.run_to_completion(&mut dev)
+                .expect("fault-free run")
+                .last_data_cycle
         };
         let cli_cycles = run(cli(), LinePolicy::ClosedPage, 32);
         let pi_cycles = run(pi(), LinePolicy::OpenPage, 1024);
@@ -878,8 +898,8 @@ mod tests {
         let inj = FaultInjector::new(&plan, 7);
         dev.set_faults(std::sync::Arc::new(inj.clone()));
         let streams = vec![StreamDescriptor::read("x", 0, 1, 64)];
-        let mut ctl = BaselineController::new(streams, map, LinePolicy::ClosedPage, 32)
-            .with_watchdog(500);
+        let mut ctl =
+            BaselineController::new(streams, map, LinePolicy::ClosedPage, 32).with_watchdog(500);
         ctl.set_faults(inj);
         match ctl.run_to_completion(&mut dev) {
             Err(SmcError::Livelock(report)) => {
@@ -916,9 +936,30 @@ mod tests {
         let streams = vec![StreamDescriptor::read("x", 0, 1, 64)];
         let mut ctl = BaselineController::new(streams, map, LinePolicy::ClosedPage, 32);
         ctl.set_faults(inj);
-        let r = ctl.run_to_completion(&mut dev).expect("stalls only slow us");
+        let r = ctl
+            .run_to_completion(&mut dev)
+            .expect("stalls only slow us");
         assert_eq!(r.line_transfers, 16);
         assert!(r.idle_cycles > 0, "stall windows count as idle time");
+    }
+
+    #[test]
+    fn trace_sink_observes_every_issued_command() {
+        use rdram::{CommandTrace, SharedSink};
+        use std::sync::{Arc, Mutex};
+        let (mut dev, map) = cli();
+        let trace = Arc::new(Mutex::new(CommandTrace::new()));
+        let streams = vec![StreamDescriptor::read("x", 0, 1, 64)];
+        let mut ctl = BaselineController::new(streams, map, LinePolicy::ClosedPage, 32);
+        ctl.set_trace_sink(SharedSink::from_trace(Arc::clone(&trace)));
+        let _ = ctl.run_to_completion(&mut dev).expect("fault-free run");
+        let recs = rdram::sink::drain_trace(&trace);
+        let stats = dev.stats();
+        assert_eq!(
+            recs.len() as u64,
+            stats.activates + stats.precharges + stats.read_packets + stats.write_packets,
+            "one record per issued command"
+        );
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! Replay engine: evaluate the rule table over a recorded command trace.
+//!
+//! The analyzer mirrors the `rdram` device's own bookkeeping — bank state
+//! machine, per-bank timing windows, the three shared packet buses — but is
+//! an *independent implementation* evaluated after the fact, so a bug in the
+//! device's `earliest`/`issue_at` pair (or in a controller that bypasses
+//! them) surfaces as a reported [`Violation`] instead of silently optimistic
+//! bandwidth numbers.
+
+use std::fmt;
+
+use rdram::{Command, CommandRecord, Cycle, DeviceConfig, Dir, Interval, RowOp};
+use serde::Serialize;
+
+use crate::RuleId;
+
+/// One rule violation found in a command trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Violation {
+    /// Index of the offending command in the cycle-sorted trace.
+    pub index: usize,
+    /// Cycle at which the offending command packet started.
+    pub cycle: Cycle,
+    /// Bank the offending command targeted.
+    pub bank: usize,
+    /// The rule that was broken.
+    pub rule: RuleId,
+    /// The earlier command that established the violated bound, when one
+    /// exists (e.g. the prior ACT for a `tRC` violation).
+    pub prior_cmd: Option<CommandRecord>,
+    /// The offending command.
+    pub cmd: Command,
+    /// First cycle at which the command would have been legal under this
+    /// rule (equals `cycle` for pure state-machine violations).
+    pub earliest_legal: Cycle,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {} bank {}: {} violated by {:?}",
+            self.cycle, self.bank, self.rule, self.cmd
+        )?;
+        if self.earliest_legal > self.cycle {
+            write!(f, " (earliest legal start {})", self.earliest_legal)?;
+        }
+        if let Some(prior) = &self.prior_cmd {
+            write!(f, "; bound set by {:?} at cycle {}", prior.cmd, prior.cycle)?;
+        }
+        Ok(())
+    }
+}
+
+/// Replay state of one bank. Mirrors `rdram::Bank` field-for-field, with
+/// command provenance attached to every bound so violations can name the
+/// command that set them.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankState {
+    open: Option<u64>,
+    /// The ACT currently governing tRC / tRAS / tRCD for this bank.
+    last_act: Option<CommandRecord>,
+    /// Earliest ACT allowed by precharge completion (`PRER start + tRP`).
+    ready_for_act: Cycle,
+    /// The PRER (or auto-precharging COL) that set `ready_for_act`.
+    ready_src: Option<CommandRecord>,
+    /// Earliest COL allowed after the ACT (`ACT + tRCD + 1`).
+    col_allowed: Cycle,
+    /// Most recent COL packet to this bank and the command that sent it.
+    last_col: Option<(Interval, CommandRecord)>,
+}
+
+/// Replay state of one shared packet bus.
+#[derive(Debug, Clone, Copy, Default)]
+struct BusState {
+    next_free: Cycle,
+    prior: Option<CommandRecord>,
+}
+
+/// Check a recorded command trace against the full rule table.
+///
+/// Records are stable-sorted by cycle first: controllers commit refresh
+/// maintenance commands at future cycles, so the raw issue order is not
+/// monotonic in time. Violations are reported in trace order; checking
+/// continues past each violation with the state updated as if the command
+/// had been legal, so one early bug does not drown the report in noise.
+pub fn check(cfg: &DeviceConfig, records: &[CommandRecord]) -> Vec<Violation> {
+    let mut sorted: Vec<CommandRecord> = records.to_vec();
+    sorted.sort_by_key(|r| r.cycle);
+    let t = cfg.timing;
+    let total_banks = cfg.total_banks();
+    let mut banks = vec![BankState::default(); total_banks];
+    let mut last_act_dev: Vec<Option<CommandRecord>> = vec![None; cfg.devices.max(1)];
+    let mut row_bus = BusState::default();
+    let mut col_bus = BusState::default();
+    let mut data_bus = BusState::default();
+    let mut data_dir: Option<Dir> = None;
+    let mut out = Vec::new();
+
+    for (index, rec) in sorted.iter().enumerate() {
+        let start = rec.cycle;
+        let bank = rec.cmd.bank();
+        let violate = |rule: RuleId, prior: Option<CommandRecord>, earliest: Cycle| Violation {
+            index,
+            cycle: start,
+            bank,
+            rule,
+            prior_cmd: prior,
+            cmd: rec.cmd,
+            earliest_legal: earliest.max(start),
+        };
+        if bank >= total_banks {
+            out.push(violate(RuleId::NoSuchBank, None, start));
+            continue;
+        }
+        let b = banks[bank];
+        match rec.cmd {
+            Command::Row(RowOp::Activate { row, .. }) => {
+                if b.open.is_some() {
+                    out.push(violate(RuleId::ActWhileOpen, b.last_act, start));
+                }
+                if cfg.double_bank {
+                    let neighbour = bank ^ 1;
+                    if neighbour < total_banks && banks[neighbour].open.is_some() {
+                        out.push(violate(
+                            RuleId::AdjacentBankOpen,
+                            banks[neighbour].last_act,
+                            start,
+                        ));
+                    }
+                }
+                if start < row_bus.next_free {
+                    out.push(violate(
+                        RuleId::RowBusOverlap,
+                        row_bus.prior,
+                        row_bus.next_free,
+                    ));
+                }
+                if start < b.ready_for_act {
+                    out.push(violate(RuleId::TRp, b.ready_src, b.ready_for_act));
+                }
+                if let Some(act) = b.last_act {
+                    if start < act.cycle + t.t_rc {
+                        out.push(violate(RuleId::TRc, Some(act), act.cycle + t.t_rc));
+                    }
+                }
+                let dev = bank / cfg.banks.max(1);
+                if let Some(prev) = last_act_dev[dev] {
+                    if start < prev.cycle + t.t_rr {
+                        out.push(violate(RuleId::TRr, Some(prev), prev.cycle + t.t_rr));
+                    }
+                }
+                let s = &mut banks[bank];
+                s.open = Some(row);
+                s.last_act = Some(*rec);
+                s.col_allowed = start + t.t_rcd + 1;
+                s.last_col = None;
+                last_act_dev[dev] = Some(*rec);
+                row_bus.next_free = row_bus.next_free.max(start + t.t_pack);
+                row_bus.prior = Some(*rec);
+            }
+            Command::Row(RowOp::Precharge { .. }) => {
+                if b.open.is_none() {
+                    out.push(violate(RuleId::PrechargeClosedBank, b.ready_src, start));
+                }
+                if start < row_bus.next_free {
+                    out.push(violate(
+                        RuleId::RowBusOverlap,
+                        row_bus.prior,
+                        row_bus.next_free,
+                    ));
+                }
+                if let Some(act) = b.last_act {
+                    if start < act.cycle + t.t_ras {
+                        out.push(violate(RuleId::TRas, Some(act), act.cycle + t.t_ras));
+                    }
+                }
+                if let Some((pkt, col)) = b.last_col {
+                    let bound = pkt.end.saturating_sub(t.t_cpol);
+                    if start < bound {
+                        out.push(violate(RuleId::TCpol, Some(col), bound));
+                    }
+                }
+                let s = &mut banks[bank];
+                s.open = None;
+                s.ready_for_act = s.ready_for_act.max(start + t.t_rp);
+                s.ready_src = Some(*rec);
+                row_bus.next_free = row_bus.next_free.max(start + t.t_pack);
+                row_bus.prior = Some(*rec);
+            }
+            Command::Col { op, auto_precharge } => {
+                let dir = op.dir();
+                if b.open.is_none() {
+                    out.push(violate(RuleId::ColClosedBank, b.ready_src, start));
+                }
+                if start < col_bus.next_free {
+                    out.push(violate(
+                        RuleId::ColBusOverlap,
+                        col_bus.prior,
+                        col_bus.next_free,
+                    ));
+                }
+                if start < b.col_allowed {
+                    out.push(violate(RuleId::TRcd, b.last_act, b.col_allowed));
+                }
+                if let Some((pkt, col)) = b.last_col {
+                    if start < pkt.end {
+                        out.push(violate(RuleId::ColSerialization, Some(col), pkt.end));
+                    }
+                }
+                let delay = match dir {
+                    Dir::Read => t.read_data_delay(),
+                    Dir::Write => t.write_data_delay(),
+                };
+                let data_start = start + delay;
+                if data_start < data_bus.next_free {
+                    out.push(violate(
+                        RuleId::DataBusOverlap,
+                        data_bus.prior,
+                        data_bus.next_free.saturating_sub(delay),
+                    ));
+                }
+                if data_dir == Some(Dir::Write)
+                    && dir == Dir::Read
+                    && data_start < data_bus.next_free + t.t_rw
+                {
+                    out.push(violate(
+                        RuleId::Turnaround,
+                        data_bus.prior,
+                        (data_bus.next_free + t.t_rw).saturating_sub(delay),
+                    ));
+                }
+                let packet = Interval::with_len(start, t.t_pack);
+                let s = &mut banks[bank];
+                s.last_col = Some((packet, *rec));
+                col_bus.next_free = col_bus.next_free.max(start + t.t_pack);
+                col_bus.prior = Some(*rec);
+                data_bus.next_free = data_bus.next_free.max(data_start + t.t_pack);
+                data_bus.prior = Some(*rec);
+                data_dir = Some(dir);
+                if auto_precharge {
+                    // Mirror the device: the PREX precharge begins at the
+                    // earliest legal cycle after this access, without
+                    // occupying the ROW bus.
+                    let tras_bound = s.last_act.map_or(0, |a| a.cycle + t.t_ras);
+                    let col_bound = packet.end.saturating_sub(t.t_cpol);
+                    let p = tras_bound.max(col_bound).max(start);
+                    s.open = None;
+                    s.ready_for_act = s.ready_for_act.max(p + t.t_rp);
+                    s.ready_src = Some(*rec);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Render a zero-or-more-violations report as text, one violation per line,
+/// prefixed with a summary line.
+pub fn report(violations: &[Violation]) -> String {
+    if violations.is_empty() {
+        return "conformance: OK (0 violations)".to_string();
+    }
+    let mut s = format!("conformance: {} violation(s)\n", violations.len());
+    for v in violations {
+        s.push_str(&format!("  {v}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdram::Timing;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::default()
+    }
+
+    fn rec(cycle: Cycle, cmd: Command) -> CommandRecord {
+        CommandRecord { cycle, cmd }
+    }
+
+    fn rules_of(vs: &[Violation]) -> Vec<RuleId> {
+        vs.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn legal_page_miss_read_passes() {
+        let t = Timing::default();
+        let trace = [
+            rec(0, Command::activate(0, 0)),
+            rec(t.t_rcd + 1, Command::read(0, 0)),
+            rec(t.t_rcd + 1 + t.t_pack, Command::read(0, 16)),
+        ];
+        assert_eq!(check(&cfg(), &trace), Vec::new());
+    }
+
+    #[test]
+    fn col_before_trcd_is_flagged() {
+        let trace = [rec(0, Command::activate(0, 0)), rec(5, Command::read(0, 0))];
+        let vs = check(&cfg(), &trace);
+        assert_eq!(rules_of(&vs), vec![RuleId::TRcd]);
+        assert_eq!(vs[0].earliest_legal, 12);
+        assert_eq!(vs[0].prior_cmd.map(|p| p.cycle), Some(0));
+    }
+
+    #[test]
+    fn act_to_open_bank_is_flagged() {
+        let trace = [
+            rec(0, Command::activate(0, 0)),
+            rec(40, Command::activate(0, 1)),
+        ];
+        let vs = check(&cfg(), &trace);
+        assert_eq!(rules_of(&vs), vec![RuleId::ActWhileOpen]);
+    }
+
+    #[test]
+    fn col_to_closed_bank_is_flagged() {
+        let vs = check(&cfg(), &[rec(0, Command::read(3, 0))]);
+        assert_eq!(rules_of(&vs), vec![RuleId::ColClosedBank]);
+    }
+
+    #[test]
+    fn precharge_to_closed_bank_is_flagged() {
+        let vs = check(&cfg(), &[rec(0, Command::precharge(1))]);
+        assert_eq!(rules_of(&vs), vec![RuleId::PrechargeClosedBank]);
+    }
+
+    #[test]
+    fn bank_out_of_range_is_flagged() {
+        let vs = check(&cfg(), &[rec(0, Command::activate(8, 0))]);
+        assert_eq!(rules_of(&vs), vec![RuleId::NoSuchBank]);
+    }
+
+    #[test]
+    fn trr_between_devices_is_not_coupled() {
+        let mut cfg = cfg();
+        cfg.devices = 2;
+        let t = cfg.timing;
+        // Bank 8 is on device 1: only the shared ROW bus separates the ACTs.
+        let trace = [
+            rec(0, Command::activate(0, 0)),
+            rec(t.t_pack, Command::activate(8, 0)),
+        ];
+        assert_eq!(check(&cfg, &trace), Vec::new());
+        // Same device too close: tRR fires.
+        let close = [
+            rec(0, Command::activate(0, 0)),
+            rec(t.t_pack, Command::activate(1, 0)),
+        ];
+        assert_eq!(rules_of(&check(&cfg, &close)), vec![RuleId::TRr]);
+    }
+
+    #[test]
+    fn trc_and_trp_gate_reactivation() {
+        let t = Timing::default();
+        // ACT at 0, PRER at tRAS (8): next ACT legal at tRC (34), since
+        // tRC > PRER + tRP = 18.
+        let early = [
+            rec(0, Command::activate(0, 0)),
+            rec(t.t_ras, Command::precharge(0)),
+            rec(20, Command::activate(0, 1)),
+        ];
+        let vs = check(&cfg(), &early);
+        assert_eq!(rules_of(&vs), vec![RuleId::TRc]);
+        assert_eq!(vs[0].earliest_legal, t.t_rc);
+        let legal = [
+            rec(0, Command::activate(0, 0)),
+            rec(t.t_ras, Command::precharge(0)),
+            rec(t.t_rc, Command::activate(0, 1)),
+        ];
+        assert_eq!(check(&cfg(), &legal), Vec::new());
+        // ACT before the precharge completed: tRP fires.
+        let trp = [
+            rec(0, Command::activate(0, 0)),
+            rec(t.t_ras, Command::precharge(0)),
+            rec(t.t_ras + 4, Command::activate(0, 1)),
+        ];
+        assert!(rules_of(&check(&cfg(), &trp)).contains(&RuleId::TRp));
+    }
+
+    #[test]
+    fn early_precharge_violates_tras_and_tcpol() {
+        let t = Timing::default();
+        let tras = [
+            rec(0, Command::activate(0, 0)),
+            rec(4, Command::precharge(0)),
+        ];
+        assert_eq!(rules_of(&check(&cfg(), &tras)), vec![RuleId::TRas]);
+        // PRER two cycles into the COL packet: overlap exceeds tCPOL = 1.
+        let first_col = t.t_rcd + 1;
+        let tcpol = [
+            rec(0, Command::activate(0, 0)),
+            rec(first_col, Command::read(0, 0)),
+            rec(first_col + 1, Command::precharge(0)),
+        ];
+        assert_eq!(rules_of(&check(&cfg(), &tcpol)), vec![RuleId::TCpol]);
+    }
+
+    #[test]
+    fn bus_overlaps_are_flagged() {
+        let t = Timing::default();
+        let row = [
+            rec(0, Command::activate(0, 0)),
+            rec(2, Command::activate(1, 0)),
+        ];
+        // The second ACT also violates tRR; both rules must appear.
+        let rules = rules_of(&check(&cfg(), &row));
+        assert!(rules.contains(&RuleId::RowBusOverlap));
+        assert!(rules.contains(&RuleId::TRr));
+        let col = [
+            rec(0, Command::activate(0, 0)),
+            rec(t.t_rr, Command::activate(1, 0)),
+            rec(20, Command::read(0, 0)),
+            rec(22, Command::read(1, 0)),
+        ];
+        let rules = rules_of(&check(&cfg(), &col));
+        assert!(rules.contains(&RuleId::ColBusOverlap));
+        assert!(rules.contains(&RuleId::DataBusOverlap));
+    }
+
+    #[test]
+    fn write_to_read_turnaround_is_flagged() {
+        let t = Timing::default();
+        let first_col = t.t_rcd + 1; // 12
+        let wr = rec(first_col, Command::write(0, 0));
+        // Write data occupies [18, 22). A read COL at 16 puts read data at
+        // [26, 30): clear of the bus but inside the tRW = 6 window after 22.
+        let rd = rec(first_col + t.t_pack, Command::read(0, 16));
+        let trace = [rec(0, Command::activate(0, 0)), wr, rd];
+        let vs = check(&cfg(), &trace);
+        assert_eq!(rules_of(&vs), vec![RuleId::Turnaround]);
+        assert_eq!(vs[0].earliest_legal, 18);
+        // At the legal distance the same pattern passes.
+        let legal = [
+            rec(0, Command::activate(0, 0)),
+            wr,
+            rec(18, Command::read(0, 16)),
+        ];
+        assert_eq!(check(&cfg(), &legal), Vec::new());
+    }
+
+    #[test]
+    fn auto_precharge_closes_the_bank_in_replay() {
+        let t = Timing::default();
+        let first_col = t.t_rcd + 1;
+        let base = [
+            rec(0, Command::activate(0, 0)),
+            rec(first_col, Command::read(0, 0).with_auto_precharge()),
+        ];
+        // A COL after the auto-precharge hits a closed bank.
+        let mut with_col = base.to_vec();
+        with_col.push(rec(first_col + t.t_pack, Command::read(0, 16)));
+        assert_eq!(
+            rules_of(&check(&cfg(), &with_col)),
+            vec![RuleId::ColClosedBank]
+        );
+        // Reactivation is gated by tRC from the first ACT (tRC = 34 exceeds
+        // the precharge completion at max(tRAS, COL end - tCPOL) + tRP = 25).
+        let mut early_act = base.to_vec();
+        early_act.push(rec(30, Command::activate(0, 1)));
+        assert_eq!(rules_of(&check(&cfg(), &early_act)), vec![RuleId::TRc]);
+        let mut legal = base.to_vec();
+        legal.push(rec(t.t_rc, Command::activate(0, 1)));
+        assert_eq!(check(&cfg(), &legal), Vec::new());
+    }
+
+    #[test]
+    fn double_bank_adjacency_is_flagged() {
+        let mut cfg = cfg();
+        cfg.double_bank = true;
+        let t = cfg.timing;
+        let trace = [
+            rec(0, Command::activate(0, 0)),
+            rec(t.t_rr, Command::activate(1, 0)),
+        ];
+        assert_eq!(
+            rules_of(&check(&cfg, &trace)),
+            vec![RuleId::AdjacentBankOpen]
+        );
+        // A different pair is fine.
+        let ok = [
+            rec(0, Command::activate(0, 0)),
+            rec(t.t_rr, Command::activate(2, 0)),
+        ];
+        assert_eq!(check(&cfg, &ok), Vec::new());
+    }
+
+    #[test]
+    fn unsorted_refresh_style_traces_are_sorted_before_replay() {
+        let t = Timing::default();
+        // Issue order puts the future-committed ACT first, as a refresh
+        // timer would; sorting by cycle recovers the legal schedule.
+        let trace = [
+            rec(t.t_rcd + 1, Command::read(0, 0)),
+            rec(0, Command::activate(0, 0)),
+        ];
+        assert_eq!(check(&cfg(), &trace), Vec::new());
+    }
+
+    #[test]
+    fn violations_render_context() {
+        let trace = [rec(0, Command::activate(0, 0)), rec(5, Command::read(0, 0))];
+        let vs = check(&cfg(), &trace);
+        let text = report(&vs);
+        assert!(text.contains("1 violation"));
+        assert!(text.contains("tRCD"), "{text}");
+        assert!(text.contains("earliest legal start 12"), "{text}");
+        assert!(report(&[]).contains("OK"));
+    }
+}

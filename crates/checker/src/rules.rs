@@ -1,0 +1,254 @@
+//! The declarative rule table: every RDRAM constraint the conformance
+//! analyzer enforces, with its paper provenance and default cycle count.
+//!
+//! The table is data, not code: the replay engine in
+//! [`conformance`](crate::conformance) evaluates each rule against the
+//! reconstructed bank/bus state and tags violations with a [`RuleId`]. The
+//! same table drives the documentation in README.md.
+
+use std::fmt;
+
+use rdram::Timing;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one conformance rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuleId {
+    /// Command addresses a bank index outside the channel's geometry.
+    NoSuchBank,
+    /// ACT to a bank whose sense amps already hold a row.
+    ActWhileOpen,
+    /// ACT while the paired bank of a double-bank core holds a row.
+    AdjacentBankOpen,
+    /// PRER to a bank that holds no row.
+    PrechargeClosedBank,
+    /// COL access to a bank that holds no row.
+    ColClosedBank,
+    /// COL packet earlier than `ACT + tRCD + 1`.
+    TRcd,
+    /// ACT earlier than `tRP` after the PRER that closed the bank.
+    TRp,
+    /// ACT earlier than `tRC` after the previous ACT to the same bank.
+    TRc,
+    /// ACT earlier than `tRR` after the previous ACT to the same device.
+    TRr,
+    /// PRER earlier than `tRAS` after the ACT that opened the row.
+    TRas,
+    /// PRER overlapping the final COL packet by more than `tCPOL`.
+    TCpol,
+    /// COL packet overlapping the previous COL packet to the same bank.
+    ColSerialization,
+    /// ROW packet overlapping an earlier ROW packet on the shared bus.
+    RowBusOverlap,
+    /// COL packet overlapping an earlier COL packet on the shared bus.
+    ColBusOverlap,
+    /// DATA packet overlapping an earlier DATA packet on the shared bus.
+    DataBusOverlap,
+    /// Read DATA within `tRW` of the end of the preceding write DATA.
+    Turnaround,
+}
+
+/// One row of the rule table: a rule plus its provenance.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// The rule this row describes.
+    pub id: RuleId,
+    /// Short human-readable name.
+    pub name: &'static str,
+    /// Where the constraint comes from in Hong et al. (HPCA 1999).
+    pub paper: &'static str,
+    /// What the rule requires, in one sentence.
+    pub requirement: &'static str,
+}
+
+impl RuleInfo {
+    /// The governing cycle count for this rule under `t`, when the rule is
+    /// a minimum spacing (state-machine rules return `None`).
+    pub fn cycles(&self, t: &Timing) -> Option<u64> {
+        match self.id {
+            RuleId::TRcd => Some(t.t_rcd + 1),
+            RuleId::TRp => Some(t.t_rp),
+            RuleId::TRc => Some(t.t_rc),
+            RuleId::TRr => Some(t.t_rr),
+            RuleId::TRas => Some(t.t_ras),
+            RuleId::TCpol => Some(t.t_cpol),
+            RuleId::Turnaround => Some(t.t_rw),
+            RuleId::ColSerialization
+            | RuleId::RowBusOverlap
+            | RuleId::ColBusOverlap
+            | RuleId::DataBusOverlap => Some(t.t_pack),
+            RuleId::NoSuchBank
+            | RuleId::ActWhileOpen
+            | RuleId::AdjacentBankOpen
+            | RuleId::PrechargeClosedBank
+            | RuleId::ColClosedBank => None,
+        }
+    }
+}
+
+/// The full rule table, in evaluation order.
+pub const RULE_TABLE: &[RuleInfo] = &[
+    RuleInfo {
+        id: RuleId::NoSuchBank,
+        name: "no-such-bank",
+        paper: "geometry (Section 2: 8 banks/device, 32 devices/channel)",
+        requirement: "every command targets a bank inside devices x banks",
+    },
+    RuleInfo {
+        id: RuleId::ActWhileOpen,
+        name: "act-while-open",
+        paper: "bank state machine (Section 2)",
+        requirement: "ACT requires precharged sense amps; an open row must be precharged first",
+    },
+    RuleInfo {
+        id: RuleId::AdjacentBankOpen,
+        name: "adjacent-bank-open",
+        paper: "double-bank cores (Section 2)",
+        requirement: "paired banks share sense amps and cannot both hold a row",
+    },
+    RuleInfo {
+        id: RuleId::PrechargeClosedBank,
+        name: "precharge-closed-bank",
+        paper: "bank state machine (Section 2)",
+        requirement: "PRER requires an open row to close",
+    },
+    RuleInfo {
+        id: RuleId::ColClosedBank,
+        name: "col-closed-bank",
+        paper: "bank state machine (Section 2)",
+        requirement: "COL RD/WR require the target row in the sense amps",
+    },
+    RuleInfo {
+        id: RuleId::TRcd,
+        name: "tRCD",
+        paper: "Figure 2: tRCD = 11 cycles; tRAC = tRCD + tCAC + 1 adds the +1",
+        requirement: "first COL packet starts at least tRCD + 1 after the ACT",
+    },
+    RuleInfo {
+        id: RuleId::TRp,
+        name: "tRP",
+        paper: "Figure 2: tRP = 10 cycles",
+        requirement: "ACT starts at least tRP after the PRER that closed the bank",
+    },
+    RuleInfo {
+        id: RuleId::TRc,
+        name: "tRC",
+        paper: "Figure 2: tRC = 34 cycles",
+        requirement: "successive ACTs to one bank are at least tRC apart",
+    },
+    RuleInfo {
+        id: RuleId::TRr,
+        name: "tRR",
+        paper: "Figure 2: tRR = 8 cycles (per device)",
+        requirement: "successive ACTs to one device are at least tRR apart",
+    },
+    RuleInfo {
+        id: RuleId::TRas,
+        name: "tRAS",
+        paper: "Section 3 prose; datasheet minimum 20 ns = 8 cycles",
+        requirement: "PRER starts at least tRAS after the ACT that opened the row",
+    },
+    RuleInfo {
+        id: RuleId::TCpol,
+        name: "tCPOL",
+        paper: "Figure 2: tCPOL = 1 cycle",
+        requirement: "PRER may overlap the final COL packet by at most tCPOL",
+    },
+    RuleInfo {
+        id: RuleId::ColSerialization,
+        name: "col-serialization",
+        paper: "Section 3: one 4-cycle COL packet per bank at a time",
+        requirement: "COL packets to one bank never overlap",
+    },
+    RuleInfo {
+        id: RuleId::RowBusOverlap,
+        name: "row-bus-overlap",
+        paper: "Section 3: 4-cycle packets on the shared ROW wires",
+        requirement: "ROW packets on the channel never overlap",
+    },
+    RuleInfo {
+        id: RuleId::ColBusOverlap,
+        name: "col-bus-overlap",
+        paper: "Section 3: 4-cycle packets on the shared COL wires",
+        requirement: "COL packets on the channel never overlap",
+    },
+    RuleInfo {
+        id: RuleId::DataBusOverlap,
+        name: "data-bus-overlap",
+        paper: "Section 3: 4-cycle packets on the shared DATA wires",
+        requirement: "DATA packets on the channel never overlap",
+    },
+    RuleInfo {
+        id: RuleId::Turnaround,
+        name: "turnaround",
+        paper: "Figure 2: tRW = tPACK + tRDLY = 6 cycles",
+        requirement: "read DATA starts at least tRW after the end of write DATA",
+    },
+];
+
+impl RuleId {
+    /// The table row for this rule.
+    pub fn info(self) -> &'static RuleInfo {
+        // The table is exhaustive by construction; the fallback can only be
+        // reached if a variant is added without a table row, which the
+        // `table_is_exhaustive` test rules out.
+        RULE_TABLE
+            .iter()
+            .find(|r| r.id == self)
+            .unwrap_or(&RULE_TABLE[0])
+    }
+
+    /// Short human-readable name (e.g. `"tRCD"`).
+    pub fn name(self) -> &'static str {
+        self.info().name
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_exhaustive() {
+        use RuleId::*;
+        let all = [
+            NoSuchBank,
+            ActWhileOpen,
+            AdjacentBankOpen,
+            PrechargeClosedBank,
+            ColClosedBank,
+            TRcd,
+            TRp,
+            TRc,
+            TRr,
+            TRas,
+            TCpol,
+            ColSerialization,
+            RowBusOverlap,
+            ColBusOverlap,
+            DataBusOverlap,
+            Turnaround,
+        ];
+        assert_eq!(all.len(), RULE_TABLE.len());
+        for id in all {
+            assert_eq!(id.info().id, id, "missing table row for {id:?}");
+        }
+    }
+
+    #[test]
+    fn figure_2_cycle_counts() {
+        let t = Timing::default();
+        assert_eq!(RuleId::TRcd.info().cycles(&t), Some(12));
+        assert_eq!(RuleId::TRp.info().cycles(&t), Some(10));
+        assert_eq!(RuleId::TRc.info().cycles(&t), Some(34));
+        assert_eq!(RuleId::TRr.info().cycles(&t), Some(8));
+        assert_eq!(RuleId::Turnaround.info().cycles(&t), Some(6));
+        assert_eq!(RuleId::ActWhileOpen.info().cycles(&t), None);
+    }
+}

@@ -85,7 +85,9 @@ impl FaultInjector {
 
     /// Whether any busy/storm clause covers `bank` at cycle `t`.
     pub fn bank_busy(&self, bank: usize, t: Cycle) -> bool {
-        self.clauses.iter().any(|c| busy_window_end(c, bank, t).is_some())
+        self.clauses
+            .iter()
+            .any(|c| busy_window_end(c, bank, t).is_some())
     }
 }
 
@@ -117,7 +119,11 @@ impl ChannelFaults for FaultInjector {
 /// window ([`Cycle::MAX`] when the window never ends).
 fn busy_window_end(clause: &FaultClause, bank: usize, t: Cycle) -> Option<Cycle> {
     let (period, len) = match *clause {
-        FaultClause::BankBusy { bank: b, period, len } => {
+        FaultClause::BankBusy {
+            bank: b,
+            period,
+            len,
+        } => {
             if b.is_some_and(|b| b != bank) {
                 return None;
             }

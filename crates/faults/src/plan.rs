@@ -341,6 +341,10 @@ mod tests {
     fn seeds_vary_the_plan() {
         let distinct: std::collections::HashSet<String> =
             (0..64).map(|s| FaultPlan::from_seed(s).to_spec()).collect();
-        assert!(distinct.len() > 16, "only {} distinct plans", distinct.len());
+        assert!(
+            distinct.len() > 16,
+            "only {} distinct plans",
+            distinct.len()
+        );
     }
 }

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use crate::sink::{CommandRecord, SharedSink};
 use crate::trace::{Trace, TraceEvent, TraceKind, TraceUnit};
 use crate::{
     Bank, Bus, ChannelFaults, ColOp, Command, Cycle, DataBus, DeviceConfig, DeviceStats, Dir,
@@ -58,6 +59,8 @@ pub struct Rdram {
     next_label: Option<String>,
     /// Injected unavailability; folded into `earliest` when attached.
     faults: Option<Arc<dyn ChannelFaults>>,
+    /// Observer for every successfully issued command (conformance audits).
+    cmd_sink: Option<SharedSink>,
 }
 
 impl Rdram {
@@ -83,8 +86,25 @@ impl Rdram {
             trace,
             next_label: None,
             faults: None,
+            cmd_sink: None,
             cfg,
         }
+    }
+
+    /// Attach a command sink; every command accepted by
+    /// [`issue_at`](Rdram::issue_at) from this point on is reported to it.
+    pub fn set_cmd_sink(&mut self, sink: SharedSink) {
+        self.cmd_sink = Some(sink);
+    }
+
+    /// Detach the command sink, if any.
+    pub fn clear_cmd_sink(&mut self) {
+        self.cmd_sink = None;
+    }
+
+    /// Whether a command sink is currently attached.
+    pub fn has_cmd_sink(&self) -> bool {
+        self.cmd_sink.is_some()
     }
 
     /// Attach an injected-fault model; its busy windows are folded into
@@ -237,6 +257,17 @@ impl Rdram {
     /// * [`ProtocolError::AdjacentBankOpen`] — double-bank conflict.
     /// * [`ProtocolError::BankClosed`] — COL or PRER to a closed bank.
     pub fn issue_at(&mut self, cmd: &Command, start: Cycle) -> Result<Outcome, ProtocolError> {
+        let outcome = self.issue_at_inner(cmd, start)?;
+        if let Some(sink) = &self.cmd_sink {
+            sink.record_command(CommandRecord {
+                cycle: start,
+                cmd: *cmd,
+            });
+        }
+        Ok(outcome)
+    }
+
+    fn issue_at_inner(&mut self, cmd: &Command, start: Cycle) -> Result<Outcome, ProtocolError> {
         let bank = cmd.bank();
         if bank >= self.banks.len() {
             return Err(ProtocolError::NoSuchBank {

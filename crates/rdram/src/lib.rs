@@ -53,7 +53,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod address;
 mod bank;
@@ -65,6 +65,7 @@ mod faults;
 pub mod legacy;
 mod packet;
 pub mod refresh;
+pub mod sink;
 mod stats;
 mod storage;
 mod timing;
@@ -78,6 +79,7 @@ pub use device::{AccessPlan, Outcome, Rdram};
 pub use error::ProtocolError;
 pub use faults::ChannelFaults;
 pub use packet::{ColOp, Command, Dir, Interval, RowOp};
+pub use sink::{CommandRecord, CommandTrace, SharedSink, TraceSink};
 pub use stats::DeviceStats;
 pub use storage::MemoryImage;
 pub use timing::{Timing, CYCLE_NS, ELEM_BYTES, PACKET_BYTES, WORDS_PER_PACKET};

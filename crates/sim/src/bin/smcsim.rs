@@ -12,6 +12,22 @@ fn main() -> ExitCode {
         println!("{}", sim::cli::USAGE);
         return ExitCode::SUCCESS;
     }
+    if args.first().map(String::as_str) == Some("check") {
+        let Some(path) = args.get(1) else {
+            eprintln!("smcsim: check needs a trace file\n{}", sim::cli::USAGE);
+            return ExitCode::from(2);
+        };
+        return match sim::cli::run_check(path) {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("smcsim: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let job = match sim::cli::parse(&args) {
         Ok(job) => job,
         Err(e) => {

@@ -3,8 +3,11 @@
 //! ```text
 //! smcsim --kernel daxpy --n 1024 --memory cli --order smc --fifo 64
 //! smcsim --kernel vaxpy --stride 4 --memory pi --order natural --json
+//! smcsim --kernel copy --record-trace copy.trace.json
+//! smcsim check copy.trace.json
 //! ```
 
+use checker::TraceFile;
 use kernels::Kernel;
 
 use crate::{run_kernel, AccessOrder, Alignment, MemorySystem, RunResult, SystemConfig};
@@ -24,6 +27,9 @@ pub struct Job {
     pub json: bool,
     /// Print the analytic bound derivation alongside the measurement.
     pub explain: bool,
+    /// Write the recorded command stream to this path as a
+    /// [`TraceFile`] for later `smcsim check` runs.
+    pub record_trace: Option<String>,
 }
 
 impl Default for Job {
@@ -35,6 +41,7 @@ impl Default for Job {
             config: SystemConfig::smc(MemorySystem::CacheLineInterleaved, 64),
             json: false,
             explain: false,
+            record_trace: None,
         }
     }
 }
@@ -42,6 +49,8 @@ impl Default for Job {
 /// Usage text for `--help`.
 pub const USAGE: &str = "\
 usage: smcsim [OPTIONS]
+       smcsim check TRACE.json   replay a recorded trace through the
+                                 timing-conformance checker
   --kernel NAME     copy|daxpy|hydro|vaxpy|fill|scale|triad|swap  [daxpy]
   --n N             elements per stream                           [1024]
   --stride S        stride in 64-bit words                        [1]
@@ -60,6 +69,7 @@ usage: smcsim [OPTIONS]
                       busy:<bank|*>:<period>:<len>  nack:<permille>:<retries>
                       storm:<period>:<len>          stall:<period>:<len>
   --fault-seed S    seed for the fault injector's random draws         [0]
+  --record-trace F  write the issued command stream to F (JSON) for `check`
   --json            JSON output
   --explain         print the analytic bound derivation (Eqs. 5.15-5.18)
   --help";
@@ -147,6 +157,11 @@ pub fn parse(args: &[String]) -> Result<Job, String> {
                     .parse()
                     .map_err(|e| format!("--fault-seed: {e}"))?;
             }
+            "--record-trace" => {
+                let path = value(args, &mut i, "--record-trace")?;
+                job.config.record_commands = true;
+                job.record_trace = Some(path);
+            }
             "--json" => job.json = true,
             "--explain" => job.explain = true,
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
@@ -183,8 +198,16 @@ pub fn execute(job: &Job) -> Result<String, String> {
         }
         msg
     })?;
+    if let Some(path) = &job.record_trace {
+        let trace = TraceFile {
+            device: job.config.device.clone(),
+            commands: result.commands.clone(),
+        };
+        std::fs::write(path, trace.to_json())
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+    }
     if job.json {
-        return Ok(serde_json::to_string_pretty(&result).expect("result serializes"));
+        return serde_json::to_string_pretty(&result).map_err(|e| e.to_string());
     }
     let mut out = String::new();
     if job.explain {
@@ -215,6 +238,31 @@ pub fn execute(job: &Job) -> Result<String, String> {
     }
     out.push_str(&summarize(&result));
     Ok(out)
+}
+
+/// Replay a recorded trace file through the timing-conformance checker.
+///
+/// Returns the rendered report on a clean trace.
+///
+/// # Errors
+///
+/// A human-readable message when the file cannot be read or parsed, or the
+/// full violation report when the trace breaks any timing rule.
+pub fn run_check(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+    let trace: TraceFile = text.parse().map_err(|e| format!("{path}: {e}"))?;
+    let violations = checker::check(&trace.device, &trace.commands);
+    let report = format!(
+        "{path}: {} command(s), {}",
+        trace.commands.len(),
+        checker::report(&violations)
+    );
+    if violations.is_empty() {
+        Ok(report)
+    } else {
+        Err(report)
+    }
 }
 
 fn summarize(r: &RunResult) -> String {
@@ -258,7 +306,10 @@ fn summarize(r: &RunResult) -> String {
     }
     if let Some(b) = &r.baseline {
         if b.data_nacks > 0 {
-            out.push_str(&format!("  recovery: {} data NACKs retried\n", b.data_nacks));
+            out.push_str(&format!(
+                "  recovery: {} data NACKs retried\n",
+                b.data_nacks
+            ));
         }
     }
     out
@@ -339,6 +390,47 @@ mod tests {
     }
 
     #[test]
+    fn record_trace_round_trips_through_check() {
+        let dir = std::env::temp_dir().join("smcsim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("copy.trace.json");
+        let path = path.to_str().unwrap().to_string();
+        let mut job = parse(&args("--kernel copy --n 64 --fifo 16")).unwrap();
+        job.config.record_commands = true;
+        job.record_trace = Some(path.clone());
+        execute(&job).unwrap();
+
+        let report = run_check(&path).expect("recorded trace is conformant");
+        assert!(report.contains("OK"), "{report}");
+
+        // Corrupt the trace: pull one command 8 cycles earlier and verify
+        // the checker rejects it through the same entry point.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let trace: TraceFile = text.parse().unwrap();
+        let mut bad = trace.clone();
+        let mid = bad.commands.len() / 2;
+        bad.commands[mid].cycle = bad.commands[mid].cycle.saturating_sub(8);
+        std::fs::write(&path, bad.to_json()).unwrap();
+        let err = run_check(&path).expect_err("mutated trace must fail");
+        assert!(err.contains("violation"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_reports_unreadable_and_malformed_traces() {
+        assert!(run_check("/nonexistent/trace.json")
+            .unwrap_err()
+            .contains("cannot read"));
+        let dir = std::env::temp_dir().join("smcsim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = run_check(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("parse error"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn fault_flags_parse_and_reject_bad_specs() {
         let job = parse(&args("--faults busy:0:128:16;nack:50:4 --fault-seed 9")).unwrap();
         let plan = job.config.faults.expect("plan parsed");
@@ -364,7 +456,10 @@ mod tests {
     fn hopeless_faults_surface_as_errors_not_panics() {
         let job = parse(&args("--kernel copy --n 32 --faults busy:*:1:1")).unwrap();
         let err = execute(&job).unwrap_err();
-        assert!(err.contains("livelock") || err.contains("no forward progress"), "{err}");
+        assert!(
+            err.contains("livelock") || err.contains("no forward progress"),
+            "{err}"
+        );
         assert!(err.contains("busy:*:1:1"), "error names the plan: {err}");
     }
 }

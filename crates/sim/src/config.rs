@@ -120,6 +120,16 @@ pub struct SystemConfig {
     pub cache: Option<baseline::cache::CacheConfig>,
     /// Record a packet trace (needed for the timing-diagram figures).
     pub trace: bool,
+    /// Record every issued command with its start cycle, exposing the
+    /// stream on [`RunResult::commands`](crate::RunResult) (the
+    /// `smcsim --record-trace` format checked by `smcsim check`).
+    pub record_commands: bool,
+    /// Replay the recorded command stream through the timing-conformance
+    /// checker after the run and fail with
+    /// [`SimError::Conformance`](crate::SimError) on any violation.
+    /// Defaults to on in debug builds (every test run audits its own
+    /// schedule) and off in release builds.
+    pub check_conformance: bool,
     /// Verify the memory image against the kernel's scalar reference after
     /// the run (always possible because simulations move real data).
     pub verify: bool,
@@ -156,6 +166,8 @@ impl SystemConfig {
             write_allocate: false,
             cache: None,
             trace: false,
+            record_commands: false,
+            check_conformance: cfg!(debug_assertions),
             verify: true,
             faults: None,
             fault_seed: 0,
@@ -183,6 +195,12 @@ impl SystemConfig {
     /// Enable packet tracing.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Record the issued command stream (and keep it on the result).
+    pub fn with_command_recording(mut self) -> Self {
+        self.record_commands = true;
         self
     }
 

@@ -19,6 +19,14 @@ pub enum SimError {
     /// The memory controller reported a protocol violation, a livelock, or
     /// an exhausted retry budget.
     Controller(SmcError),
+    /// The recorded command stream violated the RDRAM timing rules when
+    /// replayed through the conformance checker.
+    Conformance {
+        /// Number of rule violations found.
+        violations: usize,
+        /// Rendered description of the first violation.
+        first: String,
+    },
     /// The run exceeded its cycle budget without completing.
     Budget {
         /// The kernel that ran.
@@ -38,6 +46,10 @@ impl fmt::Display for SimError {
             SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             SimError::Faults(e) => write!(f, "{e}"),
             SimError::Controller(e) => write!(f, "{e}"),
+            SimError::Conformance { violations, first } => write!(
+                f,
+                "command stream failed timing conformance: {violations} violation(s), first: {first}"
+            ),
             SimError::Budget {
                 kernel,
                 n,

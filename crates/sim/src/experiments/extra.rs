@@ -49,10 +49,9 @@ pub fn run() -> Extra {
         let rows = Kernel::ALL
             .into_iter()
             .map(|kernel| {
-                let natural =
-                    run_kernel(kernel, n, 1, &SystemConfig::natural_order(memory))
-                        .expect("fault-free run")
-                        .percent_peak();
+                let natural = run_kernel(kernel, n, 1, &SystemConfig::natural_order(memory))
+                    .expect("fault-free run")
+                    .percent_peak();
                 let smc = run_kernel(kernel, n, 1, &SystemConfig::smc(memory, 128))
                     .expect("fault-free run")
                     .percent_peak();

@@ -1,11 +1,16 @@
 //! Kernel execution on a configured system.
 
+use std::sync::{Arc, Mutex};
+
 use serde::Serialize;
 
 use baseline::{BaselineController, BaselineResult};
 use faults::FaultInjector;
 use kernels::{Coefficients, Kernel, ReferenceMachine};
-use rdram::{trace::Trace, AddressMap, Cycle, DeviceStats, MemoryImage, Rdram, WORDS_PER_PACKET};
+use rdram::{
+    sink::drain_trace, trace::Trace, AddressMap, CommandRecord, CommandTrace, Cycle, DeviceStats,
+    MemoryImage, Rdram, SharedSink, WORDS_PER_PACKET,
+};
 use smc::{MsuConfig, MsuStats, SmcController};
 
 use crate::{vector_bases, AccessOrder, SimError, StreamCpu, SystemConfig};
@@ -36,6 +41,11 @@ pub struct RunResult {
     /// Packet trace, when tracing was enabled.
     #[serde(skip)]
     pub trace: Option<Trace>,
+    /// Every issued command with its start cycle, when
+    /// [`SystemConfig::record_commands`](crate::SystemConfig) was set
+    /// (always captured in conformance-checked runs).
+    #[serde(skip)]
+    pub commands: Vec<CommandRecord>,
     t_pack: Cycle,
 }
 
@@ -104,7 +114,7 @@ pub fn run_kernel(
 
     let mut device_cfg = cfg.device.clone();
     device_cfg.trace_enabled = cfg.trace;
-    let mut dev = Rdram::new(device_cfg);
+    let mut dev = Rdram::new(device_cfg.clone());
     let mut mem = MemoryImage::new();
     seed(&mut mem, kernel, &bases, n, stride);
 
@@ -118,6 +128,11 @@ pub fn run_kernel(
     if let Some(inj) = &injector {
         dev.set_faults(std::sync::Arc::new(inj.clone()));
     }
+
+    // One shared trace observes every command the controller issues; the
+    // conformance checker replays it after the run.
+    let cmd_trace = (cfg.record_commands || cfg.check_conformance)
+        .then(|| Arc::new(Mutex::new(CommandTrace::new())));
 
     let streams = kernel.stream_descriptors(&bases, n, stride);
     let useful_words = streams.len() as u64 * n;
@@ -137,6 +152,9 @@ pub fn run_kernel(
             }
             if let Some(inj) = &injector {
                 ctl.set_faults(inj.clone());
+            }
+            if let Some(trace) = &cmd_trace {
+                ctl.set_trace_sink(SharedSink::from_trace(Arc::clone(trace)));
             }
             let result = ctl.run_to_completion(&mut dev)?;
             // The conventional system's data path is order-preserving per
@@ -165,6 +183,9 @@ pub fn run_kernel(
             if let Some(inj) = &injector {
                 ctl.set_faults(inj.clone());
             }
+            if let Some(trace) = &cmd_trace {
+                ctl.set_trace_sink(SharedSink::from_trace(Arc::clone(trace)));
+            }
             let mut cpu =
                 StreamCpu::new(kernel, coeffs, n).with_access_cycles(cfg.cpu_access_cycles);
             let mut now: Cycle = 0;
@@ -192,6 +213,17 @@ pub fn run_kernel(
         }
     };
 
+    let commands = cmd_trace.as_ref().map(drain_trace).unwrap_or_default();
+    if cfg.check_conformance {
+        let violations = checker::check(&device_cfg, &commands);
+        if let Some(first) = violations.first() {
+            return Err(SimError::Conformance {
+                violations: violations.len(),
+                first: first.to_string(),
+            });
+        }
+    }
+
     if cfg.verify {
         let mut expect = MemoryImage::new();
         seed(&mut expect, kernel, &bases, n, stride);
@@ -218,6 +250,7 @@ pub fn run_kernel(
         msu_stats,
         baseline,
         trace: dev.take_trace(),
+        commands,
         t_pack: cfg.device.timing.t_pack,
     })
 }
@@ -234,7 +267,8 @@ mod tests {
     fn smc_copy_long_vectors_exceed_98_percent() {
         // Paper, Section 6: "for copy with streams of 1024 elements, the
         // SMC exploits over 98% of the system's peak bandwidth."
-        let r = run_kernel(Kernel::Copy, 1024, 1, &SystemConfig::smc(CLI, 128)).expect("fault-free run");
+        let r = run_kernel(Kernel::Copy, 1024, 1, &SystemConfig::smc(CLI, 128))
+            .expect("fault-free run");
         assert!(
             r.percent_peak() > 97.5,
             "copy CLI 1024 = {}",
@@ -245,8 +279,10 @@ mod tests {
     #[test]
     fn smc_always_beats_natural_order_on_cli() {
         for kernel in Kernel::PAPER_SUITE {
-            let smc = run_kernel(kernel, 1024, 1, &SystemConfig::smc(CLI, 64)).expect("fault-free run");
-            let naive = run_kernel(kernel, 1024, 1, &SystemConfig::natural_order(CLI)).expect("fault-free run");
+            let smc =
+                run_kernel(kernel, 1024, 1, &SystemConfig::smc(CLI, 64)).expect("fault-free run");
+            let naive = run_kernel(kernel, 1024, 1, &SystemConfig::natural_order(CLI))
+                .expect("fault-free run");
             assert!(
                 smc.percent_peak() > naive.percent_peak(),
                 "{kernel}: smc {} !> naive {}",
@@ -292,7 +328,8 @@ mod tests {
                 256,
                 1,
                 &base.clone().with_alignment(Alignment::Aligned),
-            ).expect("fault-free run");
+            )
+            .expect("fault-free run");
             assert!(
                 alig.percent_peak() <= stag.percent_peak() + 1e-9,
                 "{kernel}: aligned {} > staggered {}",
@@ -304,7 +341,8 @@ mod tests {
 
     #[test]
     fn strided_smc_caps_at_half_peak() {
-        let r = run_kernel(Kernel::Vaxpy, 512, 4, &SystemConfig::smc(PI, 64)).expect("fault-free run");
+        let r =
+            run_kernel(Kernel::Vaxpy, 512, 4, &SystemConfig::smc(PI, 64)).expect("fault-free run");
         assert!(r.percent_peak() <= 50.0 + 1e-9);
         assert!(r.percent_attainable() > r.percent_peak());
     }
@@ -337,7 +375,9 @@ mod tests {
         let run_with = |cache| {
             let mut cfg = SystemConfig::natural_order(CLI).with_alignment(Alignment::Aligned);
             cfg.cache = cache;
-            run_kernel(Kernel::Vaxpy, 512, 1, &cfg).expect("fault-free run").percent_peak()
+            run_kernel(Kernel::Vaxpy, 512, 1, &cfg)
+                .expect("fault-free run")
+                .percent_peak()
         };
         let ideal = run_with(None);
         let four_way = run_with(Some(baseline::cache::CacheConfig::i860xp()));
@@ -361,12 +401,43 @@ mod tests {
     }
 
     #[test]
+    fn recorded_command_streams_pass_the_checker() {
+        for (cfg, label) in [
+            (SystemConfig::smc(CLI, 32), "smc cli"),
+            (SystemConfig::natural_order(PI), "natural pi"),
+        ] {
+            let cfg = cfg.with_command_recording();
+            let r = run_kernel(Kernel::Daxpy, 128, 1, &cfg).expect("fault-free run");
+            assert!(!r.commands.is_empty(), "{label}: commands recorded");
+            let violations = checker::check(&cfg.device, &r.commands);
+            assert!(violations.is_empty(), "{label}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn conformance_violations_surface_as_errors() {
+        // Force a device whose replay model disagrees with the schedule by
+        // checking the recorded trace against *tighter* timing than the run
+        // used — the checker must flag it, proving the failure path works.
+        let cfg = SystemConfig::smc(CLI, 16).with_command_recording();
+        let r = run_kernel(Kernel::Copy, 64, 1, &cfg).expect("fault-free run");
+        let mut strict = cfg.device.clone();
+        strict.timing.t_rcd += 4;
+        let violations = checker::check(&strict, &r.commands);
+        assert!(
+            violations.iter().any(|v| v.rule == checker::RuleId::TRcd),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
     fn verification_runs_for_every_paper_kernel_on_smc() {
         // run_kernel panics internally if the image diverges; exercising all
         // four kernels on both organizations is the end-to-end data check.
         for mem in [CLI, PI] {
             for kernel in Kernel::PAPER_SUITE {
-                let r = run_kernel(kernel, 128, 1, &SystemConfig::smc(mem, 32)).expect("fault-free run");
+                let r = run_kernel(kernel, 128, 1, &SystemConfig::smc(mem, 32))
+                    .expect("fault-free run");
                 assert!(r.percent_peak() > 0.0);
             }
         }

@@ -1,7 +1,7 @@
 //! The Stream Memory Controller facade: SBU + MSU behind one interface.
 
 use faults::FaultInjector;
-use rdram::{AddressMap, Cycle, MemoryImage, Rdram};
+use rdram::{AddressMap, Cycle, MemoryImage, Rdram, SharedSink};
 
 use crate::{LivelockReport, Msu, MsuConfig, MsuStats, Sbu, SmcError, StreamDescriptor};
 
@@ -26,6 +26,7 @@ pub struct SmcController {
     watchdog_limit: Cycle,
     last_fingerprint: u64,
     last_progress: Cycle,
+    trace_sink: Option<SharedSink>,
 }
 
 impl SmcController {
@@ -42,7 +43,16 @@ impl SmcController {
             watchdog_limit: DEFAULT_WATCHDOG_CYCLES,
             last_fingerprint: 0,
             last_progress: 0,
+            trace_sink: None,
         }
+    }
+
+    /// Observe every command this controller drives into the device: the
+    /// sink is installed on the device at the next [`tick`](Self::tick), so
+    /// MSU-scheduled, speculative, and refresh commands all reach it. Used
+    /// by the `checker` crate's timing-conformance analyzer.
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.trace_sink = Some(sink);
     }
 
     /// Replace the forward-progress watchdog threshold (cycles without
@@ -111,6 +121,11 @@ impl SmcController {
         dev: &mut Rdram,
         mem: &mut MemoryImage,
     ) -> Result<(), SmcError> {
+        if let Some(sink) = &self.trace_sink {
+            if !dev.has_cmd_sink() {
+                dev.set_cmd_sink(sink.clone());
+            }
+        }
         self.msu.tick(now, dev, mem, &mut self.sbu)?;
         if self.mem_complete() {
             self.last_progress = now;
@@ -408,13 +423,13 @@ mod tests {
             degrade_after: 8,
             ..MsuConfig::default()
         };
-        let mut ctl =
-            SmcController::new(vec![StreamDescriptor::read("x", 0, 1, n)], map, cfg);
+        let mut ctl = SmcController::new(vec![StreamDescriptor::read("x", 0, 1, n)], map, cfg);
         ctl.set_faults(inj);
         let mut popped = 0u64;
         let mut now = 0;
         while popped < n {
-            ctl.tick(now, &mut dev, &mut mem).expect("degraded run completes");
+            ctl.tick(now, &mut dev, &mut mem)
+                .expect("degraded run completes");
             if ctl.cpu_read(0, now).is_some() {
                 popped += 1;
             }
@@ -444,7 +459,8 @@ mod tests {
         let mut popped = 0u64;
         let mut now = 0;
         while popped < n {
-            ctl.tick(now, &mut dev, &mut mem).expect("stalls are transient");
+            ctl.tick(now, &mut dev, &mut mem)
+                .expect("stalls are transient");
             if ctl.cpu_read(0, now).is_some() {
                 popped += 1;
             }
@@ -452,6 +468,41 @@ mod tests {
             assert!(now < 100_000, "stalls starved the stream");
         }
         assert!(ctl.msu_stats().injected_stall_cycles > 0);
+    }
+
+    #[test]
+    fn trace_sink_observes_every_issued_command() {
+        use rdram::{CommandTrace, SharedSink};
+        use std::sync::{Arc, Mutex};
+        let (mut dev, mut mem, map) = setup(Interleave::Page);
+        let n = 32u64;
+        for i in 0..n {
+            mem.write_u64(i * 8, i);
+        }
+        let trace = Arc::new(Mutex::new(CommandTrace::new()));
+        let mut ctl = SmcController::new(
+            vec![StreamDescriptor::read("x", 0, 1, n)],
+            map,
+            MsuConfig::default(),
+        );
+        ctl.set_trace_sink(SharedSink::from_trace(Arc::clone(&trace)));
+        let mut popped = 0u64;
+        let mut now = 0;
+        while popped < n {
+            ctl.tick(now, &mut dev, &mut mem).expect("fault-free run");
+            if ctl.cpu_read(0, now).is_some() {
+                popped += 1;
+            }
+            now += 1;
+            assert!(now < 100_000);
+        }
+        let recs = rdram::sink::drain_trace(&trace);
+        let stats = dev.stats();
+        assert_eq!(
+            recs.len() as u64,
+            stats.activates + stats.precharges + stats.read_packets + stats.write_packets,
+            "one record per issued command"
+        );
     }
 
     #[test]

@@ -31,8 +31,10 @@ fn main() {
         MemorySystem::PageInterleaved,
     ] {
         for kernel in Kernel::PAPER_SUITE {
-            let naive = run_kernel(kernel, n, 1, &SystemConfig::natural_order(memory)).expect("fault-free run");
-            let smc = run_kernel(kernel, n, 1, &SystemConfig::smc(memory, fifo_depth)).expect("fault-free run");
+            let naive = run_kernel(kernel, n, 1, &SystemConfig::natural_order(memory))
+                .expect("fault-free run");
+            let smc = run_kernel(kernel, n, 1, &SystemConfig::smc(memory, fifo_depth))
+                .expect("fault-free run");
             table.row(vec![
                 kernel.name().into(),
                 memory.label().into(),

@@ -35,8 +35,10 @@ fn main() {
     for kernel in Kernel::PAPER_SUITE {
         let base = SystemConfig::smc(memory, depth).with_alignment(Alignment::Aligned);
         let rr = run_kernel(kernel, n, 1, &base.clone()).expect("fault-free run");
-        let ba = run_kernel(kernel, n, 1, &base.clone().with_policy(Policy::BankAware)).expect("fault-free run");
-        let rr_spec = run_kernel(kernel, n, 1, &base.clone().with_speculation()).expect("fault-free run");
+        let ba = run_kernel(kernel, n, 1, &base.clone().with_policy(Policy::BankAware))
+            .expect("fault-free run");
+        let rr_spec =
+            run_kernel(kernel, n, 1, &base.clone().with_speculation()).expect("fault-free run");
         let ba_spec = run_kernel(
             kernel,
             n,
@@ -45,7 +47,8 @@ fn main() {
                 .clone()
                 .with_policy(Policy::BankAware)
                 .with_speculation(),
-        ).expect("fault-free run");
+        )
+        .expect("fault-free run");
         table.row(vec![
             kernel.name().into(),
             pct(rr.percent_peak()),

@@ -42,7 +42,9 @@ fn main() {
     ]);
     for stride in [1u64, 2, 4, 8, 12, 16, 24, 32, 40, 48, 56, 64] {
         let smc = |memory: MemorySystem| {
-            run_kernel(kernel, n, stride, &SystemConfig::smc(memory, depth)).expect("fault-free run").percent_attainable()
+            run_kernel(kernel, n, stride, &SystemConfig::smc(memory, depth))
+                .expect("fault-free run")
+                .percent_attainable()
         };
         let cache = |memory: MemorySystem| {
             let sys = SystemConfig::natural_order(memory).stream_system();

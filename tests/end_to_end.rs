@@ -13,9 +13,11 @@ const PI: MemorySystem = MemorySystem::PageInterleaved;
 fn every_kernel_runs_on_every_organization_and_ordering() {
     for memory in [CLI, PI] {
         for kernel in Kernel::ALL {
-            let naive = run_kernel(kernel, 96, 1, &SystemConfig::natural_order(memory)).expect("fault-free run");
+            let naive = run_kernel(kernel, 96, 1, &SystemConfig::natural_order(memory))
+                .expect("fault-free run");
             assert!(naive.percent_peak() > 0.0, "{kernel} {memory:?} naive");
-            let smc = run_kernel(kernel, 96, 1, &SystemConfig::smc(memory, 16)).expect("fault-free run");
+            let smc =
+                run_kernel(kernel, 96, 1, &SystemConfig::smc(memory, 16)).expect("fault-free run");
             assert!(smc.percent_peak() > 0.0, "{kernel} {memory:?} smc");
         }
     }
@@ -25,8 +27,10 @@ fn every_kernel_runs_on_every_organization_and_ordering() {
 fn smc_beats_natural_order_for_long_unit_stride_vectors() {
     for memory in [CLI, PI] {
         for kernel in Kernel::PAPER_SUITE {
-            let naive = run_kernel(kernel, 1024, 1, &SystemConfig::natural_order(memory)).expect("fault-free run");
-            let smc = run_kernel(kernel, 1024, 1, &SystemConfig::smc(memory, 128)).expect("fault-free run");
+            let naive = run_kernel(kernel, 1024, 1, &SystemConfig::natural_order(memory))
+                .expect("fault-free run");
+            let smc = run_kernel(kernel, 1024, 1, &SystemConfig::smc(memory, 128))
+                .expect("fault-free run");
             assert!(
                 smc.percent_peak() > naive.percent_peak(),
                 "{kernel} on {}: SMC {:.1}% vs natural order {:.1}%",
@@ -43,7 +47,8 @@ fn strided_computations_are_bit_exact() {
     // Strides around packet/line/page boundaries; verification is internal.
     for stride in [2, 3, 4, 5, 8, 16, 17] {
         for memory in [CLI, PI] {
-            let r = run_kernel(Kernel::Vaxpy, 64, stride, &SystemConfig::smc(memory, 32)).expect("fault-free run");
+            let r = run_kernel(Kernel::Vaxpy, 64, stride, &SystemConfig::smc(memory, 32))
+                .expect("fault-free run");
             assert!(
                 r.percent_peak() <= 50.0 + 1e-9,
                 "stride {stride} exceeds attainable"
@@ -77,7 +82,8 @@ fn all_policies_and_placements_produce_correct_results() {
 #[test]
 fn deeper_fifos_reduce_turnarounds() {
     let turnarounds = |depth| {
-        run_kernel(Kernel::Daxpy, 1024, 1, &SystemConfig::smc(CLI, depth)).expect("fault-free run")
+        run_kernel(Kernel::Daxpy, 1024, 1, &SystemConfig::smc(CLI, depth))
+            .expect("fault-free run")
             .device_stats
             .turnarounds
     };
@@ -93,8 +99,10 @@ fn deeper_fifos_reduce_turnarounds() {
 fn page_hit_rates_reflect_the_organization() {
     // PI open-page streams hit the sense amps almost always; CLI closed-page
     // pays a miss per cacheline (every other packet at unit stride).
-    let pi = run_kernel(Kernel::Daxpy, 1024, 1, &SystemConfig::smc(PI, 64)).expect("fault-free run");
-    let cli = run_kernel(Kernel::Daxpy, 1024, 1, &SystemConfig::smc(CLI, 64)).expect("fault-free run");
+    let pi =
+        run_kernel(Kernel::Daxpy, 1024, 1, &SystemConfig::smc(PI, 64)).expect("fault-free run");
+    let cli =
+        run_kernel(Kernel::Daxpy, 1024, 1, &SystemConfig::smc(CLI, 64)).expect("fault-free run");
     let pi_rate = pi.device_stats.page_hit_rate().expect("traffic exists");
     let cli_rate = cli.device_stats.page_hit_rate().expect("traffic exists");
     assert!(pi_rate > 0.9, "PI hit rate {pi_rate}");

@@ -14,7 +14,8 @@ use sim::{run_kernel, MemorySystem, SystemConfig};
 
 fn traced(kernel: Kernel, n: u64, cfg: &SystemConfig) -> Trace {
     let cfg = cfg.clone().with_trace();
-    run_kernel(kernel, n, 1, &cfg).expect("fault-free run")
+    run_kernel(kernel, n, 1, &cfg)
+        .expect("fault-free run")
         .trace
         .expect("trace requested")
 }

@@ -145,7 +145,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter rejected 1000 straight samples: {}", self.whence);
+        panic!(
+            "prop_filter rejected 1000 straight samples: {}",
+            self.whence
+        );
     }
 }
 

@@ -97,10 +97,7 @@ fn variant_arm(name: &str, v: &Variant) -> String {
             format!(
                 "{name}::{vn} {{ {binds} .. }} => ::serde::Value::Object(vec![(\
                     \"{vn}\".to_string(), ::serde::Value::Object(vec![{entries}]))]),",
-                binds = binds
-                    .iter()
-                    .map(|b| format!("{b},"))
-                    .collect::<String>(),
+                binds = binds.iter().map(|b| format!("{b},")).collect::<String>(),
                 entries = entries.join(",")
             )
         }
