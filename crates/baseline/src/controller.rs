@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use faults::FaultInjector;
 use rdram::{AddressMap, Command, Cycle, Location, Rdram, SharedSink, PACKET_BYTES};
 use smc::{LivelockReport, SmcError, StreamDescriptor, StreamKind, DEFAULT_WATCHDOG_CYCLES};
+use telemetry::{Event, SharedTelemetry};
 
 /// Page management applied to each cacheline burst.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -108,6 +109,10 @@ pub struct BaselineController {
     last_progress: Cycle,
     last_issued: Option<(Command, Cycle)>,
     trace_sink: Option<SharedSink>,
+    telemetry: Option<SharedTelemetry>,
+    /// NACK count at the previous tick; the telemetry emitter turns the
+    /// per-tick delta into events.
+    prev_nacks: u64,
 }
 
 impl BaselineController {
@@ -161,6 +166,8 @@ impl BaselineController {
             last_progress: 0,
             last_issued: None,
             trace_sink: None,
+            telemetry: None,
+            prev_nacks: 0,
         }
     }
 
@@ -170,6 +177,14 @@ impl BaselineController {
     /// crate's timing-conformance analyzer.
     pub fn set_trace_sink(&mut self, sink: SharedSink) {
         self.trace_sink = Some(sink);
+    }
+
+    /// Attach a telemetry handle. From the next [`tick`](Self::tick) on,
+    /// the controller emits one [`Event`] per fault-recovery incident
+    /// (injected stall cycles, DATA NACKs) and per watchdog trip. When no
+    /// handle is attached the per-tick cost is a single `Option` check.
+    pub fn set_telemetry(&mut self, tel: SharedTelemetry) {
+        self.telemetry = Some(tel);
     }
 
     /// Subject the controller to an injected fault timeline. Install the
@@ -454,10 +469,22 @@ impl BaselineController {
         if self.faults.stalled(now) {
             if !self.done() {
                 self.idle_cycles += 1;
+                if let Some(tel) = &self.telemetry {
+                    tel.record(Event::InjectedStall { cycle: now });
+                }
             }
             return Ok(());
         }
         self.step(now, dev)?;
+        if let Some(tel) = &self.telemetry {
+            for _ in self.prev_nacks..self.data_nacks {
+                tel.record(Event::DataNack {
+                    cycle: now,
+                    bank: self.last_issued.map(|(c, _)| c.bank()),
+                });
+            }
+            self.prev_nacks = self.data_nacks;
+        }
         if self.done() {
             self.last_progress = now;
             return Ok(());
@@ -467,6 +494,12 @@ impl BaselineController {
             self.last_fingerprint = fp;
             self.last_progress = now;
         } else if now.saturating_sub(self.last_progress) >= self.watchdog_limit {
+            if let Some(tel) = &self.telemetry {
+                tel.record(Event::WatchdogTrip {
+                    cycle: now,
+                    stalled_for: now.saturating_sub(self.last_progress),
+                });
+            }
             return Err(SmcError::Livelock(Box::new(self.livelock_report(now, dev))));
         }
         Ok(())

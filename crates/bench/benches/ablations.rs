@@ -29,7 +29,11 @@ fn scheduling_policy() {
     for kernel in Kernel::PAPER_SUITE {
         let base =
             SystemConfig::smc(MemorySystem::PageInterleaved, 64).with_alignment(Alignment::Aligned);
-        let run = |cfg: SystemConfig| run_kernel(kernel, 1024, 1, &cfg).percent_peak();
+        let run = |cfg: SystemConfig| {
+            run_kernel(kernel, 1024, 1, &cfg)
+                .expect("fault-free run")
+                .percent_peak()
+        };
         t.row(vec![
             kernel.name().into(),
             pct(run(base.clone())),
@@ -64,6 +68,7 @@ fn placement() {
                     1,
                     &SystemConfig::smc(memory, depth).with_alignment(alignment),
                 )
+                .expect("fault-free run")
                 .percent_peak()
             };
             t.row(vec![
@@ -190,7 +195,9 @@ fn cpu_speed() {
         let run = |cycles| {
             let mut cfg = SystemConfig::smc(MemorySystem::CacheLineInterleaved, depth);
             cfg.cpu_access_cycles = cycles;
-            run_kernel(Kernel::Daxpy, 1024, 1, &cfg).percent_peak()
+            run_kernel(Kernel::Daxpy, 1024, 1, &cfg)
+                .expect("fault-free run")
+                .percent_peak()
         };
         t.row(vec![depth.to_string(), pct(run(2)), pct(run(1))]);
     }
@@ -220,8 +227,12 @@ fn refresh_cost() {
             t.row(vec![
                 kernel.name().into(),
                 memory.label().into(),
-                pct(run_kernel(kernel, 1024, 1, &base).percent_peak()),
-                pct(run_kernel(kernel, 1024, 1, &refr).percent_peak()),
+                pct(run_kernel(kernel, 1024, 1, &base)
+                    .expect("fault-free run")
+                    .percent_peak()),
+                pct(run_kernel(kernel, 1024, 1, &refr)
+                    .expect("fault-free run")
+                    .percent_peak()),
             ]);
         }
     }
@@ -245,7 +256,9 @@ fn cache_conflicts() {
             let mut cfg = SystemConfig::natural_order(MemorySystem::CacheLineInterleaved)
                 .with_alignment(Alignment::Aligned);
             cfg.cache = cache;
-            run_kernel(Kernel::Vaxpy, 1024, stride, &cfg).percent_peak()
+            run_kernel(Kernel::Vaxpy, 1024, stride, &cfg)
+                .expect("fault-free run")
+                .percent_peak()
         };
         let four_way = baseline::cache::CacheConfig::i860xp();
         let direct = baseline::cache::CacheConfig {

@@ -89,4 +89,53 @@ mod tests {
         assert_eq!(s.data_bus_utilization(100), 0.4);
         assert_eq!(s.data_bus_utilization(0), 0.0);
     }
+
+    #[test]
+    fn hit_rate_none_even_after_row_activity() {
+        // ACT/PRER traffic without any COL packets (e.g. a run aborted
+        // before its first column access) must not fabricate a hit rate.
+        let s = DeviceStats {
+            activates: 12,
+            precharges: 9,
+            auto_precharges: 3,
+            ..DeviceStats::default()
+        };
+        assert_eq!(s.col_packets(), 0);
+        assert_eq!(s.page_hit_rate(), None);
+        assert_eq!(s.data_bus_utilization(1_000), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_extremes_are_exact() {
+        let all_miss = DeviceStats {
+            read_packets: 5,
+            write_packets: 3,
+            ..DeviceStats::default()
+        };
+        assert_eq!(all_miss.page_hit_rate(), Some(0.0));
+        let all_hit = DeviceStats {
+            read_packets: 5,
+            write_packets: 3,
+            read_hits: 5,
+            write_hits: 3,
+            ..DeviceStats::default()
+        };
+        assert_eq!(all_hit.page_hit_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn utilization_is_exact_at_full_occupancy() {
+        let s = DeviceStats {
+            data_busy_cycles: 256,
+            ..DeviceStats::default()
+        };
+        assert_eq!(s.data_bus_utilization(256), 1.0);
+        // One-cycle runs divide cleanly too — no epsilon creep.
+        let one = DeviceStats {
+            data_busy_cycles: 1,
+            ..DeviceStats::default()
+        };
+        assert_eq!(one.data_bus_utilization(1), 1.0);
+        assert_eq!(one.data_bus_utilization(2), 0.5);
+    }
 }

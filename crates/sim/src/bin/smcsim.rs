@@ -28,6 +28,30 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.first().map(String::as_str) == Some("report") {
+        return match sim::cli::run_report(&args[1..]) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("smcsim: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        return match sim::cli::run_bench(&args[1..]) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("smcsim: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let job = match sim::cli::parse(&args) {
         Ok(job) => job,
         Err(e) => {

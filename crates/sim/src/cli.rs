@@ -9,8 +9,9 @@
 
 use checker::TraceFile;
 use kernels::Kernel;
+use telemetry::Profiler;
 
-use crate::{run_kernel, AccessOrder, Alignment, MemorySystem, RunResult, SystemConfig};
+use crate::{metrics, run_kernel, AccessOrder, Alignment, MemorySystem, RunResult, SystemConfig};
 
 /// A fully parsed simulation job.
 #[derive(Debug, Clone)]
@@ -30,6 +31,13 @@ pub struct Job {
     /// Write the recorded command stream to this path as a
     /// [`TraceFile`] for later `smcsim check` runs.
     pub record_trace: Option<String>,
+    /// Write the run's metrics registry to this path as JSON Lines
+    /// (implies telemetry collection). On a failed run the livelock /
+    /// failure registry is written instead.
+    pub metrics_out: Option<String>,
+    /// Write a Chrome trace-event / Perfetto JSON timeline to this path
+    /// (implies telemetry collection). Load it at `ui.perfetto.dev`.
+    pub perfetto_out: Option<String>,
 }
 
 impl Default for Job {
@@ -42,6 +50,8 @@ impl Default for Job {
             json: false,
             explain: false,
             record_trace: None,
+            metrics_out: None,
+            perfetto_out: None,
         }
     }
 }
@@ -51,6 +61,12 @@ pub const USAGE: &str = "\
 usage: smcsim [OPTIONS]
        smcsim check TRACE.json   replay a recorded trace through the
                                  timing-conformance checker
+       smcsim report --metrics METRICS.jsonl [--perfetto TRACE.json]
+                                 render a metrics dump as a table and
+                                 validate a Perfetto trace
+       smcsim bench [--n N] [--out FILE]
+                                 profile simulated-cycles-per-second for
+                                 the paper suite  [BENCH_telemetry.json]
   --kernel NAME     copy|daxpy|hydro|vaxpy|fill|scale|triad|swap  [daxpy]
   --n N             elements per stream                           [1024]
   --stride S        stride in 64-bit words                        [1]
@@ -70,6 +86,8 @@ usage: smcsim [OPTIONS]
                       storm:<period>:<len>          stall:<period>:<len>
   --fault-seed S    seed for the fault injector's random draws         [0]
   --record-trace F  write the issued command stream to F (JSON) for `check`
+  --metrics-out F   write the run's metric registry to F as JSON Lines
+  --perfetto-out F  write a Perfetto/Chrome trace-event timeline to F
   --json            JSON output
   --explain         print the analytic bound derivation (Eqs. 5.15-5.18)
   --help";
@@ -162,6 +180,14 @@ pub fn parse(args: &[String]) -> Result<Job, String> {
                 job.config.record_commands = true;
                 job.record_trace = Some(path);
             }
+            "--metrics-out" => {
+                job.config.telemetry = true;
+                job.metrics_out = Some(value(args, &mut i, "--metrics-out")?);
+            }
+            "--perfetto-out" => {
+                job.config.telemetry = true;
+                job.perfetto_out = Some(value(args, &mut i, "--perfetto-out")?);
+            }
             "--json" => job.json = true,
             "--explain" => job.explain = true,
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
@@ -187,17 +213,37 @@ pub fn parse(args: &[String]) -> Result<Job, String> {
 /// or a structured fault-injection failure (livelock, exhausted retries,
 /// blown cycle budget).
 pub fn execute(job: &Job) -> Result<String, String> {
-    let result = run_kernel(job.kernel, job.n, job.stride, &job.config).map_err(|e| {
-        let mut msg = e.to_string();
-        if let Some(plan) = &job.config.faults {
-            msg.push_str(&format!(
-                " (faults '{}', seed {})",
-                plan.to_spec(),
-                job.config.fault_seed
-            ));
+    let result = match run_kernel(job.kernel, job.n, job.stride, &job.config) {
+        Ok(r) => r,
+        Err(e) => {
+            // Even a failed run leaves evidence: the livelock report and
+            // recovery counters go out through the same metric catalog.
+            if let Some(path) = &job.metrics_out {
+                let registry = metrics::failure_metrics(&e);
+                std::fs::write(path, registry.to_jsonl())
+                    .map_err(|werr| format!("cannot write metrics to {path}: {werr}"))?;
+            }
+            let mut msg = e.to_string();
+            if let Some(plan) = &job.config.faults {
+                msg.push_str(&format!(
+                    " (faults '{}', seed {})",
+                    plan.to_spec(),
+                    job.config.fault_seed
+                ));
+            }
+            return Err(msg);
         }
-        msg
-    })?;
+    };
+    if let Some(tel) = &result.telemetry {
+        if let Some(path) = &job.metrics_out {
+            std::fs::write(path, tel.registry.to_jsonl())
+                .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+        }
+        if let Some(path) = &job.perfetto_out {
+            std::fs::write(path, tel.perfetto_json())
+                .map_err(|e| format!("cannot write Perfetto trace to {path}: {e}"))?;
+        }
+    }
     if let Some(path) = &job.record_trace {
         let trace = TraceFile {
             device: job.config.device.clone(),
@@ -265,20 +311,147 @@ pub fn run_check(path: &str) -> Result<String, String> {
     }
 }
 
+/// `smcsim report`: render a metrics JSONL dump as a table and, optionally,
+/// validate a Perfetto trace file's structure.
+///
+/// # Errors
+///
+/// A human-readable message when a file cannot be read, the metrics dump is
+/// malformed, or the Perfetto trace fails schema validation.
+pub fn run_report(args: &[String]) -> Result<String, String> {
+    let mut metrics_path: Option<String> = None;
+    let mut perfetto_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics" => {
+                i += 1;
+                metrics_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| "--metrics needs a value".to_string())?,
+                );
+            }
+            "--perfetto" => {
+                i += 1;
+                perfetto_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| "--perfetto needs a value".to_string())?,
+                );
+            }
+            other => return Err(format!("report: unknown option {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let mut out = String::new();
+    if let Some(path) = &metrics_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read metrics {path}: {e}"))?;
+        let table = metrics::table_from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        out.push_str(&table.render());
+    }
+    if let Some(path) = &perfetto_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read Perfetto trace {path}: {e}"))?;
+        let summary = telemetry::perfetto::validate(&text).map_err(|e| format!("{path}: {e}"))?;
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{path}: OK ({} events over {} tracks: {} spans, {} counter samples, {} instants)\n",
+            summary.events,
+            summary.tracks,
+            summary.complete_events,
+            summary.counter_events,
+            summary.instant_events,
+        ));
+    }
+    if metrics_path.is_none() && perfetto_path.is_none() {
+        return Err(format!("report needs --metrics and/or --perfetto\n{USAGE}"));
+    }
+    Ok(out)
+}
+
+/// `smcsim bench`: run the paper's four kernels under both orderings,
+/// recording simulated-cycles-per-wall-second for each, and write the
+/// profile as JSON (default `BENCH_telemetry.json`).
+///
+/// # Errors
+///
+/// A human-readable message for bad arguments, a failed run, or an
+/// unwritable output file.
+pub fn run_bench(args: &[String]) -> Result<String, String> {
+    let mut n: u64 = 1024;
+    let mut out_path = "BENCH_telemetry.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => {
+                i += 1;
+                n = args
+                    .get(i)
+                    .ok_or_else(|| "--n needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--n: {e}"))?;
+            }
+            "--out" => {
+                i += 1;
+                out_path = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| "--out needs a value".to_string())?;
+            }
+            other => return Err(format!("bench: unknown option {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if n == 0 {
+        return Err("--n must be positive".into());
+    }
+    let mut profiler = Profiler::new();
+    let mut out = String::from("kernel  ordering  cycles  sim-cycles/s\n");
+    for kernel in Kernel::PAPER_SUITE {
+        for (cfg, ordering) in [
+            (
+                SystemConfig::smc(MemorySystem::CacheLineInterleaved, 64),
+                "smc",
+            ),
+            (
+                SystemConfig::natural_order(MemorySystem::CacheLineInterleaved),
+                "natural",
+            ),
+        ] {
+            let start = std::time::Instant::now();
+            let r = run_kernel(kernel, n, 1, &cfg)
+                .map_err(|e| format!("bench {} ({ordering}): {e}", kernel.name()))?;
+            profiler.record(kernel.name(), ordering, r.cycles, start.elapsed());
+            let rec = profiler
+                .records()
+                .last()
+                .ok_or_else(|| "profiler recorded nothing".to_string())?;
+            out.push_str(&format!(
+                "{}  {}  {}  {}\n",
+                rec.kernel, rec.ordering, rec.cycles, rec.cycles_per_sec
+            ));
+        }
+    }
+    std::fs::write(&out_path, profiler.to_json())
+        .map_err(|e| format!("cannot write profile to {out_path}: {e}"))?;
+    out.push_str(&format!("profile written to {out_path}\n"));
+    Ok(out)
+}
+
 fn summarize(r: &RunResult) -> String {
+    let s = r.summary();
     let mut out = format!(
         "{} x {} elements (stride {}): {} cycles, {:.1}% of peak ({:.2} GB/s effective)\n",
-        r.kernel,
-        r.n,
-        r.stride,
-        r.cycles,
-        r.percent_peak(),
-        1.6 * r.percent_peak() / 100.0,
+        r.kernel, r.n, r.stride, r.cycles, s.percent_peak, s.effective_gbps,
     );
     if r.stride > 1 {
         out.push_str(&format!(
             "  {:.1}% of attainable (50% cap for non-unit strides)\n",
-            r.percent_attainable()
+            s.percent_attainable
         ));
     }
     let d = &r.device_stats;
@@ -288,7 +461,7 @@ fn summarize(r: &RunResult) -> String {
         d.read_packets,
         d.write_packets,
         d.turnarounds,
-        d.page_hit_rate()
+        s.page_hit_rate
             .map_or("n/a".into(), |h| format!("{:.1}%", 100.0 * h)),
     ));
     if let Some(m) = &r.msu_stats {
@@ -428,6 +601,80 @@ mod tests {
         let err = run_check(path.to_str().unwrap()).unwrap_err();
         assert!(err.contains("parse error"), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn telemetry_flags_write_metrics_and_perfetto_files() {
+        let dir = std::env::temp_dir().join("smcsim-cli-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("m.jsonl").to_str().unwrap().to_string();
+        let perfetto = dir.join("t.json").to_str().unwrap().to_string();
+        let job = parse(&args(&format!(
+            "--kernel copy --n 64 --fifo 16 --metrics-out {metrics} --perfetto-out {perfetto}"
+        )))
+        .unwrap();
+        assert!(job.config.telemetry, "flags imply telemetry collection");
+        execute(&job).unwrap();
+
+        let report = run_report(&args(&format!("--metrics {metrics} --perfetto {perfetto}")))
+            .expect("both artifacts validate");
+        assert!(report.contains("run.cycles"), "{report}");
+        assert!(report.contains("OK ("), "{report}");
+
+        // A failing run still writes the failure registry.
+        let mut job = parse(&args(&format!(
+            "--kernel copy --n 32 --faults busy:*:1:1 --metrics-out {metrics}"
+        )))
+        .unwrap();
+        job.config.check_conformance = false;
+        execute(&job).unwrap_err();
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(
+            text.contains(
+                "\"metric\":\"livelock.watchdog_trips\",\"kind\":\"counter\",\
+                 \"unit\":\"events\",\"value\":1"
+            ),
+            "{text}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_rejects_bad_inputs() {
+        assert!(run_report(&[]).unwrap_err().contains("--metrics"));
+        assert!(run_report(&args("--metrics /nonexistent/m.jsonl"))
+            .unwrap_err()
+            .contains("cannot read"));
+        assert!(run_report(&args("--bogus"))
+            .unwrap_err()
+            .contains("unknown option"));
+        let dir = std::env::temp_dir().join("smcsim-cli-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"traceEvents\":7}").unwrap();
+        let err = run_report(&args(&format!("--perfetto {}", bad.to_str().unwrap())))
+            .expect_err("invalid trace must fail");
+        assert!(err.contains("traceEvents"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_profiles_the_paper_suite() {
+        let dir = std::env::temp_dir().join("smcsim-cli-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("bench.json").to_str().unwrap().to_string();
+        let text = run_bench(&args(&format!("--n 64 --out {out}"))).unwrap();
+        assert!(text.contains("sim-cycles/s"), "{text}");
+        let json = std::fs::read_to_string(&out).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let benches = v["benchmarks"].as_array().unwrap();
+        assert_eq!(benches.len(), 2 * Kernel::PAPER_SUITE.len());
+        for b in benches {
+            assert!(b["simulated_cycles_per_sec"].as_u64().unwrap() > 0);
+        }
+        assert!(run_bench(&args("--n 0")).unwrap_err().contains("positive"));
+        assert!(run_bench(&args("--what")).unwrap_err().contains("unknown"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

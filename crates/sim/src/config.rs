@@ -139,6 +139,11 @@ pub struct SystemConfig {
     pub faults: Option<faults::FaultPlan>,
     /// Seed for the fault injector's pseudo-random draws.
     pub fault_seed: u64,
+    /// Collect cycle-resolved telemetry: a metrics registry, bank/bus/FIFO
+    /// timelines replayed from the command stream, and controller events,
+    /// exposed on [`RunResult::telemetry`](crate::RunResult). Implies
+    /// command recording internally; cycle counts are unaffected.
+    pub telemetry: bool,
 }
 
 impl SystemConfig {
@@ -171,6 +176,7 @@ impl SystemConfig {
             verify: true,
             faults: None,
             fault_seed: 0,
+            telemetry: false,
         }
     }
 
@@ -201,6 +207,12 @@ impl SystemConfig {
     /// Record the issued command stream (and keep it on the result).
     pub fn with_command_recording(mut self) -> Self {
         self.record_commands = true;
+        self
+    }
+
+    /// Collect cycle-resolved telemetry during the run.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
         self
     }
 

@@ -199,7 +199,7 @@ mod tests {
         let mut cpu = StreamCpu::new(kernel, Coefficients::default(), n);
         let mut now = 0;
         while !(cpu.done() && ctl.mem_complete()) {
-            ctl.tick(now, &mut dev, &mut mem);
+            ctl.tick(now, &mut dev, &mut mem).expect("fault-free tick");
             cpu.tick(now, &mut ctl);
             now += 1;
             assert!(now < 5_000_000, "kernel {kernel} stalled");

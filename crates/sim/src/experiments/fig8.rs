@@ -80,8 +80,7 @@ fn simulate_single(memory: MemorySystem, stride: u64) -> f64 {
     let mut ctl = BaselineController::new(streams, map, cfg.memory.line_policy(), cfg.line_bytes)
         .with_max_in_flight(1);
     let r = ctl.run_to_completion(&mut dev).expect("fault-free run");
-    let useful_cycles = n as f64 * cfg.device.timing.t_pack as f64 / rdram::WORDS_PER_PACKET as f64;
-    100.0 * useful_cycles / r.last_data_cycle as f64
+    crate::percent_peak_of(n, r.last_data_cycle, cfg.device.timing.t_pack)
 }
 
 impl Fig8 {

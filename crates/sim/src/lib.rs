@@ -41,6 +41,7 @@ mod cpu;
 mod error;
 pub mod experiments;
 mod layout;
+pub mod metrics;
 pub mod plot;
 pub mod report;
 mod runner;
@@ -50,4 +51,5 @@ pub use config::{AccessOrder, Alignment, MemorySystem, SystemConfig};
 pub use cpu::{StreamCpu, CYCLES_PER_ACCESS};
 pub use error::SimError;
 pub use layout::vector_bases;
-pub use runner::{run_kernel, RunResult};
+pub use metrics::RunTelemetry;
+pub use runner::{percent_peak_of, run_kernel, RunResult, RunSummary};

@@ -12,7 +12,9 @@ use rdram::{
     MemoryImage, Rdram, SharedSink, WORDS_PER_PACKET,
 };
 use smc::{MsuConfig, MsuStats, SmcController};
+use telemetry::SharedTelemetry;
 
+use crate::metrics::RunTelemetry;
 use crate::{vector_bases, AccessOrder, SimError, StreamCpu, SystemConfig};
 
 /// Consecutive injected conflicts on one bank before the MSU demotes it to
@@ -46,19 +48,49 @@ pub struct RunResult {
     /// (always captured in conformance-checked runs).
     #[serde(skip)]
     pub commands: Vec<CommandRecord>,
+    /// Collected telemetry (metrics registry, bank/bus timelines, controller
+    /// events), when [`SystemConfig::telemetry`](crate::SystemConfig) was
+    /// set.
+    #[serde(skip)]
+    pub telemetry: Option<RunTelemetry>,
     t_pack: Cycle,
 }
 
+/// Derived headline ratios for one run — the single place the CLI, the
+/// experiment tables, and external reporting compute bandwidth and hit-rate
+/// percentages from the raw counters.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RunSummary {
+    /// Effective bandwidth as percent of the device's peak.
+    pub percent_peak: f64,
+    /// Percent of attainable bandwidth (non-unit strides cap at 50%).
+    pub percent_attainable: f64,
+    /// Effective bandwidth in GB/s.
+    pub effective_gbps: f64,
+    /// Fraction of column packets that hit an open row, when any were
+    /// issued.
+    pub page_hit_rate: Option<f64>,
+    /// Fraction of elapsed cycles the DATA bus carried packets.
+    pub data_bus_utilization: f64,
+}
+
+/// Effective bandwidth as percent of peak (Eq. 5.1) for `useful_words`
+/// 64-bit words moved in `cycles` with a `t_pack`-cycle packet time: the
+/// cycles of useful data transferred at peak rate over total cycles. A run
+/// that transferred nothing (zero cycles) delivered 0% of peak. This is the
+/// one place the formula lives; [`RunResult::percent_peak`] and the
+/// experiment figures all route through it.
+pub fn percent_peak_of(useful_words: u64, cycles: Cycle, t_pack: Cycle) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    100.0 * (useful_words as f64 * t_pack as f64 / WORDS_PER_PACKET as f64) / cycles as f64
+}
+
 impl RunResult {
-    /// Effective bandwidth as percent of the device's peak (Eq. 5.1): the
-    /// cycles of useful data transferred at peak rate over total cycles.
-    /// A run that transferred nothing (zero cycles) delivered 0% of peak.
+    /// Effective bandwidth as percent of the device's peak (Eq. 5.1).
     pub fn percent_peak(&self) -> f64 {
-        if self.cycles == 0 {
-            return 0.0;
-        }
-        100.0 * (self.useful_words as f64 * self.t_pack as f64 / WORDS_PER_PACKET as f64)
-            / self.cycles as f64
+        percent_peak_of(self.useful_words, self.cycles, self.t_pack)
     }
 
     /// Percent of *attainable* bandwidth: non-unit strides occupy a whole
@@ -67,6 +99,20 @@ impl RunResult {
     pub fn percent_attainable(&self) -> f64 {
         let attainable = if self.stride == 1 { 100.0 } else { 50.0 };
         100.0 * self.percent_peak() / attainable
+    }
+
+    /// The derived headline numbers for this run, computed once here so
+    /// every reporting surface agrees on the formulas.
+    pub fn summary(&self) -> RunSummary {
+        let percent_peak = self.percent_peak();
+        let peak_gbps = rdram::PACKET_BYTES as f64 / (self.t_pack as f64 * rdram::CYCLE_NS);
+        RunSummary {
+            percent_peak,
+            percent_attainable: self.percent_attainable(),
+            effective_gbps: peak_gbps * percent_peak / 100.0,
+            page_hit_rate: self.device_stats.page_hit_rate(),
+            data_bus_utilization: self.device_stats.data_bus_utilization(self.cycles),
+        }
     }
 }
 
@@ -130,9 +176,11 @@ pub fn run_kernel(
     }
 
     // One shared trace observes every command the controller issues; the
-    // conformance checker replays it after the run.
-    let cmd_trace = (cfg.record_commands || cfg.check_conformance)
+    // conformance checker replays it after the run, and the telemetry layer
+    // replays it into bank/bus timelines.
+    let cmd_trace = (cfg.record_commands || cfg.check_conformance || cfg.telemetry)
         .then(|| Arc::new(Mutex::new(CommandTrace::new())));
+    let tel = cfg.telemetry.then(SharedTelemetry::new);
 
     let streams = kernel.stream_descriptors(&bases, n, stride);
     let useful_words = streams.len() as u64 * n;
@@ -155,6 +203,9 @@ pub fn run_kernel(
             }
             if let Some(trace) = &cmd_trace {
                 ctl.set_trace_sink(SharedSink::from_trace(Arc::clone(trace)));
+            }
+            if let Some(t) = &tel {
+                ctl.set_telemetry(t.clone());
             }
             let result = ctl.run_to_completion(&mut dev)?;
             // The conventional system's data path is order-preserving per
@@ -185,6 +236,9 @@ pub fn run_kernel(
             }
             if let Some(trace) = &cmd_trace {
                 ctl.set_trace_sink(SharedSink::from_trace(Arc::clone(trace)));
+            }
+            if let Some(t) = &tel {
+                ctl.set_telemetry(t.clone());
             }
             let mut cpu =
                 StreamCpu::new(kernel, coeffs, n).with_access_cycles(cfg.cpu_access_cycles);
@@ -240,7 +294,7 @@ pub fn run_kernel(
         }
     }
 
-    Ok(RunResult {
+    let mut result = RunResult {
         kernel,
         n,
         stride,
@@ -251,8 +305,27 @@ pub fn run_kernel(
         baseline,
         trace: dev.take_trace(),
         commands,
+        telemetry: None,
         t_pack: cfg.device.timing.t_pack,
-    })
+    };
+    if let Some(t) = tel {
+        let collected = RunTelemetry::collect(&device_cfg, &result, t.drain());
+        // Debug builds cross-check the replayed timeline against the
+        // device's own counters: both derive from the same command stream,
+        // so any divergence is a bug in one of the two models. Faulty runs
+        // are exempt — NACKed transfers perturb the replay's hit accounting.
+        #[cfg(debug_assertions)]
+        if injector.is_none() {
+            let mismatches =
+                telemetry::reconcile(collected.timeline.counts(), &result.device_stats);
+            assert!(
+                mismatches.is_empty(),
+                "telemetry replay diverged from device counters: {mismatches:?}"
+            );
+        }
+        result.telemetry = Some(collected);
+    }
+    Ok(result)
 }
 
 #[cfg(test)]

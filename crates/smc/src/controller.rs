@@ -2,6 +2,7 @@
 
 use faults::FaultInjector;
 use rdram::{AddressMap, Cycle, MemoryImage, Rdram, SharedSink};
+use telemetry::{Event, SharedTelemetry};
 
 use crate::{LivelockReport, Msu, MsuConfig, MsuStats, Sbu, SmcError, StreamDescriptor};
 
@@ -27,6 +28,12 @@ pub struct SmcController {
     last_fingerprint: u64,
     last_progress: Cycle,
     trace_sink: Option<SharedSink>,
+    telemetry: Option<SharedTelemetry>,
+    /// MSU statistics at the previous tick; the telemetry emitter turns
+    /// per-tick deltas into events without touching the scheduler.
+    prev_stats: MsuStats,
+    prev_refreshes: u64,
+    prev_occupancy: Vec<usize>,
 }
 
 impl SmcController {
@@ -44,6 +51,10 @@ impl SmcController {
             last_fingerprint: 0,
             last_progress: 0,
             trace_sink: None,
+            telemetry: None,
+            prev_stats: MsuStats::default(),
+            prev_refreshes: 0,
+            prev_occupancy: Vec::new(),
         }
     }
 
@@ -53,6 +64,15 @@ impl SmcController {
     /// by the `checker` crate's timing-conformance analyzer.
     pub fn set_trace_sink(&mut self, sink: SharedSink) {
         self.trace_sink = Some(sink);
+    }
+
+    /// Attach a telemetry handle. From the next [`tick`](Self::tick) on,
+    /// the controller emits one [`Event`] per observable change: FIFO depth
+    /// samples, service switches, fault-recovery incidents, refreshes, and
+    /// watchdog trips. When no handle is attached the per-tick cost is a
+    /// single `Option` check.
+    pub fn set_telemetry(&mut self, tel: SharedTelemetry) {
+        self.telemetry = Some(tel);
     }
 
     /// Replace the forward-progress watchdog threshold (cycles without
@@ -127,6 +147,9 @@ impl SmcController {
             }
         }
         self.msu.tick(now, dev, mem, &mut self.sbu)?;
+        if self.telemetry.is_some() {
+            self.emit_telemetry(now);
+        }
         if self.mem_complete() {
             self.last_progress = now;
             return Ok(());
@@ -136,9 +159,67 @@ impl SmcController {
             self.last_fingerprint = fp;
             self.last_progress = now;
         } else if now.saturating_sub(self.last_progress) >= self.watchdog_limit {
+            if let Some(tel) = &self.telemetry {
+                tel.record(Event::WatchdogTrip {
+                    cycle: now,
+                    stalled_for: now.saturating_sub(self.last_progress),
+                });
+            }
             return Err(SmcError::Livelock(Box::new(self.livelock_report(now, dev))));
         }
         Ok(())
+    }
+
+    /// Diff the MSU's statistics against the previous tick and emit one
+    /// event per change. Only called with a telemetry handle attached.
+    fn emit_telemetry(&mut self, now: Cycle) {
+        let stats = *self.msu.stats();
+        let prev = self.prev_stats;
+        let refreshes = self.msu.refreshes_issued();
+        if let Some(tel) = &self.telemetry {
+            if stats.fifo_switches > prev.fifo_switches {
+                tel.record(Event::FifoSwitch {
+                    cycle: now,
+                    fifo: self.msu.current_fifo().unwrap_or(0),
+                });
+            }
+            for _ in prev.data_nacks..stats.data_nacks {
+                tel.record(Event::DataNack {
+                    cycle: now,
+                    bank: self.msu.last_issued().map(|(c, _)| c.bank()),
+                });
+            }
+            for _ in prev.injected_stall_cycles..stats.injected_stall_cycles {
+                tel.record(Event::InjectedStall { cycle: now });
+            }
+            if stats.degraded_banks > prev.degraded_banks {
+                tel.record(Event::BankDegraded {
+                    cycle: now,
+                    total: stats.degraded_banks,
+                });
+            }
+            for _ in prev.speculative_activates..stats.speculative_activates {
+                tel.record(Event::SpeculativeActivate { cycle: now });
+            }
+            for _ in self.prev_refreshes..refreshes {
+                tel.record(Event::Refresh { cycle: now });
+            }
+            for (fifo, f) in self.sbu.iter().enumerate() {
+                let occupancy = f.state().occupancy;
+                if self.prev_occupancy.get(fifo) != Some(&occupancy) {
+                    tel.record(Event::FifoDepth {
+                        cycle: now,
+                        fifo,
+                        occupancy: occupancy as u64,
+                    });
+                }
+            }
+        }
+        self.prev_stats = stats;
+        self.prev_refreshes = refreshes;
+        self.prev_occupancy.clear();
+        self.prev_occupancy
+            .extend(self.sbu.iter().map(|f| f.state().occupancy));
     }
 
     /// Hash of everything that changes when the system makes progress:

@@ -1,0 +1,112 @@
+//! Host-side simulator profiling: simulated cycles per wall-clock second.
+//!
+//! The simulator's own clock is deterministic, but how fast the *host*
+//! advances it is a performance property of the codebase worth tracking
+//! release over release. [`Profiler`] accumulates one [`BenchRecord`] per
+//! kernel run and renders the `BENCH_telemetry.json` document that CI
+//! archives. All arithmetic is integer (microseconds and cycles), matching
+//! the repository's no-float rule.
+
+use std::time::Duration;
+
+/// One profiled kernel run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Kernel name (`copy`, `scale`, ...).
+    pub kernel: String,
+    /// Access ordering simulated (`natural` or `smc`).
+    pub ordering: String,
+    /// Simulated interface-clock cycles the run covered.
+    pub cycles: u64,
+    /// Wall-clock time the host spent, in microseconds.
+    pub wall_micros: u64,
+    /// Simulation rate: simulated cycles advanced per wall-clock second.
+    pub cycles_per_sec: u64,
+}
+
+/// Simulation rate from a cycle count and a wall-clock duration.
+///
+/// Integer arithmetic throughout; sub-microsecond walls are clamped to
+/// 1 µs so the rate stays finite, and the multiplication saturates rather
+/// than wrapping for absurdly long simulations.
+pub fn rate(cycles: u64, wall: Duration) -> u64 {
+    let micros = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX).max(1);
+    cycles.saturating_mul(1_000_000) / micros
+}
+
+/// Accumulates profiled runs and renders `BENCH_telemetry.json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profiler {
+    records: Vec<BenchRecord>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one profiled run.
+    pub fn record(&mut self, kernel: &str, ordering: &str, cycles: u64, wall: Duration) {
+        self.records.push(BenchRecord {
+            kernel: kernel.to_string(),
+            ordering: ordering.to_string(),
+            cycles,
+            wall_micros: u64::try_from(wall.as_micros()).unwrap_or(u64::MAX),
+            cycles_per_sec: rate(cycles, wall),
+        });
+    }
+
+    /// The profiled runs, in recording order.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Render the `BENCH_telemetry.json` document.
+    pub fn to_json(&self) -> String {
+        let entries: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| {
+                format!(
+                    "  {{\"kernel\":\"{}\",\"ordering\":\"{}\",\"cycles\":{},\
+                     \"wall_micros\":{},\"simulated_cycles_per_sec\":{}}}",
+                    r.kernel, r.ordering, r.cycles, r.wall_micros, r.cycles_per_sec
+                )
+            })
+            .collect();
+        format!("{{\"benchmarks\":[\n{}\n]}}\n", entries.join(",\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_cycles_per_second() {
+        assert_eq!(rate(1_000, Duration::from_millis(100)), 10_000);
+        assert_eq!(rate(0, Duration::from_secs(1)), 0);
+        // Sub-microsecond wall clamps to 1 us rather than dividing by zero.
+        assert_eq!(rate(7, Duration::from_nanos(10)), 7_000_000);
+        // Saturates instead of wrapping.
+        assert_eq!(rate(u64::MAX, Duration::from_micros(1)), u64::MAX);
+    }
+
+    #[test]
+    fn profiler_renders_valid_json() {
+        let mut p = Profiler::new();
+        p.record("copy", "smc", 50_000, Duration::from_millis(20));
+        p.record("vaxpy", "natural", 80_000, Duration::from_millis(40));
+        let json = p.to_json();
+        let doc = serde_json::from_str(&json).expect("valid JSON");
+        let benches = doc["benchmarks"].as_array().expect("array");
+        assert_eq!(benches.len(), 2);
+        assert_eq!(benches[0]["kernel"].as_str(), Some("copy"));
+        assert_eq!(
+            benches[0]["simulated_cycles_per_sec"].as_u64(),
+            Some(2_500_000)
+        );
+        assert_eq!(p.records()[1].cycles, 80_000);
+    }
+}

@@ -1,0 +1,378 @@
+//! The static metric catalog: every metric the registry can hold.
+//!
+//! Metric identity is a closed enum rather than free-form strings so the
+//! registry can be a flat array (no hashing on any path) and so the set of
+//! metrics is documented in one place — this table is reproduced in
+//! EXPERIMENTS.md's Telemetry section.
+
+/// What a metric measures and how it accumulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Last-written value.
+    Gauge,
+    /// Log2-bucketed distribution of observed values.
+    Histogram,
+}
+
+/// One catalog entry.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    /// The metric's identity.
+    pub id: MetricId,
+    /// Stable dotted name, e.g. `device.activates`.
+    pub name: &'static str,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// Unit of the value (`packets`, `cycles`, `elements`, ...).
+    pub unit: &'static str,
+    /// One-line description.
+    pub help: &'static str,
+}
+
+/// Identity of every metric the registry can hold.
+///
+/// The discriminants index the registry's backing array; keep them dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum MetricId {
+    /// Total cycles from time 0 to the last DATA packet / CPU access.
+    RunCycles,
+    /// 64-bit words of useful stream data moved.
+    UsefulWords,
+    /// ROW ACT packets issued.
+    Activates,
+    /// Explicit ROW PRER packets issued.
+    Precharges,
+    /// Pages closed via COL auto-precharge.
+    AutoPrecharges,
+    /// COL RD packets issued to an already-open row.
+    ReadHits,
+    /// COL WR packets issued to an already-open row.
+    WriteHits,
+    /// Read DATA packets transferred.
+    ReadPackets,
+    /// Write DATA packets transferred.
+    WritePackets,
+    /// Write-to-read DATA-bus turnarounds paid.
+    Turnarounds,
+    /// Cycles the DATA bus carried packets.
+    DataBusyCycles,
+    /// Summed cycles banks spent activating a row.
+    BankActivatingCycles,
+    /// Summed cycles banks held a row open.
+    BankOpenCycles,
+    /// Summed cycles banks spent precharging.
+    BankPrechargingCycles,
+    /// Times the MSU moved service to a different FIFO.
+    FifoSwitches,
+    /// Cycles the MSU had work but nothing schedulable.
+    MsuIdleCycles,
+    /// Speculative PRER/ACT commands issued by the MSU.
+    SpeculativeActivates,
+    /// DATA packets NACKed by the fault injector and retried.
+    DataNacks,
+    /// Cycles lost to injected controller stalls.
+    InjectedStallCycles,
+    /// Banks demoted from open-page to closed-page service.
+    DegradedBanks,
+    /// DRAM refreshes performed.
+    RefreshesIssued,
+    /// Cacheline transfers performed by the natural-order controller.
+    LineTransfers,
+    /// Forward-progress watchdog livelock reports.
+    WatchdogTrips,
+    /// Cycles without observable progress when the watchdog tripped.
+    LivelockStalledFor,
+    /// Accesses in flight when the watchdog tripped.
+    LivelockInFlight,
+    /// Work admitted but not in flight when the watchdog tripped.
+    LivelockPending,
+    /// Banks holding an open page when the watchdog tripped.
+    LivelockOpenBanks,
+    /// Stream FIFOs programmed into the SBU.
+    FifoCount,
+    /// Banks on the simulated channel.
+    BankCount,
+    /// Distribution of per-FIFO occupancy samples (elements).
+    FifoOccupancy,
+    /// Distribution of bank open-page residency span lengths (cycles).
+    OpenSpanCycles,
+    /// Distribution of gaps between consecutive DATA packets (cycles).
+    DataGapCycles,
+}
+
+/// Number of metrics in the catalog (= length of the registry's backing
+/// array).
+pub const METRIC_COUNT: usize = 32;
+
+impl MetricId {
+    /// Index of this metric in the registry's backing array.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The catalog entry for this metric.
+    pub fn def(self) -> &'static MetricDef {
+        // CATALOG is indexed by discriminant; `catalog_is_dense` proves the
+        // correspondence, and the modulo keeps the lookup total.
+        &CATALOG[self.index() % CATALOG.len()]
+    }
+}
+
+/// One entry per [`MetricId`], in discriminant order.
+pub const CATALOG: &[MetricDef] = &[
+    MetricDef {
+        id: MetricId::RunCycles,
+        name: "run.cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "total cycles from time 0 to the last DATA packet / CPU access",
+    },
+    MetricDef {
+        id: MetricId::UsefulWords,
+        name: "run.useful_words",
+        kind: MetricKind::Counter,
+        unit: "words",
+        help: "64-bit words of useful stream data moved",
+    },
+    MetricDef {
+        id: MetricId::Activates,
+        name: "device.activates",
+        kind: MetricKind::Counter,
+        unit: "packets",
+        help: "ROW ACT packets issued (each one a page miss serviced)",
+    },
+    MetricDef {
+        id: MetricId::Precharges,
+        name: "device.precharges",
+        kind: MetricKind::Counter,
+        unit: "packets",
+        help: "explicit ROW PRER packets issued",
+    },
+    MetricDef {
+        id: MetricId::AutoPrecharges,
+        name: "device.auto_precharges",
+        kind: MetricKind::Counter,
+        unit: "packets",
+        help: "pages closed via COL auto-precharge",
+    },
+    MetricDef {
+        id: MetricId::ReadHits,
+        name: "device.read_hits",
+        kind: MetricKind::Counter,
+        unit: "packets",
+        help: "COL RD packets issued to an already-open row",
+    },
+    MetricDef {
+        id: MetricId::WriteHits,
+        name: "device.write_hits",
+        kind: MetricKind::Counter,
+        unit: "packets",
+        help: "COL WR packets issued to an already-open row",
+    },
+    MetricDef {
+        id: MetricId::ReadPackets,
+        name: "device.read_packets",
+        kind: MetricKind::Counter,
+        unit: "packets",
+        help: "read DATA packets transferred",
+    },
+    MetricDef {
+        id: MetricId::WritePackets,
+        name: "device.write_packets",
+        kind: MetricKind::Counter,
+        unit: "packets",
+        help: "write DATA packets transferred",
+    },
+    MetricDef {
+        id: MetricId::Turnarounds,
+        name: "device.turnarounds",
+        kind: MetricKind::Counter,
+        unit: "events",
+        help: "write-to-read DATA-bus turnarounds paid",
+    },
+    MetricDef {
+        id: MetricId::DataBusyCycles,
+        name: "device.data_busy_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "cycles the DATA bus carried packets",
+    },
+    MetricDef {
+        id: MetricId::BankActivatingCycles,
+        name: "device.bank_activating_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "summed cycles banks spent activating a row (timeline replay)",
+    },
+    MetricDef {
+        id: MetricId::BankOpenCycles,
+        name: "device.bank_open_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "summed cycles banks held a row open (timeline replay)",
+    },
+    MetricDef {
+        id: MetricId::BankPrechargingCycles,
+        name: "device.bank_precharging_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "summed cycles banks spent precharging (timeline replay)",
+    },
+    MetricDef {
+        id: MetricId::FifoSwitches,
+        name: "msu.fifo_switches",
+        kind: MetricKind::Counter,
+        unit: "events",
+        help: "times the MSU moved service to a different FIFO",
+    },
+    MetricDef {
+        id: MetricId::MsuIdleCycles,
+        name: "msu.idle_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "cycles with memory work remaining but nothing schedulable",
+    },
+    MetricDef {
+        id: MetricId::SpeculativeActivates,
+        name: "msu.speculative_activates",
+        kind: MetricKind::Counter,
+        unit: "packets",
+        help: "speculative PRER/ACT commands issued",
+    },
+    MetricDef {
+        id: MetricId::DataNacks,
+        name: "recovery.data_nacks",
+        kind: MetricKind::Counter,
+        unit: "events",
+        help: "DATA packets NACKed by the fault injector and retried",
+    },
+    MetricDef {
+        id: MetricId::InjectedStallCycles,
+        name: "recovery.injected_stall_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "cycles lost to injected controller stalls",
+    },
+    MetricDef {
+        id: MetricId::DegradedBanks,
+        name: "recovery.degraded_banks",
+        kind: MetricKind::Counter,
+        unit: "banks",
+        help: "banks demoted from open-page to closed-page service",
+    },
+    MetricDef {
+        id: MetricId::RefreshesIssued,
+        name: "device.refreshes_issued",
+        kind: MetricKind::Counter,
+        unit: "events",
+        help: "DRAM refreshes performed",
+    },
+    MetricDef {
+        id: MetricId::LineTransfers,
+        name: "baseline.line_transfers",
+        kind: MetricKind::Counter,
+        unit: "lines",
+        help: "cacheline transfers performed by the natural-order controller",
+    },
+    MetricDef {
+        id: MetricId::WatchdogTrips,
+        name: "livelock.watchdog_trips",
+        kind: MetricKind::Counter,
+        unit: "events",
+        help: "forward-progress watchdog livelock reports",
+    },
+    MetricDef {
+        id: MetricId::LivelockStalledFor,
+        name: "livelock.stalled_for",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "cycles without observable progress when the watchdog tripped",
+    },
+    MetricDef {
+        id: MetricId::LivelockInFlight,
+        name: "livelock.in_flight",
+        kind: MetricKind::Counter,
+        unit: "accesses",
+        help: "accesses in flight when the watchdog tripped",
+    },
+    MetricDef {
+        id: MetricId::LivelockPending,
+        name: "livelock.pending",
+        kind: MetricKind::Counter,
+        unit: "accesses",
+        help: "work admitted but not in flight when the watchdog tripped",
+    },
+    MetricDef {
+        id: MetricId::LivelockOpenBanks,
+        name: "livelock.open_banks",
+        kind: MetricKind::Counter,
+        unit: "banks",
+        help: "banks holding an open page when the watchdog tripped",
+    },
+    MetricDef {
+        id: MetricId::FifoCount,
+        name: "smc.fifo_count",
+        kind: MetricKind::Gauge,
+        unit: "fifos",
+        help: "stream FIFOs programmed into the SBU",
+    },
+    MetricDef {
+        id: MetricId::BankCount,
+        name: "device.bank_count",
+        kind: MetricKind::Gauge,
+        unit: "banks",
+        help: "banks on the simulated channel",
+    },
+    MetricDef {
+        id: MetricId::FifoOccupancy,
+        name: "smc.fifo_occupancy",
+        kind: MetricKind::Histogram,
+        unit: "elements",
+        help: "distribution of per-FIFO occupancy samples",
+    },
+    MetricDef {
+        id: MetricId::OpenSpanCycles,
+        name: "device.open_span_cycles",
+        kind: MetricKind::Histogram,
+        unit: "cycles",
+        help: "distribution of bank open-page residency span lengths",
+    },
+    MetricDef {
+        id: MetricId::DataGapCycles,
+        name: "device.data_gap_cycles",
+        kind: MetricKind::Histogram,
+        unit: "cycles",
+        help: "distribution of gaps between consecutive DATA packets",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_dense() {
+        assert_eq!(CATALOG.len(), METRIC_COUNT);
+        for (i, def) in CATALOG.iter().enumerate() {
+            assert_eq!(def.id.index(), i, "{} out of order", def.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for (i, a) in CATALOG.iter().enumerate() {
+            for b in &CATALOG[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn def_round_trips() {
+        assert_eq!(MetricId::Turnarounds.def().name, "device.turnarounds");
+        assert_eq!(MetricId::FifoOccupancy.def().kind, MetricKind::Histogram);
+    }
+}

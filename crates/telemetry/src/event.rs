@@ -1,0 +1,190 @@
+//! Controller-side telemetry events.
+//!
+//! The device's command stream (via [`rdram::sink::TraceSink`]) already
+//! captures everything the *device* does; these events capture what the
+//! *controllers* decide — FIFO service switches, per-stream FIFO depth
+//! samples, fault-recovery incidents, and watchdog trips — without touching
+//! the schedulers themselves: controllers diff their own statistics once
+//! per tick and emit an event per change.
+
+use std::sync::{Arc, Mutex};
+
+use rdram::Cycle;
+
+/// One controller-side telemetry event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A stream FIFO's occupancy changed (a depth sample).
+    FifoDepth {
+        /// Cycle of the sample.
+        cycle: Cycle,
+        /// FIFO index (= stream index).
+        fifo: usize,
+        /// Elements buffered, including in-flight reservations.
+        occupancy: u64,
+    },
+    /// The MSU moved service to a different FIFO.
+    FifoSwitch {
+        /// Cycle of the switch.
+        cycle: Cycle,
+        /// The FIFO now being serviced.
+        fifo: usize,
+    },
+    /// A DATA packet was NACKed by the fault injector and will be retried.
+    DataNack {
+        /// Cycle the NACK was observed.
+        cycle: Cycle,
+        /// Bank of the last issued command, when known.
+        bank: Option<usize>,
+    },
+    /// The controller absorbed an injected stall cycle.
+    InjectedStall {
+        /// Cycle of the stall.
+        cycle: Cycle,
+    },
+    /// A bank was demoted from open-page to closed-page service.
+    BankDegraded {
+        /// Cycle of the demotion.
+        cycle: Cycle,
+        /// Total banks degraded so far.
+        total: u64,
+    },
+    /// The MSU issued a speculative PRER/ACT command.
+    SpeculativeActivate {
+        /// Cycle of the speculative command.
+        cycle: Cycle,
+    },
+    /// A DRAM refresh was performed.
+    Refresh {
+        /// Cycle refresh maintenance ran.
+        cycle: Cycle,
+    },
+    /// The forward-progress watchdog tripped (a livelock report follows as
+    /// a structured error).
+    WatchdogTrip {
+        /// Cycle at which the watchdog gave up.
+        cycle: Cycle,
+        /// Cycles since the last observable progress.
+        stalled_for: Cycle,
+    },
+}
+
+impl Event {
+    /// The cycle the event is stamped with.
+    pub fn cycle(&self) -> Cycle {
+        match *self {
+            Event::FifoDepth { cycle, .. }
+            | Event::FifoSwitch { cycle, .. }
+            | Event::DataNack { cycle, .. }
+            | Event::InjectedStall { cycle }
+            | Event::BankDegraded { cycle, .. }
+            | Event::SpeculativeActivate { cycle }
+            | Event::Refresh { cycle }
+            | Event::WatchdogTrip { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// A growable in-memory event log.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event.
+    pub fn record(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consume the log, yielding the raw events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+/// A cloneable, shareable telemetry handle.
+///
+/// Both controllers and the harness that reads the log back need access to
+/// one [`EventLog`]; like [`rdram::SharedSink`], locking is
+/// poison-tolerant so a panic elsewhere never turns telemetry into a
+/// second panic.
+#[derive(Clone, Debug, Default)]
+pub struct SharedTelemetry(Arc<Mutex<EventLog>>);
+
+impl SharedTelemetry {
+    /// A handle to a fresh, empty event log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event to the shared log.
+    pub fn record(&self, e: Event) {
+        let mut guard = match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.record(e);
+    }
+
+    /// Drain the shared log, returning the events collected so far and
+    /// leaving it empty.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut guard = match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        std::mem::take(&mut *guard).into_events()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_handles_feed_one_log() {
+        let tel = SharedTelemetry::new();
+        let clone = tel.clone();
+        tel.record(Event::FifoSwitch { cycle: 10, fifo: 1 });
+        clone.record(Event::InjectedStall { cycle: 11 });
+        let events = tel.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].cycle(), 10);
+        assert_eq!(events[1].cycle(), 11);
+        assert!(tel.drain().is_empty());
+    }
+
+    #[test]
+    fn log_accumulates_in_order() {
+        let mut log = EventLog::new();
+        assert!(log.is_empty());
+        log.record(Event::Refresh { cycle: 5 });
+        log.record(Event::WatchdogTrip {
+            cycle: 9,
+            stalled_for: 4,
+        });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events()[1].cycle(), 9);
+    }
+}

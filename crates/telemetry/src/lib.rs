@@ -1,0 +1,47 @@
+//! Cycle-resolved telemetry for the Direct RDRAM simulator.
+//!
+//! The paper's argument is about *where cycles go* — page hits vs. misses,
+//! bus turnarounds, precharge overlap, FIFO startup delay — yet aggregate
+//! counters alone cannot attribute a bandwidth loss to its cause. This
+//! crate adds the missing observability layer, designed around one rule:
+//! **zero cost when disabled**. Nothing here sits on the simulator's hot
+//! path; everything is derived from the [`rdram::sink::TraceSink`] command
+//! stream the device already exposes, plus lightweight controller events.
+//!
+//! The pieces:
+//!
+//! * [`catalog`] — the static metric-id catalog: every metric the registry
+//!   can hold, with kind, unit, and a help string.
+//! * [`registry`] — an integer-only metrics [`Registry`](registry::Registry)
+//!   (counters, gauges, log2-bucketed histograms), consistent with the
+//!   repository's integer-cycle lint. Serializes to JSONL.
+//! * [`event`] — controller-side events (FIFO depth samples, scheduling
+//!   decisions, fault-recovery and watchdog incidents) behind a cloneable,
+//!   poison-tolerant [`SharedTelemetry`](event::SharedTelemetry) handle.
+//! * [`timeline`] — replays a recorded command stream against the device's
+//!   timing to reconstruct per-bank state residency
+//!   (idle/activating/open/precharging) and ROW/COL/DATA bus occupancy
+//!   windows, yielding [`DerivedCounts`](timeline::DerivedCounts) that must
+//!   [`reconcile`](timeline::reconcile) with the device's own
+//!   [`rdram::DeviceStats`] — an end-to-end audit of the accounting.
+//! * [`perfetto`] — exports a timeline as Chrome trace-event JSON loadable
+//!   in `ui.perfetto.dev`, one track per bank, bus, and FIFO, plus a
+//!   structural [`validate`](perfetto::validate) checker.
+//! * [`bench`] — host-side profiling: simulated-cycles-per-wall-second per
+//!   kernel, for the `BENCH_telemetry.json` perf-trajectory record.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod bench;
+pub mod catalog;
+pub mod event;
+pub mod perfetto;
+pub mod registry;
+pub mod timeline;
+
+pub use bench::{BenchRecord, Profiler};
+pub use catalog::{MetricDef, MetricId, MetricKind, CATALOG};
+pub use event::{Event, EventLog, SharedTelemetry};
+pub use registry::{Log2Histogram, Registry};
+pub use timeline::{reconcile, BankState, BusOp, BusSpan, DerivedCounts, Span, Timeline};

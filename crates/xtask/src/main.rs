@@ -5,11 +5,13 @@
 //!
 //! * **no-panic** — no `.unwrap()` / `.expect(` / `panic!(` in non-test
 //!   code of the hot-path crates (`rdram`, `smc`, `baseline`, `faults`,
-//!   `checker`) or in `sim`'s runner/CLI. Known-safe sites live in the
-//!   checked-in allowlist `lint-allow.txt`; stale entries are errors.
+//!   `checker`, `telemetry`) or in `sim`'s runner/CLI. Known-safe sites
+//!   live in the checked-in allowlist `lint-allow.txt`; stale entries are
+//!   errors.
 //! * **no-float** — no `f64` / `f32` in the same non-test code: cycle
-//!   accounting is integer arithmetic, floats are for derived reporting
-//!   only (allowlisted per site).
+//!   accounting — and metric accumulation in `telemetry` — is integer
+//!   arithmetic, floats are for derived reporting only (allowlisted per
+//!   site).
 //! * **forbid-unsafe** — every `crates/*` crate root carries
 //!   `#![forbid(unsafe_code)]`.
 //! * **strict-docs** — the hot-path crates and `checker` deny missing
@@ -27,14 +29,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose non-test code must be panic-free and float-free.
-const HOT_PATH_CRATES: &[&str] = &["rdram", "smc", "baseline", "faults", "checker"];
+const HOT_PATH_CRATES: &[&str] = &["rdram", "smc", "baseline", "faults", "checker", "telemetry"];
 
 /// Extra files held to the same standard, with no allowlist escape hatch
 /// (entries naming them are reported as errors).
 const NO_ALLOWLIST_FILES: &[&str] = &["crates/sim/src/runner.rs", "crates/sim/src/cli.rs"];
 
 /// Crates that must carry `#![deny(missing_docs)]`.
-const STRICT_DOCS_CRATES: &[&str] = &["rdram", "smc", "baseline", "faults", "checker"];
+const STRICT_DOCS_CRATES: &[&str] = &["rdram", "smc", "baseline", "faults", "checker", "telemetry"];
 
 /// Name of the checked-in allowlist at the repository root.
 const ALLOWLIST: &str = "lint-allow.txt";
