@@ -1,0 +1,111 @@
+//! Scoped-thread parallel executor with a work-stealing run queue.
+//!
+//! The queue is a single atomic cursor over the input slice: each worker
+//! claims the next unclaimed index, runs it, and writes the result into a
+//! slot reserved for that index. Because slots are addressed by submission
+//! index — never by completion time — the output order is identical for
+//! any worker count, which is what makes campaign stores byte-stable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::Progress;
+
+/// Map `f` over `items` on `workers` scoped threads, preserving input
+/// order in the output.
+///
+/// `f` receives `(index, item)`. Each element of the returned vector is
+/// `Some(output)`; `None` appears only if the closure's thread died
+/// without storing a result (a panic in `f` — callers are expected to be
+/// panic-free, but the executor still will not deadlock or reorder if one
+/// slips through). `progress`, when given, is invoked after every
+/// completed item with `(completed, total)`.
+///
+/// `workers` is clamped to `1..=items.len()`; zero workers means one.
+pub fn parallel_map<I, O, F>(
+    items: &[I],
+    workers: usize,
+    f: &F,
+    progress: Option<Progress<'_>>,
+) -> Vec<Option<O>>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let total = items.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(total);
+    let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let mut slots: Vec<Option<O>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    let slots = Mutex::new(slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= total {
+                    break;
+                }
+                let out = f(idx, &items[idx]);
+                {
+                    // A poisoned lock only means another worker panicked
+                    // while holding it; the slot vector itself is still
+                    // sound, so keep collecting results.
+                    let mut guard = slots.lock().unwrap_or_else(|e| e.into_inner());
+                    guard[idx] = Some(out);
+                }
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(cb) = progress {
+                    cb(finished, total);
+                }
+            });
+        }
+    });
+
+    slots.into_inner().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..100).collect();
+        for workers in [1, 2, 3, 8, 64, 1000] {
+            let out = parallel_map(&items, workers, &|i, x| (i as u64) * 1000 + x, None);
+            let got: Vec<u64> = out.into_iter().map(|o| o.unwrap()).collect();
+            let want: Vec<u64> = (0..100).map(|x| x * 1000 + x).collect();
+            assert_eq!(got, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let out = parallel_map::<u64, u64, _>(&[], 8, &|_, x| *x, None);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_still_runs() {
+        let out = parallel_map(&[5u64], 0, &|_, x| x + 1, None);
+        assert_eq!(out, vec![Some(6)]);
+    }
+
+    #[test]
+    fn progress_counts_to_total() {
+        let items: Vec<u64> = (0..25).collect();
+        let max_seen = AtomicUsize::new(0);
+        let cb = |done: usize, total: usize| {
+            assert_eq!(total, 25);
+            max_seen.fetch_max(done, Ordering::Relaxed);
+        };
+        parallel_map(&items, 4, &|_, x| *x, Some(&cb));
+        assert_eq!(max_seen.load(Ordering::Relaxed), 25);
+    }
+}

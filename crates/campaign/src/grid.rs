@@ -1,0 +1,185 @@
+//! Grid expansion: turn a [`CampaignSpec`]'s axes into the deterministic,
+//! deduplicated list of [`RunPoint`]s it describes.
+
+use std::collections::HashSet;
+
+use crate::spec::{CampaignSpec, Order, RunPoint};
+
+/// FNV-1a 64-bit hash — the basis of deterministic run IDs. Chosen over
+/// `DefaultHasher` because the standard library's hasher is explicitly
+/// not stable across releases, and run IDs must match committed goldens
+/// forever.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Expand `spec` into its run points.
+///
+/// The nesting order (kernel → memory → order → alignment → n → stride →
+/// faults → fault seed) is part of the store format: it fixes the record
+/// order of every campaign, independent of worker count. Two collapses
+/// keep the grid free of synonymous points before dedup even runs:
+/// natural-order points ignore the `fifo` axis (one point per family, not
+/// one per depth), and a clean run (`faults == ""`) pins `fault_seed` to
+/// 0 because the seed is inert without a plan. Points matching any
+/// exclusion clause are dropped, and exact duplicates (e.g. a repeated
+/// axis value) are collapsed to their first occurrence.
+pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
+    let axes = &spec.axes;
+    let mut seen = HashSet::new();
+    let mut points = Vec::new();
+    for kernel in &axes.kernels {
+        for memory in &axes.memories {
+            for family in &axes.orders {
+                let orders: Vec<Order> = if family == "natural" {
+                    vec![Order::Natural]
+                } else {
+                    axes.fifos.iter().map(|&fifo| Order::Smc { fifo }).collect()
+                };
+                for order in orders {
+                    for alignment in &axes.alignments {
+                        for &n in &axes.lengths {
+                            for &stride in &axes.strides {
+                                for faults in &axes.faults {
+                                    let seeds: &[u64] = if faults.is_empty() {
+                                        &[0]
+                                    } else {
+                                        &axes.fault_seeds
+                                    };
+                                    for &fault_seed in seeds {
+                                        let point = RunPoint {
+                                            kernel: kernel.clone(),
+                                            order,
+                                            memory: memory.clone(),
+                                            alignment: alignment.clone(),
+                                            n,
+                                            stride,
+                                            faults: faults.clone(),
+                                            fault_seed,
+                                        };
+                                        if spec.exclude.iter().any(|x| x.matches(&point)) {
+                                            continue;
+                                        }
+                                        if seen.insert(point.key()) {
+                                            points.push(point);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Axes, Exclude};
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn default_spec_is_a_single_point() {
+        let spec = CampaignSpec::named("t");
+        let points = expand(&spec);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].kernel, "daxpy");
+        assert_eq!(points[0].order, Order::Smc { fifo: 64 });
+    }
+
+    #[test]
+    fn explicitly_empty_axis_yields_zero_points() {
+        let mut spec = CampaignSpec::named("t");
+        spec.axes.kernels = Vec::new();
+        assert!(expand(&spec).is_empty());
+        let mut spec = CampaignSpec::named("t");
+        spec.axes.fifos = Vec::new();
+        assert!(expand(&spec).is_empty(), "smc points need a fifo depth");
+    }
+
+    #[test]
+    fn natural_order_collapses_the_fifo_axis() {
+        let mut spec = CampaignSpec::named("t");
+        spec.axes.orders = vec!["smc".into(), "natural".into()];
+        spec.axes.fifos = vec![8, 16, 32];
+        let points = expand(&spec);
+        // 3 smc depths + 1 natural point.
+        assert_eq!(points.len(), 4);
+        let naturals = points.iter().filter(|p| p.order == Order::Natural).count();
+        assert_eq!(naturals, 1);
+        // And with only natural order, an empty fifo axis is NOT fatal.
+        let mut spec = CampaignSpec::named("t");
+        spec.axes.orders = vec!["natural".into()];
+        spec.axes.fifos = Vec::new();
+        assert_eq!(expand(&spec).len(), 1);
+    }
+
+    #[test]
+    fn clean_runs_collapse_the_seed_axis() {
+        let mut spec = CampaignSpec::named("t");
+        spec.axes.faults = vec![String::new(), "nack:50:4".into()];
+        spec.axes.fault_seeds = vec![1, 2, 3];
+        let points = expand(&spec);
+        // 1 clean point (seed pinned to 0) + 3 seeded faulty points.
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].fault_seed, 0);
+        assert!(points[1..].iter().all(|p| p.faults == "nack:50:4"));
+    }
+
+    #[test]
+    fn duplicate_axis_values_dedupe_not_double_run() {
+        let mut spec = CampaignSpec::named("t");
+        spec.axes.kernels = vec!["copy".into(), "copy".into()];
+        spec.axes.lengths = vec![128, 128, 1024];
+        let points = expand(&spec);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].n, 128);
+        assert_eq!(points[1].n, 1024);
+    }
+
+    #[test]
+    fn excludes_can_filter_to_zero() {
+        let mut spec = CampaignSpec::named("t");
+        spec.exclude.push(Exclude {
+            kernel: Some("daxpy".into()),
+            ..Exclude::default()
+        });
+        assert!(expand(&spec).is_empty());
+    }
+
+    #[test]
+    fn expansion_order_is_deterministic() {
+        let mut spec = CampaignSpec::named("t");
+        spec.axes = Axes {
+            kernels: vec!["copy".into(), "daxpy".into()],
+            orders: vec!["smc".into(), "natural".into()],
+            memories: vec!["cli".into(), "pi".into()],
+            fifos: vec![16, 64],
+            lengths: vec![128, 1024],
+            ..Axes::default()
+        };
+        let a = expand(&spec);
+        let b = expand(&spec);
+        assert_eq!(a, b);
+        // 2 kernels x 2 memories x (2 fifos + 1 natural) x 2 lengths.
+        assert_eq!(a.len(), 2 * 2 * 3 * 2);
+        // Kernel is the outermost axis.
+        assert!(a[..12].iter().all(|p| p.kernel == "copy"));
+        assert!(a[12..].iter().all(|p| p.kernel == "daxpy"));
+    }
+}

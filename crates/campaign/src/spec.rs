@@ -1,0 +1,559 @@
+//! Campaign specifications: the parameter axes of a sweep, their JSON
+//! form, and the fully-resolved [`RunPoint`]s a grid expands into.
+//!
+//! Parsing is a hand-written walk over the untyped [`serde_json::Value`]
+//! tree (the vendored `serde` stand-in has no typed deserialization),
+//! mirroring the approach of the conformance checker's `TraceFile`. Every
+//! parse error names the JSON path of the offending element.
+
+use std::fmt;
+
+use serde_json::Value;
+
+use crate::grid::fnv1a64;
+
+/// Access ordering of one run point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Order {
+    /// Conventional controller: cacheline fills in natural order. FIFO
+    /// depth does not apply, so the fifo axis collapses for these points.
+    Natural,
+    /// Stream Memory Controller with per-stream FIFOs of the given depth.
+    Smc {
+        /// FIFO depth in 64-bit elements.
+        fifo: u64,
+    },
+}
+
+impl Order {
+    /// Canonical label: `natural` or `smc:<fifo>`.
+    pub fn label(&self) -> String {
+        match self {
+            Order::Natural => "natural".to_string(),
+            Order::Smc { fifo } => format!("smc:{fifo}"),
+        }
+    }
+
+    /// The ordering family without the FIFO depth: `natural` or `smc`.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Order::Natural => "natural",
+            Order::Smc { .. } => "smc",
+        }
+    }
+
+    /// FIFO depth for SMC points, 0 for natural-order points (the value
+    /// serialized into result records).
+    pub fn fifo(&self) -> u64 {
+        match self {
+            Order::Natural => 0,
+            Order::Smc { fifo } => *fifo,
+        }
+    }
+}
+
+/// One fully-resolved point of a campaign grid: everything needed to
+/// reconstruct the simulated system and reproduce the run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunPoint {
+    /// Kernel name (`copy`, `daxpy`, ... — validated by the runner, not
+    /// here, so the orchestration layer stays simulator-agnostic).
+    pub kernel: String,
+    /// Access ordering (and FIFO depth for SMC points).
+    pub order: Order,
+    /// Memory organization: `cli` or `pi`.
+    pub memory: String,
+    /// Vector placement: `staggered` or `aligned`.
+    pub alignment: String,
+    /// Elements per stream.
+    pub n: u64,
+    /// Stride in 64-bit words.
+    pub stride: u64,
+    /// Fault plan in `--faults` spec syntax; empty runs clean.
+    pub faults: String,
+    /// Seed for the fault injector (forced to 0 when `faults` is empty,
+    /// where it would be inert, so such points deduplicate).
+    pub fault_seed: u64,
+}
+
+impl RunPoint {
+    /// The canonical config fingerprint: a `|`-separated key covering
+    /// every parameter that can change the simulated outcome. Two points
+    /// with equal keys are the same run.
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|n={}|stride={}|faults={}|fseed={}",
+            self.kernel,
+            self.order.label(),
+            self.memory,
+            self.alignment,
+            self.n,
+            self.stride,
+            self.faults,
+            self.fault_seed
+        )
+    }
+
+    /// Deterministic run ID: the FNV-1a 64-bit hash of [`Self::key`],
+    /// rendered as 16 hex digits. Stable across processes, platforms, and
+    /// worker counts, so golden stores can be matched by ID.
+    pub fn run_id(&self) -> String {
+        format!("{:016x}", fnv1a64(self.key().as_bytes()))
+    }
+
+    /// A minimal clean SMC/CLI point — the base most tests and examples
+    /// tweak a field or two on.
+    pub fn smoke(kernel: &str, fifo: u64) -> Self {
+        RunPoint {
+            kernel: kernel.to_string(),
+            order: Order::Smc { fifo },
+            memory: "cli".to_string(),
+            alignment: "staggered".to_string(),
+            n: 128,
+            stride: 1,
+            faults: String::new(),
+            fault_seed: 0,
+        }
+    }
+}
+
+/// The parameter axes of a campaign. Each axis is a list of values; the
+/// grid is their cartesian product. A *missing* axis in the JSON form
+/// takes the single-value default below; an *explicitly empty* axis makes
+/// the whole product empty (zero runs), which is legal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axes {
+    /// Kernel names (`kernel` axis). Default: `["daxpy"]`.
+    pub kernels: Vec<String>,
+    /// Ordering families, `smc` / `natural` (`order`). Default: `["smc"]`.
+    pub orders: Vec<String>,
+    /// Memory organizations, `cli` / `pi` (`memory`). Default: `["cli"]`.
+    pub memories: Vec<String>,
+    /// SMC FIFO depths in elements (`fifo`). Default: `[64]`.
+    pub fifos: Vec<u64>,
+    /// Stream lengths in elements (`n`). Default: `[1024]`.
+    pub lengths: Vec<u64>,
+    /// Strides in 64-bit words (`stride`). Default: `[1]`.
+    pub strides: Vec<u64>,
+    /// Vector placements, `staggered` / `aligned` (`alignment`).
+    /// Default: `["staggered"]`.
+    pub alignments: Vec<String>,
+    /// Fault plans in spec syntax; `""` runs clean (`faults`).
+    /// Default: `[""]`.
+    pub faults: Vec<String>,
+    /// Fault-injector seeds (`fault_seed`). Default: `[0]`.
+    pub fault_seeds: Vec<u64>,
+}
+
+impl Default for Axes {
+    fn default() -> Self {
+        Axes {
+            kernels: vec!["daxpy".to_string()],
+            orders: vec!["smc".to_string()],
+            memories: vec!["cli".to_string()],
+            fifos: vec![64],
+            lengths: vec![1024],
+            strides: vec![1],
+            alignments: vec!["staggered".to_string()],
+            faults: vec![String::new()],
+            fault_seeds: vec![0],
+        }
+    }
+}
+
+/// One exclusion clause: a point matching *all* present fields is dropped
+/// from the grid. `fifo` only ever matches SMC points.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Exclude {
+    /// Match on kernel name.
+    pub kernel: Option<String>,
+    /// Match on ordering family (`smc` / `natural`).
+    pub order: Option<String>,
+    /// Match on memory organization.
+    pub memory: Option<String>,
+    /// Match on vector placement.
+    pub alignment: Option<String>,
+    /// Match on SMC FIFO depth.
+    pub fifo: Option<u64>,
+    /// Match on stream length.
+    pub n: Option<u64>,
+    /// Match on stride.
+    pub stride: Option<u64>,
+    /// Match on the fault-plan spec string.
+    pub faults: Option<String>,
+    /// Match on the fault seed.
+    pub fault_seed: Option<u64>,
+}
+
+impl Exclude {
+    /// Whether `point` matches every present field of this clause.
+    pub fn matches(&self, point: &RunPoint) -> bool {
+        let eq_s = |want: &Option<String>, got: &str| want.as_ref().is_none_or(|w| w == got);
+        let eq_u = |want: &Option<u64>, got: u64| want.is_none_or(|w| w == got);
+        let fifo_ok = match (self.fifo, point.order) {
+            (None, _) => true,
+            (Some(want), Order::Smc { fifo }) => want == fifo,
+            (Some(_), Order::Natural) => false,
+        };
+        eq_s(&self.kernel, &point.kernel)
+            && eq_s(&self.order, point.order.family())
+            && eq_s(&self.memory, &point.memory)
+            && eq_s(&self.alignment, &point.alignment)
+            && fifo_ok
+            && eq_u(&self.n, point.n)
+            && eq_u(&self.stride, point.stride)
+            && eq_s(&self.faults, &point.faults)
+            && eq_u(&self.fault_seed, point.fault_seed)
+    }
+}
+
+/// A parsed campaign: a name, the parameter axes, and exclusion filters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Campaign name, stamped into the results store.
+    pub name: String,
+    /// The parameter axes.
+    pub axes: Axes,
+    /// Points matching any clause are dropped from the grid.
+    pub exclude: Vec<Exclude>,
+}
+
+impl CampaignSpec {
+    /// An all-defaults campaign with the given name.
+    pub fn named(name: &str) -> Self {
+        CampaignSpec {
+            name: name.to_string(),
+            axes: Axes::default(),
+            exclude: Vec::new(),
+        }
+    }
+}
+
+/// Error from parsing a campaign spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// JSON path of the offending element (e.g. `$.axes.fifo[2]`).
+    pub path: String,
+    /// What was wrong there.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "campaign spec error at {}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(path: &str, message: impl Into<String>) -> SpecError {
+    SpecError {
+        path: path.to_string(),
+        message: message.into(),
+    }
+}
+
+fn string_list(v: &Value, path: &str, allowed: Option<&[&str]>) -> Result<Vec<String>, SpecError> {
+    let list = v
+        .as_array()
+        .ok_or_else(|| err(path, "expected an array of strings"))?;
+    let mut out = Vec::with_capacity(list.len());
+    for (i, item) in list.iter().enumerate() {
+        let s = item
+            .as_str()
+            .ok_or_else(|| err(&format!("{path}[{i}]"), "expected a string"))?;
+        if let Some(allowed) = allowed {
+            if !allowed.contains(&s) {
+                return Err(err(
+                    &format!("{path}[{i}]"),
+                    format!("expected one of {allowed:?}, got {s:?}"),
+                ));
+            }
+        }
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+fn u64_list(v: &Value, path: &str, min: u64) -> Result<Vec<u64>, SpecError> {
+    let list = v
+        .as_array()
+        .ok_or_else(|| err(path, "expected an array of unsigned integers"))?;
+    let mut out = Vec::with_capacity(list.len());
+    for (i, item) in list.iter().enumerate() {
+        let n = item
+            .as_u64()
+            .ok_or_else(|| err(&format!("{path}[{i}]"), "expected an unsigned integer"))?;
+        if n < min {
+            return Err(err(&format!("{path}[{i}]"), format!("must be >= {min}")));
+        }
+        out.push(n);
+    }
+    Ok(out)
+}
+
+fn parse_axes(v: &Value, path: &str) -> Result<Axes, SpecError> {
+    let fields = v
+        .as_object()
+        .ok_or_else(|| err(path, "expected an object of axes"))?;
+    let mut axes = Axes::default();
+    for (key, value) in fields {
+        let p = format!("{path}.{key}");
+        match key.as_str() {
+            "kernel" => axes.kernels = string_list(value, &p, None)?,
+            "order" => axes.orders = string_list(value, &p, Some(&["smc", "natural"]))?,
+            "memory" => axes.memories = string_list(value, &p, Some(&["cli", "pi"]))?,
+            "alignment" => {
+                axes.alignments = string_list(value, &p, Some(&["staggered", "aligned"]))?;
+            }
+            "fifo" => axes.fifos = u64_list(value, &p, 1)?,
+            "n" => axes.lengths = u64_list(value, &p, 1)?,
+            "stride" => axes.strides = u64_list(value, &p, 1)?,
+            "faults" => axes.faults = string_list(value, &p, None)?,
+            "fault_seed" => axes.fault_seeds = u64_list(value, &p, 0)?,
+            other => {
+                return Err(err(
+                    path,
+                    format!(
+                        "unknown axis `{other}` (known: kernel, order, memory, fifo, n, \
+                         stride, alignment, faults, fault_seed)"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(axes)
+}
+
+fn parse_exclude(v: &Value, path: &str) -> Result<Exclude, SpecError> {
+    let fields = v
+        .as_object()
+        .ok_or_else(|| err(path, "expected an object"))?;
+    let mut clause = Exclude::default();
+    for (key, value) in fields {
+        let p = format!("{path}.{key}");
+        let want_str = |value: &Value, p: &str| {
+            value
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| err(p, "expected a string"))
+        };
+        let want_u64 = |value: &Value, p: &str| {
+            value
+                .as_u64()
+                .ok_or_else(|| err(p, "expected an unsigned integer"))
+        };
+        match key.as_str() {
+            "kernel" => clause.kernel = Some(want_str(value, &p)?),
+            "order" => clause.order = Some(want_str(value, &p)?),
+            "memory" => clause.memory = Some(want_str(value, &p)?),
+            "alignment" => clause.alignment = Some(want_str(value, &p)?),
+            "faults" => clause.faults = Some(want_str(value, &p)?),
+            "fifo" => clause.fifo = Some(want_u64(value, &p)?),
+            "n" => clause.n = Some(want_u64(value, &p)?),
+            "stride" => clause.stride = Some(want_u64(value, &p)?),
+            "fault_seed" => clause.fault_seed = Some(want_u64(value, &p)?),
+            other => return Err(err(path, format!("unknown exclude field `{other}`"))),
+        }
+    }
+    Ok(clause)
+}
+
+impl CampaignSpec {
+    /// Build a spec from an untyped JSON value.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] naming the JSON path of the first element that does
+    /// not match the expected shape, including an unknown axis or field
+    /// (so typos fail loudly rather than silently running defaults).
+    pub fn from_value(v: &Value) -> Result<Self, SpecError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| err("$", "expected a campaign object"))?;
+        let mut name = None;
+        let mut axes = Axes::default();
+        let mut exclude = Vec::new();
+        let mut schema = None;
+        for (key, value) in fields {
+            match key.as_str() {
+                "schema" => {
+                    schema = Some(
+                        value
+                            .as_u64()
+                            .ok_or_else(|| err("$.schema", "expected an unsigned integer"))?,
+                    );
+                }
+                "name" => {
+                    name = Some(
+                        value
+                            .as_str()
+                            .ok_or_else(|| err("$.name", "expected a string"))?
+                            .to_string(),
+                    );
+                }
+                "description" => {
+                    value
+                        .as_str()
+                        .ok_or_else(|| err("$.description", "expected a string"))?;
+                }
+                "axes" => axes = parse_axes(value, "$.axes")?,
+                "exclude" => {
+                    let list = value
+                        .as_array()
+                        .ok_or_else(|| err("$.exclude", "expected an array"))?;
+                    for (i, item) in list.iter().enumerate() {
+                        exclude.push(parse_exclude(item, &format!("$.exclude[{i}]"))?);
+                    }
+                }
+                other => return Err(err("$", format!("unknown field `{other}`"))),
+            }
+        }
+        match schema {
+            Some(s) if s == crate::SCHEMA_VERSION => {}
+            Some(s) => {
+                return Err(err(
+                    "$.schema",
+                    format!(
+                        "unsupported schema {s}, this build reads {}",
+                        crate::SCHEMA_VERSION
+                    ),
+                ));
+            }
+            None => return Err(err("$", "missing field `schema`")),
+        }
+        Ok(CampaignSpec {
+            name: name.ok_or_else(|| err("$", "missing field `name`"))?,
+            axes,
+            exclude,
+        })
+    }
+
+    /// Parse a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] for malformed JSON or an unexpected shape.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let v = serde_json::from_str(text).map_err(|e| err("$", e.to_string()))?;
+        Self::from_value(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_takes_defaults() {
+        let spec = CampaignSpec::from_json(r#"{"schema": 1, "name": "t"}"#).unwrap();
+        assert_eq!(spec.name, "t");
+        assert_eq!(spec.axes, Axes::default());
+        assert!(spec.exclude.is_empty());
+    }
+
+    #[test]
+    fn axes_and_excludes_parse() {
+        let spec = CampaignSpec::from_json(
+            r#"{
+                "schema": 1,
+                "name": "paper",
+                "description": "the 4x2x2 matrix",
+                "axes": {
+                    "kernel": ["copy", "daxpy"],
+                    "order": ["smc", "natural"],
+                    "memory": ["cli", "pi"],
+                    "fifo": [16, 64],
+                    "n": [128, 1024],
+                    "stride": [1],
+                    "alignment": ["staggered", "aligned"],
+                    "faults": ["", "nack:50:4"],
+                    "fault_seed": [0, 7]
+                },
+                "exclude": [{"kernel": "copy", "memory": "pi"}, {"fifo": 16, "n": 1024}]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.axes.kernels, ["copy", "daxpy"]);
+        assert_eq!(spec.axes.fifos, [16, 64]);
+        assert_eq!(spec.exclude.len(), 2);
+        assert_eq!(spec.exclude[0].kernel.as_deref(), Some("copy"));
+        assert_eq!(spec.exclude[1].fifo, Some(16));
+    }
+
+    #[test]
+    fn errors_carry_json_paths() {
+        let e = CampaignSpec::from_json(r#"{"schema": 1}"#).unwrap_err();
+        assert!(e.message.contains("name"), "{e}");
+        let e = CampaignSpec::from_json(r#"{"name": "t"}"#).unwrap_err();
+        assert!(e.message.contains("schema"), "{e}");
+        let e = CampaignSpec::from_json(r#"{"schema": 2, "name": "t"}"#).unwrap_err();
+        assert_eq!(e.path, "$.schema");
+        let e = CampaignSpec::from_json(r#"{"schema": 1, "name": "t", "axes": {"warp": [1]}}"#)
+            .unwrap_err();
+        assert!(e.message.contains("warp"), "{e}");
+        let e =
+            CampaignSpec::from_json(r#"{"schema": 1, "name": "t", "axes": {"memory": ["tape"]}}"#)
+                .unwrap_err();
+        assert_eq!(e.path, "$.axes.memory[0]");
+        let e = CampaignSpec::from_json(r#"{"schema": 1, "name": "t", "axes": {"fifo": [0]}}"#)
+            .unwrap_err();
+        assert!(e.message.contains(">= 1"), "{e}");
+        let e = CampaignSpec::from_json("not json").unwrap_err();
+        assert_eq!(e.path, "$");
+    }
+
+    #[test]
+    fn run_ids_are_stable_across_processes() {
+        // The ID is a pure function of the key; pin one value so any
+        // accidental change to the key format or hash shows up here.
+        let p = RunPoint::smoke("copy", 64);
+        assert_eq!(
+            p.key(),
+            "copy|smc:64|cli|staggered|n=128|stride=1|faults=|fseed=0"
+        );
+        assert_eq!(p.run_id(), format!("{:016x}", fnv1a64(p.key().as_bytes())));
+        assert_eq!(p.run_id().len(), 16);
+        // Different seeds with a real fault plan produce different IDs...
+        let a = RunPoint {
+            faults: "nack:50:4".into(),
+            fault_seed: 1,
+            ..p.clone()
+        };
+        let b = RunPoint {
+            faults: "nack:50:4".into(),
+            fault_seed: 2,
+            ..p.clone()
+        };
+        assert_ne!(a.run_id(), b.run_id());
+        // ...and the ID is deterministic run-to-run.
+        assert_eq!(a.run_id(), a.run_id());
+    }
+
+    #[test]
+    fn exclude_matching_honours_order_and_fifo() {
+        let smc = RunPoint::smoke("copy", 64);
+        let nat = RunPoint {
+            order: Order::Natural,
+            ..smc.clone()
+        };
+        let by_fifo = Exclude {
+            fifo: Some(64),
+            ..Exclude::default()
+        };
+        assert!(by_fifo.matches(&smc));
+        assert!(!by_fifo.matches(&nat), "fifo never matches natural order");
+        let by_family = Exclude {
+            order: Some("natural".into()),
+            ..Exclude::default()
+        };
+        assert!(by_family.matches(&nat));
+        assert!(!by_family.matches(&smc));
+        let narrow = Exclude {
+            kernel: Some("copy".into()),
+            n: Some(999),
+            ..Exclude::default()
+        };
+        assert!(!narrow.matches(&smc), "all present fields must match");
+    }
+}

@@ -1,0 +1,447 @@
+//! Schema-versioned JSONL results store.
+//!
+//! A store is one header line followed by one flat record per run:
+//!
+//! ```text
+//! {"schema":1,"kind":"campaign-results","campaign":"smoke","runs":2}
+//! {"run_id":"..","kernel":"copy",..,"status":"ok","cycles":1234,..}
+//! {"run_id":"..","kernel":"daxpy",..,"status":"error","error":".."}
+//! ```
+//!
+//! Serialization builds [`serde_json::Value`] trees field-by-field in a
+//! fixed order and renders them compactly, so the bytes of a store are a
+//! pure function of its records — the property the byte-stability tests
+//! and golden-file diffs rely on. All quantities are integers; bandwidth
+//! is carried as milli-percent of peak (`98250` = 98.250%).
+
+use std::fmt;
+
+use serde_json::Value;
+
+use crate::spec::{Order, RunPoint};
+
+/// Integer statistics of one completed run: cycle count, bandwidth as
+/// milli-percent of peak, and the recovery/telemetry counters the fault
+/// and telemetry subsystems expose.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total simulated bus cycles.
+    pub cycles: u64,
+    /// Effective bandwidth in milli-percent of peak (`98250` = 98.250%).
+    pub percent_peak_milli: u64,
+    /// 64-bit words of useful data moved.
+    pub useful_words: u64,
+    /// Bank activations issued.
+    pub activates: u64,
+    /// Read data packets on the channel.
+    pub read_packets: u64,
+    /// Write data packets on the channel.
+    pub write_packets: u64,
+    /// Bus turnarounds (read↔write direction changes).
+    pub turnarounds: u64,
+    /// SMC FIFO switches (0 for natural order).
+    pub fifo_switches: u64,
+    /// Cycles the data bus sat idle.
+    pub idle_cycles: u64,
+    /// NACKed data packets recovered by retry.
+    pub data_nacks: u64,
+    /// Cycles lost to injected controller stalls.
+    pub injected_stall_cycles: u64,
+    /// Banks the page-policy watchdog degraded to closed-page.
+    pub degraded_banks: u64,
+}
+
+/// One row of [`STAT_FIELDS`]: field name, getter, setter.
+type StatField = (&'static str, fn(&RunStats) -> u64, fn(&mut RunStats, u64));
+
+/// Names and accessors of every counter field, in serialization order.
+/// One table drives `to_json_line` and `from_value` so the two can't
+/// drift apart.
+const STAT_FIELDS: &[StatField] = &[
+    ("cycles", |s| s.cycles, |s, v| s.cycles = v),
+    (
+        "percent_peak_milli",
+        |s| s.percent_peak_milli,
+        |s, v| s.percent_peak_milli = v,
+    ),
+    (
+        "useful_words",
+        |s| s.useful_words,
+        |s, v| s.useful_words = v,
+    ),
+    ("activates", |s| s.activates, |s, v| s.activates = v),
+    (
+        "read_packets",
+        |s| s.read_packets,
+        |s, v| s.read_packets = v,
+    ),
+    (
+        "write_packets",
+        |s| s.write_packets,
+        |s, v| s.write_packets = v,
+    ),
+    ("turnarounds", |s| s.turnarounds, |s, v| s.turnarounds = v),
+    (
+        "fifo_switches",
+        |s| s.fifo_switches,
+        |s, v| s.fifo_switches = v,
+    ),
+    ("idle_cycles", |s| s.idle_cycles, |s, v| s.idle_cycles = v),
+    ("data_nacks", |s| s.data_nacks, |s, v| s.data_nacks = v),
+    (
+        "injected_stall_cycles",
+        |s| s.injected_stall_cycles,
+        |s, v| s.injected_stall_cycles = v,
+    ),
+    (
+        "degraded_banks",
+        |s| s.degraded_banks,
+        |s, v| s.degraded_banks = v,
+    ),
+];
+
+/// How one run ended: statistics, or a structured error message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The run completed; here are its numbers.
+    Ok(RunStats),
+    /// The run failed (rendered `SimError`, spec problem, or worker
+    /// loss); the campaign keeps going.
+    Error(String),
+}
+
+/// One stored run: its deterministic ID, the point that produced it, and
+/// the outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// [`RunPoint::run_id`] of `point` — stored explicitly so diffs can
+    /// match records without re-deriving keys.
+    pub run_id: String,
+    /// The parameter point.
+    pub point: RunPoint,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+impl RunRecord {
+    /// Render this record as one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let p = &self.point;
+        let mut fields: Vec<(String, Value)> = vec![
+            ("run_id".into(), Value::String(self.run_id.clone())),
+            ("kernel".into(), Value::String(p.kernel.clone())),
+            ("order".into(), Value::String(p.order.family().into())),
+            ("fifo".into(), Value::UInt(p.order.fifo())),
+            ("memory".into(), Value::String(p.memory.clone())),
+            ("alignment".into(), Value::String(p.alignment.clone())),
+            ("n".into(), Value::UInt(p.n)),
+            ("stride".into(), Value::UInt(p.stride)),
+            ("faults".into(), Value::String(p.faults.clone())),
+            ("fault_seed".into(), Value::UInt(p.fault_seed)),
+        ];
+        match &self.outcome {
+            Outcome::Ok(stats) => {
+                fields.push(("status".into(), Value::String("ok".into())));
+                for (name, get, _) in STAT_FIELDS {
+                    fields.push(((*name).into(), Value::UInt(get(stats))));
+                }
+            }
+            Outcome::Error(message) => {
+                fields.push(("status".into(), Value::String("error".into())));
+                fields.push(("error".into(), Value::String(message.clone())));
+            }
+        }
+        Value::Object(fields).to_string()
+    }
+
+    /// Rebuild a record from a parsed JSON line.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] naming the missing or mistyped field.
+    pub fn from_value(v: &Value, line: usize) -> Result<Self, StoreError> {
+        let str_field = |name: &str| -> Result<String, StoreError> {
+            v.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| StoreError::at(line, format!("missing string field `{name}`")))
+        };
+        let u64_field = |name: &str| -> Result<u64, StoreError> {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| StoreError::at(line, format!("missing integer field `{name}`")))
+        };
+        let order = match (str_field("order")?.as_str(), u64_field("fifo")?) {
+            ("natural", _) => Order::Natural,
+            ("smc", fifo) => Order::Smc { fifo },
+            (other, _) => {
+                return Err(StoreError::at(line, format!("unknown order `{other}`")));
+            }
+        };
+        let point = RunPoint {
+            kernel: str_field("kernel")?,
+            order,
+            memory: str_field("memory")?,
+            alignment: str_field("alignment")?,
+            n: u64_field("n")?,
+            stride: u64_field("stride")?,
+            faults: str_field("faults")?,
+            fault_seed: u64_field("fault_seed")?,
+        };
+        let outcome = match str_field("status")?.as_str() {
+            "ok" => {
+                let mut stats = RunStats::default();
+                for (name, _, set) in STAT_FIELDS {
+                    set(&mut stats, u64_field(name)?);
+                }
+                Outcome::Ok(stats)
+            }
+            "error" => Outcome::Error(str_field("error")?),
+            other => {
+                return Err(StoreError::at(line, format!("unknown status `{other}`")));
+            }
+        };
+        Ok(RunRecord {
+            run_id: str_field("run_id")?,
+            point,
+            outcome,
+        })
+    }
+}
+
+/// A complete campaign result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultsStore {
+    /// Campaign name from the spec.
+    pub campaign: String,
+    /// One record per deduplicated run, in expansion order.
+    pub records: Vec<RunRecord>,
+}
+
+impl ResultsStore {
+    /// Render the store as JSONL: a header line, then one line per run,
+    /// each newline-terminated. Byte-for-byte deterministic for equal
+    /// contents.
+    pub fn to_jsonl(&self) -> String {
+        let header = Value::Object(vec![
+            ("schema".into(), Value::UInt(crate::SCHEMA_VERSION)),
+            ("kind".into(), Value::String("campaign-results".into())),
+            ("campaign".into(), Value::String(self.campaign.clone())),
+            ("runs".into(), Value::UInt(self.records.len() as u64)),
+        ]);
+        let mut out = header.to_string();
+        out.push('\n');
+        for record in &self.records {
+            out.push_str(&record.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a store back from JSONL text.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] for malformed JSON, a wrong/missing header, an
+    /// unsupported schema version, or a record count that disagrees with
+    /// the header.
+    pub fn from_jsonl(text: &str) -> Result<Self, StoreError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (_, header_text) = lines
+            .next()
+            .ok_or_else(|| StoreError::at(1, "empty store".to_string()))?;
+        let header =
+            serde_json::from_str(header_text).map_err(|e| StoreError::at(1, e.to_string()))?;
+        match header.get("schema").and_then(Value::as_u64) {
+            Some(s) if s == crate::SCHEMA_VERSION => {}
+            Some(s) => {
+                return Err(StoreError::at(
+                    1,
+                    format!(
+                        "unsupported schema {s}, this build reads {}",
+                        crate::SCHEMA_VERSION
+                    ),
+                ));
+            }
+            None => {
+                return Err(StoreError::at(
+                    1,
+                    "missing header field `schema`".to_string(),
+                ))
+            }
+        }
+        if header.get("kind").and_then(Value::as_str) != Some("campaign-results") {
+            return Err(StoreError::at(
+                1,
+                "not a campaign results store (missing kind)".to_string(),
+            ));
+        }
+        let campaign = header
+            .get("campaign")
+            .and_then(Value::as_str)
+            .ok_or_else(|| StoreError::at(1, "missing header field `campaign`".to_string()))?
+            .to_string();
+        let declared = header
+            .get("runs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| StoreError::at(1, "missing header field `runs`".to_string()))?;
+        let mut records = Vec::new();
+        for (idx, line) in lines {
+            let v =
+                serde_json::from_str(line).map_err(|e| StoreError::at(idx + 1, e.to_string()))?;
+            records.push(RunRecord::from_value(&v, idx + 1)?);
+        }
+        if records.len() as u64 != declared {
+            return Err(StoreError::at(
+                1,
+                format!(
+                    "header declares {declared} runs, store has {}",
+                    records.len()
+                ),
+            ));
+        }
+        Ok(ResultsStore { campaign, records })
+    }
+
+    /// Look up a record by run ID.
+    pub fn find(&self, run_id: &str) -> Option<&RunRecord> {
+        self.records.iter().find(|r| r.run_id == run_id)
+    }
+
+    /// Number of records whose outcome is [`Outcome::Ok`].
+    pub fn completed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Ok(_)))
+            .count()
+    }
+
+    /// Number of records whose outcome is [`Outcome::Error`].
+    pub fn errored(&self) -> usize {
+        self.records.len() - self.completed()
+    }
+}
+
+/// Error from reading a results store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    /// 1-based line number in the JSONL text.
+    pub line: usize,
+    /// What was wrong there.
+    pub message: String,
+}
+
+impl StoreError {
+    fn at(line: usize, message: String) -> Self {
+        StoreError { line, message }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "results store line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Format a milli-percent value as a fixed three-decimal percentage
+/// (`98250` → `"98.250"`) using integer arithmetic only.
+pub fn milli_percent(v: u64) -> String {
+    format!("{}.{:03}", v / 1000, v % 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ResultsStore {
+        let ok_point = RunPoint::smoke("copy", 64);
+        let err_point = RunPoint {
+            faults: "nack:900:1".into(),
+            fault_seed: 3,
+            ..RunPoint::smoke("daxpy", 16)
+        };
+        ResultsStore {
+            campaign: "unit".into(),
+            records: vec![
+                RunRecord {
+                    run_id: ok_point.run_id(),
+                    point: ok_point,
+                    outcome: Outcome::Ok(RunStats {
+                        cycles: 1234,
+                        percent_peak_milli: 98_250,
+                        useful_words: 512,
+                        activates: 9,
+                        data_nacks: 2,
+                        ..RunStats::default()
+                    }),
+                },
+                RunRecord {
+                    run_id: err_point.run_id(),
+                    point: err_point,
+                    outcome: Outcome::Error("retry budget exhausted \"mid-burst\"".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let store = sample_store();
+        let text = store.to_jsonl();
+        let back = ResultsStore::from_jsonl(&text).unwrap();
+        assert_eq!(back, store);
+        assert_eq!(back.completed(), 1);
+        assert_eq!(back.errored(), 1);
+        assert!(back.find(&store.records[0].run_id).is_some());
+        assert!(back.find("0000000000000000").is_none());
+    }
+
+    #[test]
+    fn serialization_is_byte_stable() {
+        let store = sample_store();
+        assert_eq!(store.to_jsonl(), store.to_jsonl());
+        let reparsed = ResultsStore::from_jsonl(&store.to_jsonl()).unwrap();
+        assert_eq!(reparsed.to_jsonl(), store.to_jsonl());
+    }
+
+    #[test]
+    fn header_is_validated() {
+        let e = ResultsStore::from_jsonl("").unwrap_err();
+        assert!(e.message.contains("empty"), "{e}");
+        let e = ResultsStore::from_jsonl(
+            "{\"schema\":99,\"kind\":\"campaign-results\",\"campaign\":\"x\",\"runs\":0}\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("unsupported schema"), "{e}");
+        let e =
+            ResultsStore::from_jsonl("{\"schema\":1,\"campaign\":\"x\",\"runs\":0}\n").unwrap_err();
+        assert!(e.message.contains("kind"), "{e}");
+        let e = ResultsStore::from_jsonl(
+            "{\"schema\":1,\"kind\":\"campaign-results\",\"campaign\":\"x\",\"runs\":5}\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("declares 5"), "{e}");
+    }
+
+    #[test]
+    fn record_errors_carry_line_numbers() {
+        let store = sample_store();
+        let mut text = store.to_jsonl();
+        text.push_str("{\"run_id\":\"zz\"}\n");
+        let e = ResultsStore::from_jsonl(&text).unwrap_err();
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn milli_percent_formats_fixed_point() {
+        assert_eq!(milli_percent(98_250), "98.250");
+        assert_eq!(milli_percent(100_000), "100.000");
+        assert_eq!(milli_percent(7), "0.007");
+        assert_eq!(milli_percent(0), "0.000");
+    }
+}

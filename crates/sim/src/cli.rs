@@ -67,6 +67,18 @@ usage: smcsim [OPTIONS]
        smcsim bench [--n N] [--out FILE]
                                  profile simulated-cycles-per-second for
                                  the paper suite  [BENCH_telemetry.json]
+       smcsim campaign run SPEC.json [--workers N] [--out FILE.jsonl]
+                                 [--bench-out FILE.json] [--quiet]
+                                 expand a campaign spec and run its grid on
+                                 N worker threads (default: all cores),
+                                 writing a schema-versioned JSONL store
+       smcsim campaign list SPEC.json
+                                 print the expanded grid (run ID + config
+                                 fingerprint per line) without running it
+       smcsim campaign diff GOLDEN.jsonl CURRENT.jsonl
+                                 [--cycles-tol-permille P] [--peak-tol-milli M]
+                                 gate a results store against a committed
+                                 golden; exits nonzero on regression
   --kernel NAME     copy|daxpy|hydro|vaxpy|fill|scale|triad|swap  [daxpy]
   --n N             elements per stream                           [1024]
   --stride S        stride in 64-bit words                        [1]
@@ -442,6 +454,200 @@ pub fn run_bench(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `smcsim campaign ...`: run, list, or diff declarative parameter-sweep
+/// campaigns (see [`campaign`] and [`crate::sweep`]).
+///
+/// # Errors
+///
+/// A human-readable message for an unknown subcommand, a malformed spec or
+/// store, an unwritable output file — or the rendered diff report when the
+/// gate finds a regression.
+pub fn run_campaign_cmd(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("run") => campaign_run(&args[1..]),
+        Some("list") => campaign_list(&args[1..]),
+        Some("diff") => campaign_diff(&args[1..]),
+        Some(other) => Err(format!("campaign: unknown subcommand {other:?}\n{USAGE}")),
+        None => Err(format!("campaign needs run, list, or diff\n{USAGE}")),
+    }
+}
+
+fn load_spec(path: &str) -> Result<campaign::CampaignSpec, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read spec {path}: {e}"))?;
+    campaign::CampaignSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn campaign_run(args: &[String]) -> Result<String, String> {
+    let mut spec_path: Option<String> = None;
+    let mut workers = default_workers();
+    let mut out_path: Option<String> = None;
+    let mut bench_out: Option<String> = None;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                workers = args
+                    .get(i)
+                    .ok_or_else(|| "--workers needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if workers == 0 {
+                    return Err("--workers must be positive".into());
+                }
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| "--out needs a value".to_string())?,
+                );
+            }
+            "--bench-out" => {
+                i += 1;
+                bench_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| "--bench-out needs a value".to_string())?,
+                );
+            }
+            "--quiet" => quiet = true,
+            other if !other.starts_with("--") && spec_path.is_none() => {
+                spec_path = Some(other.to_string());
+            }
+            other => return Err(format!("campaign run: unknown option {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let spec_path = spec_path.ok_or_else(|| format!("campaign run needs a spec file\n{USAGE}"))?;
+    let spec = load_spec(&spec_path)?;
+    let points = campaign::expand(&spec);
+    let progress = |done: usize, total: usize| {
+        eprintln!("campaign {}: {done}/{total} runs complete", spec.name);
+    };
+    let store = campaign::run_points(
+        &spec.name,
+        &points,
+        workers,
+        &crate::sweep::run_point,
+        if quiet { None } else { Some(&progress) },
+    );
+    let out_path = out_path.unwrap_or_else(|| format!("{}.results.jsonl", spec.name));
+    std::fs::write(&out_path, store.to_jsonl())
+        .map_err(|e| format!("cannot write results to {out_path}: {e}"))?;
+    let mut out = format!(
+        "campaign {}: {} runs ({} ok, {} failed) on {} workers\nresults written to {}\n",
+        spec.name,
+        store.records.len(),
+        store.completed(),
+        store.errored(),
+        workers,
+        out_path
+    );
+    for record in &store.records {
+        if let campaign::Outcome::Error(e) = &record.outcome {
+            out.push_str(&format!(
+                "  failed {} ({}): {e}\n",
+                record.run_id,
+                record.point.key()
+            ));
+        }
+    }
+    if let Some(bench_path) = bench_out {
+        // Measure runs/second at a 1 .. N/2 .. N worker ladder so the
+        // executor speedup is a recorded artifact.
+        let mut ladder = vec![1usize];
+        for w in [workers.div_ceil(2), workers] {
+            if !ladder.contains(&w) {
+                ladder.push(w);
+            }
+        }
+        let report = campaign::bench_campaign(&spec, &ladder, &crate::sweep::run_point);
+        std::fs::write(&bench_path, report.to_json())
+            .map_err(|e| format!("cannot write bench profile to {bench_path}: {e}"))?;
+        for sample in &report.samples {
+            out.push_str(&format!(
+                "bench: {} workers -> {} runs/s\n",
+                sample.workers,
+                campaign::milli_percent(sample.runs_per_sec_milli)
+            ));
+        }
+        out.push_str(&format!("bench profile written to {bench_path}\n"));
+    }
+    Ok(out)
+}
+
+fn campaign_list(args: &[String]) -> Result<String, String> {
+    let [spec_path] = args else {
+        return Err(format!(
+            "campaign list needs exactly one spec file\n{USAGE}"
+        ));
+    };
+    let spec = load_spec(spec_path)?;
+    let points = campaign::expand(&spec);
+    let mut out = format!("campaign {}: {} runs\n", spec.name, points.len());
+    for point in &points {
+        out.push_str(&format!("{}  {}\n", point.run_id(), point.key()));
+    }
+    Ok(out)
+}
+
+fn load_store(path: &str) -> Result<campaign::ResultsStore, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read store {path}: {e}"))?;
+    campaign::ResultsStore::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn campaign_diff(args: &[String]) -> Result<String, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut tol = campaign::Tolerance::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cycles-tol-permille" => {
+                i += 1;
+                tol.cycles_permille = args
+                    .get(i)
+                    .ok_or_else(|| "--cycles-tol-permille needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--cycles-tol-permille: {e}"))?;
+            }
+            "--peak-tol-milli" => {
+                i += 1;
+                tol.peak_milli = args
+                    .get(i)
+                    .ok_or_else(|| "--peak-tol-milli needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--peak-tol-milli: {e}"))?;
+            }
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            other => return Err(format!("campaign diff: unknown option {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let [golden_path, current_path] = paths.as_slice() else {
+        return Err(format!(
+            "campaign diff needs GOLDEN.jsonl and CURRENT.jsonl\n{USAGE}"
+        ));
+    };
+    let golden = load_store(golden_path)?;
+    let current = load_store(current_path)?;
+    let report = campaign::diff_stores(&golden, &current, tol);
+    let rendered = report.render();
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(rendered)
+    }
+}
+
 fn summarize(r: &RunResult) -> String {
     let s = r.summary();
     let mut out = format!(
@@ -674,6 +880,125 @@ mod tests {
         }
         assert!(run_bench(&args("--n 0")).unwrap_err().contains("positive"));
         assert!(run_bench(&args("--what")).unwrap_err().contains("unknown"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_run_list_and_diff_round_trip() {
+        let dir = std::env::temp_dir().join("smcsim-cli-campaign-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json").to_str().unwrap().to_string();
+        std::fs::write(
+            &spec_path,
+            "{\"schema\": 1, \"name\": \"cli-test\", \
+             \"axes\": {\"kernel\": [\"copy\", \"daxpy\"], \"fifo\": [16], \"n\": [64]}}",
+        )
+        .unwrap();
+
+        let listing = run_campaign_cmd(&args(&format!("list {spec_path}"))).unwrap();
+        assert!(listing.contains("2 runs"), "{listing}");
+        assert!(listing.contains("copy|smc:16|cli"), "{listing}");
+
+        let golden = dir.join("golden.jsonl").to_str().unwrap().to_string();
+        let out = run_campaign_cmd(&args(&format!(
+            "run {spec_path} --workers 2 --out {golden} --quiet"
+        )))
+        .unwrap();
+        assert!(out.contains("2 runs (2 ok, 0 failed)"), "{out}");
+
+        // A re-run at a different worker count produces the identical store
+        // and the diff gate reports it clean.
+        let current = dir.join("current.jsonl").to_str().unwrap().to_string();
+        run_campaign_cmd(&args(&format!(
+            "run {spec_path} --workers 1 --out {current} --quiet"
+        )))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&golden).unwrap(),
+            std::fs::read(&current).unwrap(),
+            "stores are byte-identical across worker counts"
+        );
+        let verdict = run_campaign_cmd(&args(&format!("diff {golden} {current}"))).unwrap();
+        assert!(verdict.contains("CLEAN"), "{verdict}");
+
+        // Corrupt one cycle count: the gate must fail with a rendered report.
+        let text = std::fs::read_to_string(&current).unwrap();
+        let mut store = campaign::ResultsStore::from_jsonl(&text).unwrap();
+        if let campaign::Outcome::Ok(stats) = &mut store.records[0].outcome {
+            stats.cycles += 1;
+        }
+        std::fs::write(&current, store.to_jsonl()).unwrap();
+        let err = run_campaign_cmd(&args(&format!("diff {golden} {current}")))
+            .expect_err("drifted store must fail the gate");
+        assert!(err.contains("REGRESSION"), "{err}");
+        assert!(err.contains("cycles"), "{err}");
+        // ...and a loose-enough tolerance lets it pass.
+        let ok = run_campaign_cmd(&args(&format!(
+            "diff {golden} {current} --cycles-tol-permille 1000"
+        )))
+        .unwrap();
+        assert!(ok.contains("CLEAN"), "{ok}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_bench_writes_the_profile() {
+        let dir = std::env::temp_dir().join("smcsim-cli-campaign-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json").to_str().unwrap().to_string();
+        std::fs::write(
+            &spec_path,
+            "{\"schema\": 1, \"name\": \"bench-test\", \"axes\": {\"n\": [32, 64]}}",
+        )
+        .unwrap();
+        let out = dir.join("r.jsonl").to_str().unwrap().to_string();
+        let bench = dir
+            .join("BENCH_campaign.json")
+            .to_str()
+            .unwrap()
+            .to_string();
+        let text = run_campaign_cmd(&args(&format!(
+            "run {spec_path} --workers 4 --out {out} --bench-out {bench} --quiet"
+        )))
+        .unwrap();
+        assert!(text.contains("bench profile written"), "{text}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&bench).unwrap()).unwrap();
+        assert_eq!(v["kind"], "campaign-bench");
+        let samples = v["samples"].as_array().unwrap();
+        // Ladder at 4 workers: 1, 2, 4.
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0]["workers"], 1u64);
+        assert_eq!(samples[2]["workers"], 4u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_rejects_bad_invocations() {
+        assert!(run_campaign_cmd(&[])
+            .unwrap_err()
+            .contains("run, list, or diff"));
+        assert!(run_campaign_cmd(&args("explode"))
+            .unwrap_err()
+            .contains("unknown subcommand"));
+        assert!(run_campaign_cmd(&args("run"))
+            .unwrap_err()
+            .contains("needs a spec file"));
+        assert!(run_campaign_cmd(&args("run /nonexistent/spec.json"))
+            .unwrap_err()
+            .contains("cannot read spec"));
+        assert!(run_campaign_cmd(&args("diff only-one.jsonl"))
+            .unwrap_err()
+            .contains("GOLDEN.jsonl and CURRENT.jsonl"));
+        assert!(run_campaign_cmd(&args("run spec.json --workers 0"))
+            .unwrap_err()
+            .contains("positive"));
+        let dir = std::env::temp_dir().join("smcsim-cli-campaign-err-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json").to_str().unwrap().to_string();
+        std::fs::write(&bad, "{\"schema\": 1, \"axes\": {\"warp\": [1]}}").unwrap();
+        let err = run_campaign_cmd(&args(&format!("list {bad}"))).unwrap_err();
+        assert!(err.contains("warp"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -12,8 +12,9 @@ use serde::Serialize;
 
 use kernels::Kernel;
 
+use super::grid::{run_all, KernelJob};
 use crate::report::{pct, Table};
-use crate::{run_kernel, MemorySystem, SystemConfig};
+use crate::{MemorySystem, SystemConfig};
 
 /// One kernel's comparison row.
 #[derive(Debug, Clone, Serialize)]
@@ -37,36 +38,45 @@ pub struct Extra {
     pub tables: Vec<(String, Vec<ExtraRow>)>,
 }
 
-/// Run all kernels (paper suite + extensions) on both organizations.
+/// Run all kernels (paper suite + extensions) on both organizations as
+/// one flat parallel grid: a (natural, SMC) job pair per kernel per
+/// organization, reassembled into the two tables afterwards.
 pub fn run() -> Extra {
     let n = 1024;
-    let tables = [
+    let memories = [
         MemorySystem::CacheLineInterleaved,
         MemorySystem::PageInterleaved,
-    ]
-    .into_iter()
-    .map(|memory| {
-        let rows = Kernel::ALL
-            .into_iter()
-            .map(|kernel| {
-                let natural = run_kernel(kernel, n, 1, &SystemConfig::natural_order(memory))
-                    .expect("fault-free run")
-                    .percent_peak();
-                let smc = run_kernel(kernel, n, 1, &SystemConfig::smc(memory, 128))
-                    .expect("fault-free run")
-                    .percent_peak();
-                ExtraRow {
+    ];
+    let jobs: Vec<KernelJob> = memories
+        .into_iter()
+        .flat_map(|memory| {
+            Kernel::ALL.into_iter().flat_map(move |kernel| {
+                [
+                    KernelJob::new(kernel, n, SystemConfig::natural_order(memory)),
+                    KernelJob::new(kernel, n, SystemConfig::smc(memory, 128)),
+                ]
+            })
+        })
+        .collect();
+    let results = run_all(&jobs);
+    let tables = memories
+        .into_iter()
+        .zip(results.chunks_exact(2 * Kernel::ALL.len()))
+        .map(|(memory, chunk)| {
+            let rows = Kernel::ALL
+                .into_iter()
+                .zip(chunk.chunks_exact(2))
+                .map(|(kernel, pair)| ExtraRow {
                     kernel: kernel.name().to_string(),
                     streams: kernel.total_streams(),
                     writes: kernel.writes(),
-                    natural,
-                    smc,
-                }
-            })
-            .collect();
-        (memory.label().to_string(), rows)
-    })
-    .collect();
+                    natural: pair[0].percent_peak(),
+                    smc: pair[1].percent_peak(),
+                })
+                .collect();
+            (memory.label().to_string(), rows)
+        })
+        .collect();
     Extra { tables }
 }
 

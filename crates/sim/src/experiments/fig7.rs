@@ -12,8 +12,9 @@ use serde::Serialize;
 use analytic::smc::Workload;
 use kernels::Kernel;
 
+use super::grid::{run_all, KernelJob};
 use crate::report::{pct, Table};
-use crate::{run_kernel, AccessOrder, Alignment, MemorySystem, SystemConfig};
+use crate::{AccessOrder, Alignment, MemorySystem, RunResult, SystemConfig};
 
 /// FIFO depths the paper sweeps (elements).
 pub const FIFO_DEPTHS: [usize; 5] = [8, 16, 32, 64, 128];
@@ -66,33 +67,38 @@ fn smc_config(memory: MemorySystem, depth: usize, alignment: Alignment) -> Syste
     .with_alignment(alignment)
 }
 
-/// Simulate one panel.
-pub fn panel(label: char, kernel: Kernel, n: u64, memory: MemorySystem) -> Fig7Panel {
+/// The panel's simulation jobs: a (staggered, aligned) pair per FIFO
+/// depth, in depth order.
+fn panel_jobs(kernel: Kernel, n: u64, memory: MemorySystem) -> Vec<KernelJob> {
+    FIFO_DEPTHS
+        .iter()
+        .flat_map(|&depth| {
+            [Alignment::Staggered, Alignment::Aligned]
+                .map(|alignment| KernelJob::new(kernel, n, smc_config(memory, depth, alignment)))
+        })
+        .collect()
+}
+
+/// Assemble a panel from the results of its [`panel_jobs`].
+fn panel_from(
+    label: char,
+    kernel: Kernel,
+    n: u64,
+    memory: MemorySystem,
+    results: &[RunResult],
+) -> Fig7Panel {
     let sys = SystemConfig::natural_order(memory).stream_system();
     let org = memory.organization();
     let w = Workload::unit(kernel.reads(), kernel.writes(), n);
     let cache_limit = sys.multi_stream(org, kernel.total_streams(), n, 1);
     let rows = FIFO_DEPTHS
         .iter()
-        .map(|&depth| {
-            let smc_bound = sys.smc_combined_bound(org, &w, depth as u64);
-            let staggered = run_kernel(
-                kernel,
-                n,
-                1,
-                &smc_config(memory, depth, Alignment::Staggered),
-            )
-            .expect("fault-free run")
-            .percent_peak();
-            let aligned = run_kernel(kernel, n, 1, &smc_config(memory, depth, Alignment::Aligned))
-                .expect("fault-free run")
-                .percent_peak();
-            Fig7Row {
-                depth,
-                smc_bound,
-                staggered,
-                aligned,
-            }
+        .zip(results.chunks_exact(2))
+        .map(|(&depth, pair)| Fig7Row {
+            depth,
+            smc_bound: sys.smc_combined_bound(org, &w, depth as u64),
+            staggered: pair[0].percent_peak(),
+            aligned: pair[1].percent_peak(),
         })
         .collect();
     Fig7Panel {
@@ -105,10 +111,17 @@ pub fn panel(label: char, kernel: Kernel, n: u64, memory: MemorySystem) -> Fig7P
     }
 }
 
-/// Run all sixteen panels in the paper's layout: rows are kernels, columns
-/// are (CLI 128, CLI 1024, PI 128, PI 1024).
-pub fn run() -> Fig7 {
-    let mut panels = Vec::new();
+/// Simulate one panel (its ten runs fan out across cores).
+pub fn panel(label: char, kernel: Kernel, n: u64, memory: MemorySystem) -> Fig7Panel {
+    let results = run_all(&panel_jobs(kernel, n, memory));
+    panel_from(label, kernel, n, memory, &results)
+}
+
+/// The sixteen (label, kernel, length, organization) panel headers in the
+/// paper's layout: rows are kernels, columns are (CLI 128, CLI 1024,
+/// PI 128, PI 1024).
+fn panel_grid() -> Vec<(char, Kernel, u64, MemorySystem)> {
+    let mut headers = Vec::new();
     let mut label = 'a';
     for kernel in Kernel::PAPER_SUITE {
         for memory in [
@@ -116,11 +129,29 @@ pub fn run() -> Fig7 {
             MemorySystem::PageInterleaved,
         ] {
             for n in LENGTHS {
-                panels.push(panel(label, kernel, n, memory));
+                headers.push((label, kernel, n, memory));
                 label = (label as u8 + 1) as char;
             }
         }
     }
+    headers
+}
+
+/// Run all sixteen panels: the 160 simulations are submitted as one flat
+/// grid to the parallel executor, then reassembled per panel.
+pub fn run() -> Fig7 {
+    let headers = panel_grid();
+    let jobs: Vec<KernelJob> = headers
+        .iter()
+        .flat_map(|&(_, kernel, n, memory)| panel_jobs(kernel, n, memory))
+        .collect();
+    let results = run_all(&jobs);
+    let per_panel = jobs.len() / headers.len();
+    let panels = headers
+        .iter()
+        .zip(results.chunks_exact(per_panel))
+        .map(|(&(label, kernel, n, memory), chunk)| panel_from(label, kernel, n, memory, chunk))
+        .collect();
     Fig7 { panels }
 }
 

@@ -42,24 +42,21 @@ pub fn strides() -> Vec<u64> {
 /// baseline controller; `run_kernel` with `Fill` is the write analogue).
 pub fn run() -> Fig8 {
     let sys = SystemConfig::natural_order(MemorySystem::CacheLineInterleaved).stream_system();
-    let rows = strides()
-        .into_iter()
-        .map(|stride| {
-            let cli_bound = sys.single_stream(analytic::Organization::CacheLineInterleaved, stride);
-            let pi_bound = sys.single_stream(analytic::Organization::PageInterleaved, stride);
-            // Simulated single-stream read at this stride: model the stream
-            // as the read half of `scale` by running a read-only schedule.
-            let cli_sim = simulate_single(MemorySystem::CacheLineInterleaved, stride);
-            let pi_sim = simulate_single(MemorySystem::PageInterleaved, stride);
-            Fig8Row {
-                stride,
-                cli_bound,
-                pi_bound,
-                cli_sim,
-                pi_sim,
-            }
-        })
-        .collect();
+    let rows = super::grid::sweep(&strides(), |&stride| {
+        let cli_bound = sys.single_stream(analytic::Organization::CacheLineInterleaved, stride);
+        let pi_bound = sys.single_stream(analytic::Organization::PageInterleaved, stride);
+        // Simulated single-stream read at this stride: model the stream
+        // as the read half of `scale` by running a read-only schedule.
+        let cli_sim = simulate_single(MemorySystem::CacheLineInterleaved, stride);
+        let pi_sim = simulate_single(MemorySystem::PageInterleaved, stride);
+        Fig8Row {
+            stride,
+            cli_bound,
+            pi_bound,
+            cli_sim,
+            pi_sim,
+        }
+    });
     Fig8 { rows }
 }
 

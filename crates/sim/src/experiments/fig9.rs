@@ -45,40 +45,36 @@ pub fn strides() -> Vec<u64> {
     (1..=16).map(|k| k * 4).collect()
 }
 
-/// Run the sweep.
+/// Run the sweep (one worker job per stride).
 pub fn run() -> Fig9 {
     let kernel = Kernel::Vaxpy;
     let s = kernel.total_streams();
-    let rows = strides()
-        .into_iter()
-        .map(|stride| {
-            let smc = |memory| {
-                run_kernel(
-                    kernel,
-                    LENGTH,
-                    stride,
-                    &SystemConfig::smc(memory, FIFO_DEPTH),
-                )
-                .expect("fault-free run")
-                .percent_attainable()
-            };
-            let cache = |memory: MemorySystem| {
-                let sys = SystemConfig::natural_order(memory).stream_system();
-                // Percent of peak -> percent of the 50% attainable ceiling.
-                2.0 * sys.multi_stream(memory.organization(), s, LENGTH, stride)
-            };
-            let sys =
-                SystemConfig::natural_order(MemorySystem::CacheLineInterleaved).stream_system();
-            Fig9Row {
+    let rows = super::grid::sweep(&strides(), |&stride| {
+        let smc = |memory| {
+            run_kernel(
+                kernel,
+                LENGTH,
                 stride,
-                pi_smc: smc(MemorySystem::PageInterleaved),
-                cli_smc: smc(MemorySystem::CacheLineInterleaved),
-                pi_cache: cache(MemorySystem::PageInterleaved),
-                cli_cache: cache(MemorySystem::CacheLineInterleaved),
-                cli_smc_bound: sys.smc_strided_cli_attainable(stride, 8),
-            }
-        })
-        .collect();
+                &SystemConfig::smc(memory, FIFO_DEPTH),
+            )
+            .expect("fault-free run")
+            .percent_attainable()
+        };
+        let cache = |memory: MemorySystem| {
+            let sys = SystemConfig::natural_order(memory).stream_system();
+            // Percent of peak -> percent of the 50% attainable ceiling.
+            2.0 * sys.multi_stream(memory.organization(), s, LENGTH, stride)
+        };
+        let sys = SystemConfig::natural_order(MemorySystem::CacheLineInterleaved).stream_system();
+        Fig9Row {
+            stride,
+            pi_smc: smc(MemorySystem::PageInterleaved),
+            cli_smc: smc(MemorySystem::CacheLineInterleaved),
+            pi_cache: cache(MemorySystem::PageInterleaved),
+            cli_cache: cache(MemorySystem::CacheLineInterleaved),
+            cli_smc_bound: sys.smc_strided_cli_attainable(stride, 8),
+        }
+    });
     Fig9 { rows }
 }
 

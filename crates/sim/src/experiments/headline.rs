@@ -7,8 +7,21 @@ use analytic::smc::Workload;
 use analytic::Organization;
 use kernels::Kernel;
 
+use super::grid::{run_all, KernelJob};
 use crate::report::Table;
 use crate::{run_kernel, Alignment, MemorySystem, SystemConfig};
+
+/// Both organizations crossed with the paper suite, in iteration order —
+/// the grid the speedup and alignment sweeps share.
+fn suite_grid() -> Vec<(MemorySystem, Kernel)> {
+    [
+        MemorySystem::CacheLineInterleaved,
+        MemorySystem::PageInterleaved,
+    ]
+    .into_iter()
+    .flat_map(|mem| Kernel::PAPER_SUITE.map(|kernel| (mem, kernel)))
+    .collect()
+}
 
 /// One claim comparison.
 #[derive(Debug, Clone, Serialize)]
@@ -48,42 +61,41 @@ fn suite_natural_order_range() -> (f64, f64) {
 }
 
 fn smc_speedup_range() -> (f64, f64) {
+    let grid = suite_grid();
+    let jobs: Vec<KernelJob> = grid
+        .iter()
+        .map(|&(mem, kernel)| KernelJob::new(kernel, 1024, SystemConfig::smc(mem, 128)))
+        .collect();
     let mut lo = f64::INFINITY;
     let mut hi = 0.0f64;
-    for mem in [
-        MemorySystem::CacheLineInterleaved,
-        MemorySystem::PageInterleaved,
-    ] {
+    for (&(mem, kernel), result) in grid.iter().zip(run_all(&jobs)) {
         let sys = SystemConfig::natural_order(mem).stream_system();
-        for kernel in Kernel::PAPER_SUITE {
-            let smc = run_kernel(kernel, 1024, 1, &SystemConfig::smc(mem, 128))
-                .expect("fault-free run")
-                .percent_peak();
-            let cache = sys.multi_stream(mem.organization(), kernel.total_streams(), 1024, 1);
-            let ratio = smc / cache;
-            lo = lo.min(ratio);
-            hi = hi.max(ratio);
-        }
+        let cache = sys.multi_stream(mem.organization(), kernel.total_streams(), 1024, 1);
+        let ratio = result.percent_peak() / cache;
+        lo = lo.min(ratio);
+        hi = hi.max(ratio);
     }
     (lo, hi)
 }
 
 fn worst_aligned_fraction_of_bound() -> f64 {
+    let grid = suite_grid();
+    let jobs: Vec<KernelJob> = grid
+        .iter()
+        .map(|&(mem, kernel)| {
+            KernelJob::new(
+                kernel,
+                1024,
+                SystemConfig::smc(mem, 128).with_alignment(Alignment::Aligned),
+            )
+        })
+        .collect();
     let mut worst = f64::INFINITY;
-    for mem in [
-        MemorySystem::CacheLineInterleaved,
-        MemorySystem::PageInterleaved,
-    ] {
+    for (&(mem, kernel), result) in grid.iter().zip(run_all(&jobs)) {
         let sys = SystemConfig::natural_order(mem).stream_system();
-        for kernel in Kernel::PAPER_SUITE {
-            let cfg = SystemConfig::smc(mem, 128).with_alignment(Alignment::Aligned);
-            let got = run_kernel(kernel, 1024, 1, &cfg)
-                .expect("fault-free run")
-                .percent_peak();
-            let w = Workload::unit(kernel.reads(), kernel.writes(), 1024);
-            let bound = sys.smc_combined_bound(mem.organization(), &w, 128);
-            worst = worst.min(got / bound);
-        }
+        let w = Workload::unit(kernel.reads(), kernel.writes(), 1024);
+        let bound = sys.smc_combined_bound(mem.organization(), &w, 128);
+        worst = worst.min(result.percent_peak() / bound);
     }
     worst
 }

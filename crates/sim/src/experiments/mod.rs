@@ -13,6 +13,7 @@ pub mod fig56;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod grid;
 pub mod headline;
 
 /// Names of all experiments, in paper order (`extra` is this reproduction's

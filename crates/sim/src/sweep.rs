@@ -1,0 +1,192 @@
+//! Binding between the simulator and the `campaign` orchestration layer:
+//! translate a declarative [`RunPoint`] into a [`SystemConfig`] + kernel,
+//! execute it, and fold the [`RunResult`](crate::RunResult) counters into
+//! the integer [`RunStats`] the results store records.
+//!
+//! `campaign` itself is simulator-agnostic (it runs any
+//! `Fn(&RunPoint) -> Outcome`); this module is the one place that mapping
+//! lives, so the CLI, the figure experiments, and the fault suite all
+//! drive simulations through the same code path.
+
+use campaign::{CampaignSpec, Order, Outcome, Progress, ResultsStore, RunPoint, RunStats};
+use kernels::Kernel;
+
+use crate::{Alignment, MemorySystem, SystemConfig};
+
+/// Resolve a run point into the kernel and system configuration it
+/// describes.
+///
+/// # Errors
+///
+/// A human-readable message for an unknown kernel name, memory
+/// organization, alignment, or malformed fault spec — the same strings a
+/// failed run records in its [`Outcome::Error`].
+pub fn job_for(point: &RunPoint) -> Result<(Kernel, SystemConfig), String> {
+    let kernel = Kernel::ALL
+        .into_iter()
+        .find(|k| k.name() == point.kernel)
+        .ok_or_else(|| format!("unknown kernel `{}`", point.kernel))?;
+    let memory = match point.memory.as_str() {
+        "cli" => MemorySystem::CacheLineInterleaved,
+        "pi" => MemorySystem::PageInterleaved,
+        other => return Err(format!("unknown memory organization `{other}`")),
+    };
+    let alignment = match point.alignment.as_str() {
+        "staggered" => Alignment::Staggered,
+        "aligned" => Alignment::Aligned,
+        other => return Err(format!("unknown alignment `{other}`")),
+    };
+    let mut config = match point.order {
+        Order::Natural => SystemConfig::natural_order(memory),
+        Order::Smc { fifo } => {
+            let depth = usize::try_from(fifo).map_err(|_| format!("fifo {fifo} out of range"))?;
+            SystemConfig::smc(memory, depth)
+        }
+    }
+    .with_alignment(alignment);
+    if !point.faults.is_empty() {
+        let plan = faults::FaultPlan::parse(&point.faults)
+            .map_err(|e| format!("bad fault spec `{}`: {e}", point.faults))?;
+        config = config.with_faults(plan, point.fault_seed);
+    }
+    Ok((kernel, config))
+}
+
+/// Execute one run point and fold the result into campaign statistics.
+/// Config errors and simulation failures both come back as structured
+/// [`Outcome::Error`]s; nothing panics.
+pub fn run_point(point: &RunPoint) -> Outcome {
+    let (kernel, config) = match job_for(point) {
+        Ok(job) => job,
+        Err(message) => return Outcome::Error(message),
+    };
+    match crate::run_kernel(kernel, point.n, point.stride, &config) {
+        Ok(result) => Outcome::Ok(stats_of(&result)),
+        Err(e) => Outcome::Error(e.to_string()),
+    }
+}
+
+/// Fold a completed run's counters into the integer statistics a results
+/// store records. Bandwidth is rounded to milli-percent of peak; SMC and
+/// natural-order counters land in the same fields (`fifo_switches` stays
+/// 0 for natural order, `idle_cycles`/`data_nacks` come from whichever
+/// controller ran).
+pub fn stats_of(result: &crate::RunResult) -> RunStats {
+    let mut stats = RunStats {
+        cycles: result.cycles,
+        percent_peak_milli: (result.percent_peak() * 1000.0).round() as u64,
+        useful_words: result.useful_words,
+        activates: result.device_stats.activates,
+        read_packets: result.device_stats.read_packets,
+        write_packets: result.device_stats.write_packets,
+        turnarounds: result.device_stats.turnarounds,
+        ..RunStats::default()
+    };
+    if let Some(msu) = &result.msu_stats {
+        stats.fifo_switches = msu.fifo_switches;
+        stats.idle_cycles = msu.idle_cycles;
+        stats.data_nacks = msu.data_nacks;
+        stats.injected_stall_cycles = msu.injected_stall_cycles;
+        stats.degraded_banks = msu.degraded_banks;
+    }
+    if let Some(base) = &result.baseline {
+        stats.idle_cycles = base.idle_cycles;
+        stats.data_nacks = base.data_nacks;
+    }
+    stats
+}
+
+/// Expand `spec` and run it on `workers` threads through the simulator.
+pub fn run_spec(
+    spec: &CampaignSpec,
+    workers: usize,
+    progress: Option<Progress<'_>>,
+) -> ResultsStore {
+    campaign::run_campaign(spec, workers, &run_point, progress)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use campaign::expand;
+
+    /// The paper's full 4×2×2 matrix: 4 kernels × {SMC, natural} ×
+    /// {CLI, PI}.
+    fn paper_matrix() -> CampaignSpec {
+        let mut spec = CampaignSpec::named("paper-matrix");
+        spec.axes.kernels = Kernel::PAPER_SUITE
+            .iter()
+            .map(|k| k.name().to_string())
+            .collect();
+        spec.axes.orders = vec!["smc".into(), "natural".into()];
+        spec.axes.memories = vec!["cli".into(), "pi".into()];
+        spec.axes.fifos = vec![32];
+        spec.axes.lengths = vec![128];
+        spec
+    }
+
+    #[test]
+    fn job_for_rejects_nonsense_points() {
+        let good = RunPoint::smoke("copy", 64);
+        assert!(job_for(&good).is_ok());
+        let bad_kernel = RunPoint {
+            kernel: "warp".into(),
+            ..good.clone()
+        };
+        assert!(job_for(&bad_kernel).unwrap_err().contains("warp"));
+        let bad_faults = RunPoint {
+            faults: "gremlins:9".into(),
+            ..good.clone()
+        };
+        assert!(job_for(&bad_faults).unwrap_err().contains("fault spec"));
+        // Errors surface as structured outcomes, not panics.
+        assert!(matches!(run_point(&bad_kernel), Outcome::Error(_)));
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial_run_kernel_bit_exactly() {
+        let spec = paper_matrix();
+        let points = expand(&spec);
+        assert_eq!(points.len(), 4 * 2 * 2, "4 kernels x 2 orders x 2 memories");
+        let store = run_spec(&spec, 4, None);
+        assert_eq!(store.errored(), 0, "paper matrix runs clean");
+        for record in &store.records {
+            let (kernel, config) = job_for(&record.point).unwrap();
+            let serial =
+                crate::run_kernel(kernel, record.point.n, record.point.stride, &config).unwrap();
+            match &record.outcome {
+                Outcome::Ok(stats) => {
+                    assert_eq!(*stats, stats_of(&serial), "{}", record.point.key());
+                }
+                Outcome::Error(e) => panic!("{}: {e}", record.point.key()),
+            }
+        }
+    }
+
+    #[test]
+    fn store_bytes_are_identical_across_worker_counts() {
+        let spec = paper_matrix();
+        let serial = run_spec(&spec, 1, None).to_jsonl();
+        for workers in [2, 4, 7] {
+            assert_eq!(
+                run_spec(&spec, workers, None).to_jsonl(),
+                serial,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_points_run_deterministically() {
+        let point = RunPoint {
+            faults: "nack:50:4".into(),
+            fault_seed: 11,
+            n: 64,
+            ..RunPoint::smoke("daxpy", 16)
+        };
+        let a = run_point(&point);
+        let b = run_point(&point);
+        assert_eq!(a, b, "fault injection is seed-deterministic");
+        assert!(matches!(a, Outcome::Ok(_)));
+    }
+}

@@ -5,7 +5,8 @@
 //!
 //! * **no-panic** — no `.unwrap()` / `.expect(` / `panic!(` in non-test
 //!   code of the hot-path crates (`rdram`, `smc`, `baseline`, `faults`,
-//!   `checker`, `telemetry`) or in `sim`'s runner/CLI. Known-safe sites
+//!   `checker`, `telemetry`, `campaign`) or in `sim`'s runner/CLI.
+//!   Known-safe sites
 //!   live in the checked-in allowlist `lint-allow.txt`; stale entries are
 //!   errors.
 //! * **no-float** — no `f64` / `f32` in the same non-test code: cycle
@@ -29,14 +30,30 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose non-test code must be panic-free and float-free.
-const HOT_PATH_CRATES: &[&str] = &["rdram", "smc", "baseline", "faults", "checker", "telemetry"];
+const HOT_PATH_CRATES: &[&str] = &[
+    "rdram",
+    "smc",
+    "baseline",
+    "faults",
+    "checker",
+    "telemetry",
+    "campaign",
+];
 
 /// Extra files held to the same standard, with no allowlist escape hatch
 /// (entries naming them are reported as errors).
 const NO_ALLOWLIST_FILES: &[&str] = &["crates/sim/src/runner.rs", "crates/sim/src/cli.rs"];
 
 /// Crates that must carry `#![deny(missing_docs)]`.
-const STRICT_DOCS_CRATES: &[&str] = &["rdram", "smc", "baseline", "faults", "checker", "telemetry"];
+const STRICT_DOCS_CRATES: &[&str] = &[
+    "rdram",
+    "smc",
+    "baseline",
+    "faults",
+    "checker",
+    "telemetry",
+    "campaign",
+];
 
 /// Name of the checked-in allowlist at the repository root.
 const ALLOWLIST: &str = "lint-allow.txt";

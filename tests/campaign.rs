@@ -1,0 +1,81 @@
+//! End-to-end campaign-engine checks against the committed artifacts:
+//! the smoke campaign in `campaigns/smoke.json` must reproduce its golden
+//! store (`campaigns/smoke.golden.jsonl`) bit-for-bit at any worker
+//! count, in any build profile — the same gate CI runs through
+//! `smcsim campaign diff`.
+
+use campaign::{diff_stores, expand, CampaignSpec, ResultsStore, Tolerance};
+
+fn repo_file(name: &str) -> String {
+    let path = format!("{}/campaigns/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn smoke_spec() -> CampaignSpec {
+    CampaignSpec::from_json(&repo_file("smoke.json")).expect("committed spec parses")
+}
+
+fn golden() -> ResultsStore {
+    ResultsStore::from_jsonl(&repo_file("smoke.golden.jsonl")).expect("committed golden parses")
+}
+
+/// The committed golden describes exactly the committed spec's grid.
+#[test]
+fn golden_covers_the_smoke_grid() {
+    let spec = smoke_spec();
+    let golden = golden();
+    let points = expand(&spec);
+    assert_eq!(golden.campaign, spec.name);
+    assert_eq!(golden.records.len(), points.len());
+    for (point, record) in points.iter().zip(&golden.records) {
+        assert_eq!(record.run_id, point.run_id(), "{}", point.key());
+    }
+    assert_eq!(golden.errored(), 0, "the smoke campaign runs clean");
+}
+
+/// A fresh smoke run reproduces the golden bit-for-bit and passes the
+/// same zero-tolerance gate CI applies.
+#[test]
+fn fresh_smoke_run_matches_the_committed_golden() {
+    let store = sim::sweep::run_spec(&smoke_spec(), 2, None);
+    let golden = golden();
+    let report = diff_stores(&golden, &store, Tolerance::default());
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.compared, golden.records.len());
+    assert_eq!(
+        store.to_jsonl(),
+        golden.to_jsonl(),
+        "regenerated store is byte-identical to the committed golden"
+    );
+}
+
+/// Running the same campaign twice — at different worker counts — yields
+/// byte-identical stores: the artifact-regeneration determinism the
+/// experiment figures rely on.
+#[test]
+fn repeated_runs_are_byte_stable_across_worker_counts() {
+    let spec = smoke_spec();
+    let first = sim::sweep::run_spec(&spec, 1, None).to_jsonl();
+    let second = sim::sweep::run_spec(&spec, 1, None).to_jsonl();
+    assert_eq!(first, second, "same worker count, same bytes");
+    for workers in [2, 4, 16] {
+        let par = sim::sweep::run_spec(&spec, workers, None).to_jsonl();
+        assert_eq!(par, first, "workers={workers}");
+    }
+}
+
+/// The diff gate actually fires on a cycle regression in this store.
+#[test]
+fn gate_catches_an_injected_regression() {
+    let golden = golden();
+    let mut drifted = golden.clone();
+    if let campaign::Outcome::Ok(stats) = &mut drifted.records[0].outcome {
+        stats.cycles += 10;
+    } else {
+        panic!("first smoke record is ok");
+    }
+    let report = diff_stores(&golden, &drifted, Tolerance::default());
+    assert!(!report.is_clean());
+    assert_eq!(report.regressions.len(), 1);
+    assert_eq!(report.regressions[0].run_id, golden.records[0].run_id);
+}

@@ -170,35 +170,46 @@ mod fault_injection {
     const CLI: MemorySystem = MemorySystem::CacheLineInterleaved;
     const PI: MemorySystem = MemorySystem::PageInterleaved;
 
-    /// 128 seeded fault plans, each run through both access orderings:
+    /// 128 seeded fault plans, each run through both access orderings —
+    /// submitted as one grid to the campaign engine's parallel executor:
     /// every run either completes — in which case `run_kernel` has already
     /// verified the memory image bit-exactly against the scalar reference —
-    /// or returns a structured [`SimError`]. Nothing panics, and nothing
-    /// runs forever: the runner's internal cycle budget and the controllers'
-    /// watchdogs convert runaway schedules into errors.
+    /// or lands as a structured `Outcome::Error` record. Nothing panics,
+    /// and nothing runs forever: the runner's internal cycle budget and
+    /// the controllers' watchdogs convert runaway schedules into errors.
     #[test]
     fn seeded_fault_plans_never_panic_and_preserve_data() {
-        let kernels = [Kernel::Copy, Kernel::Daxpy, Kernel::Vaxpy, Kernel::Hydro];
-        let (mut completed, mut errored) = (0u32, 0u32);
+        let kernels = ["copy", "daxpy", "vaxpy", "hydro"];
+        let mut points = Vec::new();
         for seed in 0..128u64 {
-            let plan = FaultPlan::from_seed(seed);
-            let kernel = kernels[(seed % 4) as usize];
-            for cfg in [
-                SystemConfig::smc(CLI, 32).with_faults(plan.clone(), seed),
-                SystemConfig::natural_order(PI).with_faults(plan.clone(), seed),
-            ] {
-                match run_kernel(kernel, 48, 1, &cfg) {
-                    Ok(r) => {
-                        completed += 1;
-                        assert!(r.cycles > 0, "completed runs moved data");
-                    }
-                    Err(e) => {
-                        errored += 1;
-                        assert!(!e.to_string().is_empty(), "errors render context");
-                    }
+            let spec = FaultPlan::from_seed(seed).to_spec();
+            let base = campaign::RunPoint {
+                kernel: kernels[(seed % 4) as usize].to_string(),
+                n: 48,
+                faults: spec,
+                fault_seed: seed,
+                ..campaign::RunPoint::smoke("copy", 32)
+            };
+            points.push(base.clone());
+            points.push(campaign::RunPoint {
+                order: campaign::Order::Natural,
+                memory: "pi".to_string(),
+                ..base
+            });
+        }
+        let store = campaign::run_points("fault-suite", &points, 4, &sim::sweep::run_point, None);
+        assert_eq!(store.records.len(), 256, "seeded plans never collide");
+        for record in &store.records {
+            match &record.outcome {
+                campaign::Outcome::Ok(stats) => {
+                    assert!(stats.cycles > 0, "completed runs moved data");
+                }
+                campaign::Outcome::Error(e) => {
+                    assert!(!e.is_empty(), "errors render context");
                 }
             }
         }
+        let (completed, errored) = (store.completed(), store.errored());
         assert_eq!(completed + errored, 256);
         assert!(
             completed >= 64,
