@@ -333,8 +333,10 @@ impl BaselineController {
             for (s, desc) in streams.iter().enumerate() {
                 let addr = desc.element_addr(i);
                 let line = addr & !(line_bytes - 1);
-                if current_line[s] == Some(line) {
-                    let idx = open_op[s].expect("open op exists for current line");
+                // A hit on the open line appends to its op; anything else —
+                // including the (impossible) case of a current line with no
+                // recorded op — opens a fresh line op.
+                if let (true, Some(idx)) = (current_line[s] == Some(line), open_op[s]) {
                     queue[idx].elements.push((s, i));
                 } else {
                     // Evict the previous dirty line of a write-allocate
@@ -432,7 +434,9 @@ impl BaselineController {
                     _ => break, // store not ready: in-order issue stalls
                 }
             }
-            let op = self.queue.pop_front().expect("front checked");
+            let Some(op) = self.queue.pop_front() else {
+                break;
+            };
             let loc = self.map.decode(op.line_addr);
             // The ROW stage is derived from live bank state in tick(), just
             // before the op's first command issues.
@@ -641,7 +645,11 @@ impl BaselineController {
                 self.in_flight[k].stage = Stage::Col(self.in_flight[k].resume_at);
             }
             Stage::Col(p) => {
-                let data = outcome.data.expect("COL commands carry data");
+                let Some(data) = outcome.data else {
+                    return Err(SmcError::Internal(
+                        "COL command completed without a data interval",
+                    ));
+                };
                 self.last_data_cycle = self.last_data_cycle.max(data.end);
                 let bank = self.in_flight[k].loc.bank;
                 if self

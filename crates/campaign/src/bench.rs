@@ -116,6 +116,56 @@ where
     }
 }
 
+/// Gate a fresh campaign benchmark against a committed
+/// `BENCH_campaign.json` baseline: the best throughput measured now must
+/// be at least `floor_permille`/1000 of the committed best. One aggregate
+/// comparison (rather than per-worker-count) keeps the gate robust to CI
+/// machines with different core counts; the coarse floor catches
+/// order-of-magnitude executor regressions, not scheduling noise.
+///
+/// # Errors
+///
+/// A malformed baseline document, an empty current report, or a rendered
+/// regression message.
+pub fn compare_to_baseline(
+    baseline_json: &str,
+    current: &BenchReport,
+    floor_permille: u64,
+) -> Result<String, String> {
+    let doc: Value = serde_json::from_str(baseline_json)
+        .map_err(|e| format!("bad campaign bench baseline: {e}"))?;
+    let samples = doc["samples"]
+        .as_array()
+        .ok_or_else(|| "campaign bench baseline has no `samples` array".to_string())?;
+    let committed_best = samples
+        .iter()
+        .filter_map(|s| s["runs_per_sec_milli"].as_u64())
+        .max()
+        .ok_or_else(|| "campaign bench baseline has no throughput samples".to_string())?;
+    let current_best = current
+        .samples
+        .iter()
+        .map(|s| s.runs_per_sec_milli)
+        .max()
+        .ok_or_else(|| "current campaign bench has no samples".to_string())?;
+    if committed_best == 0 {
+        return Ok("campaign bench gate: CLEAN (baseline recorded zero throughput)".to_string());
+    }
+    let ratio_permille =
+        u64::try_from(u128::from(current_best) * 1000 / u128::from(committed_best))
+            .unwrap_or(u64::MAX);
+    if ratio_permille < floor_permille {
+        return Err(format!(
+            "campaign bench gate: REGRESSION\n  best {current_best} milli-runs/s vs \
+             committed {committed_best} ({ratio_permille} permille < floor {floor_permille})"
+        ));
+    }
+    Ok(format!(
+        "campaign bench gate: CLEAN (best {current_best} milli-runs/s, \
+         {ratio_permille} permille of baseline)"
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +210,46 @@ mod tests {
             }],
         };
         assert_eq!(report.best_speedup_milli(), None);
+    }
+
+    #[test]
+    fn baseline_gate_compares_best_throughput() {
+        let committed = BenchReport {
+            campaign: "t".into(),
+            total_points: 4,
+            samples: vec![
+                BenchSample {
+                    workers: 1,
+                    runs: 4,
+                    micros: 1000,
+                    runs_per_sec_milli: 4_000_000,
+                },
+                BenchSample {
+                    workers: 4,
+                    runs: 4,
+                    micros: 400,
+                    runs_per_sec_milli: 10_000_000,
+                },
+            ],
+        };
+        let baseline = committed.to_json();
+        let verdict = compare_to_baseline(&baseline, &committed, 500).unwrap();
+        assert!(verdict.contains("CLEAN"), "{verdict}");
+
+        let mut slow = committed.clone();
+        for s in &mut slow.samples {
+            s.runs_per_sec_milli /= 1000;
+        }
+        let err = compare_to_baseline(&baseline, &slow, 50).unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+
+        assert!(compare_to_baseline("{nope", &committed, 50).is_err());
+        assert!(compare_to_baseline("{}", &committed, 50).is_err());
+        let empty = BenchReport {
+            campaign: "t".into(),
+            total_points: 0,
+            samples: Vec::new(),
+        };
+        assert!(compare_to_baseline(&baseline, &empty, 50).is_err());
     }
 }

@@ -21,14 +21,16 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// Expand `spec` into its run points.
 ///
 /// The nesting order (kernel → memory → order → alignment → n → stride →
-/// faults → fault seed) is part of the store format: it fixes the record
-/// order of every campaign, independent of worker count. Two collapses
-/// keep the grid free of synonymous points before dedup even runs:
-/// natural-order points ignore the `fifo` axis (one point per family, not
-/// one per depth), and a clean run (`faults == ""`) pins `fault_seed` to
-/// 0 because the seed is inert without a plan. Points matching any
-/// exclusion clause are dropped, and exact duplicates (e.g. a repeated
-/// axis value) are collapsed to their first occurrence.
+/// faults → fault seed → tenants → budget) is part of the store format:
+/// it fixes the record order of every campaign, independent of worker
+/// count. Three collapses keep the grid free of synonymous points before
+/// dedup even runs: natural-order points ignore the `fifo` axis (one
+/// point per family, not one per depth), a clean run (`faults == ""`)
+/// pins `fault_seed` to 0 because the seed is inert without a plan, and a
+/// single-tenant run (`tenants == ""`) pins `budget_permille` to 0
+/// because the regulator budget is inert without tenants. Points matching
+/// any exclusion clause are dropped, and exact duplicates (e.g. a
+/// repeated axis value) are collapsed to their first occurrence.
 pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
     let axes = &spec.axes;
     let mut seen = HashSet::new();
@@ -52,21 +54,32 @@ pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
                                         &axes.fault_seeds
                                     };
                                     for &fault_seed in seeds {
-                                        let point = RunPoint {
-                                            kernel: kernel.clone(),
-                                            order,
-                                            memory: memory.clone(),
-                                            alignment: alignment.clone(),
-                                            n,
-                                            stride,
-                                            faults: faults.clone(),
-                                            fault_seed,
-                                        };
-                                        if spec.exclude.iter().any(|x| x.matches(&point)) {
-                                            continue;
-                                        }
-                                        if seen.insert(point.key()) {
-                                            points.push(point);
+                                        for tenants in &axes.tenant_mixes {
+                                            let budgets: &[u64] = if tenants.is_empty() {
+                                                &[0]
+                                            } else {
+                                                &axes.budgets
+                                            };
+                                            for &budget_permille in budgets {
+                                                let point = RunPoint {
+                                                    kernel: kernel.clone(),
+                                                    order,
+                                                    memory: memory.clone(),
+                                                    alignment: alignment.clone(),
+                                                    n,
+                                                    stride,
+                                                    faults: faults.clone(),
+                                                    fault_seed,
+                                                    tenants: tenants.clone(),
+                                                    budget_permille,
+                                                };
+                                                if spec.exclude.iter().any(|x| x.matches(&point)) {
+                                                    continue;
+                                                }
+                                                if seen.insert(point.key()) {
+                                                    points.push(point);
+                                                }
+                                            }
                                         }
                                     }
                                 }
@@ -139,6 +152,28 @@ mod tests {
         assert_eq!(points.len(), 4);
         assert_eq!(points[0].fault_seed, 0);
         assert!(points[1..].iter().all(|p| p.faults == "nack:50:4"));
+    }
+
+    #[test]
+    fn single_tenant_runs_collapse_the_budget_axis() {
+        let mut spec = CampaignSpec::named("t");
+        spec.axes.tenant_mixes = vec![String::new(), "ls:1:daxpy:64+bh:2:copy:64".into()];
+        spec.axes.budgets = vec![250, 500, 1000];
+        let points = expand(&spec);
+        // 1 single-tenant point (budget pinned to 0) + 3 budgeted mixes.
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].tenants, "");
+        assert_eq!(points[0].budget_permille, 0);
+        assert!(points[1..]
+            .iter()
+            .all(|p| p.tenants == "ls:1:daxpy:64+bh:2:copy:64"));
+        assert_eq!(
+            points[1..]
+                .iter()
+                .map(|p| p.budget_permille)
+                .collect::<Vec<_>>(),
+            [250, 500, 1000]
+        );
     }
 
     #[test]

@@ -74,14 +74,24 @@ pub struct RunPoint {
     /// Seed for the fault injector (forced to 0 when `faults` is empty,
     /// where it would be inert, so such points deduplicate).
     pub fault_seed: u64,
+    /// Tenant mix in `tenancy` spec syntax (`ls:1:daxpy:64+bh:2:copy:64`);
+    /// empty means a classic single-tenant run. When empty, this field and
+    /// `budget_permille` are inert: they are omitted from the key and the
+    /// record form, so single-tenant campaigns (and their goldens) are
+    /// byte-identical to builds that predate the tenancy layer.
+    pub tenants: String,
+    /// Bandwidth-hungry budget as permille of the default regulator budget
+    /// (forced to 0 — "use the default" — when `tenants` is empty).
+    pub budget_permille: u64,
 }
 
 impl RunPoint {
     /// The canonical config fingerprint: a `|`-separated key covering
     /// every parameter that can change the simulated outcome. Two points
-    /// with equal keys are the same run.
+    /// with equal keys are the same run. Tenant fields are appended only
+    /// for multi-tenant points so pre-tenancy run IDs never move.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}|{}|{}|{}|n={}|stride={}|faults={}|fseed={}",
             self.kernel,
             self.order.label(),
@@ -91,7 +101,14 @@ impl RunPoint {
             self.stride,
             self.faults,
             self.fault_seed
-        )
+        );
+        if !self.tenants.is_empty() {
+            key.push_str(&format!(
+                "|tenants={}|budget={}",
+                self.tenants, self.budget_permille
+            ));
+        }
+        key
     }
 
     /// Deterministic run ID: the FNV-1a 64-bit hash of [`Self::key`],
@@ -113,6 +130,8 @@ impl RunPoint {
             stride: 1,
             faults: String::new(),
             fault_seed: 0,
+            tenants: String::new(),
+            budget_permille: 0,
         }
     }
 }
@@ -143,6 +162,12 @@ pub struct Axes {
     pub faults: Vec<String>,
     /// Fault-injector seeds (`fault_seed`). Default: `[0]`.
     pub fault_seeds: Vec<u64>,
+    /// Tenant mixes in `tenancy` spec syntax; `""` runs single-tenant
+    /// (`tenants`). Default: `[""]`.
+    pub tenant_mixes: Vec<String>,
+    /// Bandwidth-hungry budgets in permille of the regulator default, 0
+    /// meaning "the default" (`budget_permille`). Default: `[0]`.
+    pub budgets: Vec<u64>,
 }
 
 impl Default for Axes {
@@ -157,6 +182,8 @@ impl Default for Axes {
             alignments: vec!["staggered".to_string()],
             faults: vec![String::new()],
             fault_seeds: vec![0],
+            tenant_mixes: vec![String::new()],
+            budgets: vec![0],
         }
     }
 }
@@ -183,6 +210,10 @@ pub struct Exclude {
     pub faults: Option<String>,
     /// Match on the fault seed.
     pub fault_seed: Option<u64>,
+    /// Match on the tenant-mix spec string.
+    pub tenants: Option<String>,
+    /// Match on the bandwidth-hungry budget permille.
+    pub budget_permille: Option<u64>,
 }
 
 impl Exclude {
@@ -204,6 +235,8 @@ impl Exclude {
             && eq_u(&self.stride, point.stride)
             && eq_s(&self.faults, &point.faults)
             && eq_u(&self.fault_seed, point.fault_seed)
+            && eq_s(&self.tenants, &point.tenants)
+            && eq_u(&self.budget_permille, point.budget_permille)
     }
 }
 
@@ -311,12 +344,14 @@ fn parse_axes(v: &Value, path: &str) -> Result<Axes, SpecError> {
             "stride" => axes.strides = u64_list(value, &p, 1)?,
             "faults" => axes.faults = string_list(value, &p, None)?,
             "fault_seed" => axes.fault_seeds = u64_list(value, &p, 0)?,
+            "tenants" => axes.tenant_mixes = string_list(value, &p, None)?,
+            "budget_permille" => axes.budgets = u64_list(value, &p, 0)?,
             other => {
                 return Err(err(
                     path,
                     format!(
                         "unknown axis `{other}` (known: kernel, order, memory, fifo, n, \
-                         stride, alignment, faults, fault_seed)"
+                         stride, alignment, faults, fault_seed, tenants, budget_permille)"
                     ),
                 ));
             }
@@ -349,10 +384,12 @@ fn parse_exclude(v: &Value, path: &str) -> Result<Exclude, SpecError> {
             "memory" => clause.memory = Some(want_str(value, &p)?),
             "alignment" => clause.alignment = Some(want_str(value, &p)?),
             "faults" => clause.faults = Some(want_str(value, &p)?),
+            "tenants" => clause.tenants = Some(want_str(value, &p)?),
             "fifo" => clause.fifo = Some(want_u64(value, &p)?),
             "n" => clause.n = Some(want_u64(value, &p)?),
             "stride" => clause.stride = Some(want_u64(value, &p)?),
             "fault_seed" => clause.fault_seed = Some(want_u64(value, &p)?),
+            "budget_permille" => clause.budget_permille = Some(want_u64(value, &p)?),
             other => return Err(err(path, format!("unknown exclude field `{other}`"))),
         }
     }
@@ -528,6 +565,52 @@ mod tests {
         assert_ne!(a.run_id(), b.run_id());
         // ...and the ID is deterministic run-to-run.
         assert_eq!(a.run_id(), a.run_id());
+    }
+
+    #[test]
+    fn tenant_fields_extend_the_key_only_when_present() {
+        let single = RunPoint::smoke("copy", 64);
+        // Single-tenant keys are byte-identical to the pre-tenancy format.
+        assert!(!single.key().contains("tenants"));
+        let multi = RunPoint {
+            tenants: "ls:1:daxpy:64+bh:2:copy:64".into(),
+            budget_permille: 250,
+            ..single.clone()
+        };
+        assert_eq!(
+            multi.key(),
+            format!(
+                "{}|tenants=ls:1:daxpy:64+bh:2:copy:64|budget=250",
+                single.key()
+            )
+        );
+        assert_ne!(multi.run_id(), single.run_id());
+        // The budget only matters for tenant points.
+        let budget_only = RunPoint {
+            budget_permille: 250,
+            ..single.clone()
+        };
+        assert_eq!(budget_only.key(), single.key());
+    }
+
+    #[test]
+    fn tenant_axes_parse_and_exclude() {
+        let text = concat!(
+            r#"{"schema": 1, "name": "mt", "#,
+            r#""axes": {"tenants": ["", "ls:1:daxpy:64"], "budget_permille": [0, 500]}, "#,
+            r#""exclude": [{"tenants": "ls:1:daxpy:64", "budget_permille": 500}]}"#
+        );
+        let spec = CampaignSpec::from_json(text).unwrap();
+        assert_eq!(spec.axes.tenant_mixes, ["", "ls:1:daxpy:64"]);
+        assert_eq!(spec.axes.budgets, [0, 500]);
+        let clause = &spec.exclude[0];
+        let hit = RunPoint {
+            tenants: "ls:1:daxpy:64".into(),
+            budget_permille: 500,
+            ..RunPoint::smoke("daxpy", 64)
+        };
+        assert!(clause.matches(&hit));
+        assert!(!clause.matches(&RunPoint::smoke("daxpy", 64)));
     }
 
     #[test]

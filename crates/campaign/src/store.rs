@@ -49,6 +49,21 @@ pub struct RunStats {
     pub injected_stall_cycles: u64,
     /// Banks the page-policy watchdog degraded to closed-page.
     pub degraded_banks: u64,
+    /// Requests completed by the serving layer (multi-tenant runs only;
+    /// stays 0 — and unserialized — for single-tenant points).
+    pub serve_completed: u64,
+    /// Requests shed by the degradation ladder.
+    pub serve_shed: u64,
+    /// Requests rejected at admission (queue full).
+    pub serve_rejected: u64,
+    /// Requests that completed after their deadline.
+    pub serve_deadline_misses: u64,
+    /// Jain fairness index over per-tenant useful words, in milli.
+    pub serve_fairness_milli: u64,
+    /// Starvation reports from the forward-progress watchdog.
+    pub serve_starvation: u64,
+    /// Token-budget violations observed at dispatch (must stay 0).
+    pub serve_budget_violations: u64,
 }
 
 /// One row of [`STAT_FIELDS`]: field name, getter, setter.
@@ -100,6 +115,43 @@ const STAT_FIELDS: &[StatField] = &[
     ),
 ];
 
+/// Serving-layer counters, serialized (and parsed) only for multi-tenant
+/// records — single-tenant stores never carry these fields, which keeps
+/// pre-tenancy goldens byte-identical.
+const SERVE_STAT_FIELDS: &[StatField] = &[
+    (
+        "serve_completed",
+        |s| s.serve_completed,
+        |s, v| s.serve_completed = v,
+    ),
+    ("serve_shed", |s| s.serve_shed, |s, v| s.serve_shed = v),
+    (
+        "serve_rejected",
+        |s| s.serve_rejected,
+        |s, v| s.serve_rejected = v,
+    ),
+    (
+        "serve_deadline_misses",
+        |s| s.serve_deadline_misses,
+        |s, v| s.serve_deadline_misses = v,
+    ),
+    (
+        "serve_fairness_milli",
+        |s| s.serve_fairness_milli,
+        |s, v| s.serve_fairness_milli = v,
+    ),
+    (
+        "serve_starvation",
+        |s| s.serve_starvation,
+        |s, v| s.serve_starvation = v,
+    ),
+    (
+        "serve_budget_violations",
+        |s| s.serve_budget_violations,
+        |s, v| s.serve_budget_violations = v,
+    ),
+];
+
 /// How one run ended: statistics, or a structured error message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Outcome {
@@ -139,11 +191,20 @@ impl RunRecord {
             ("faults".into(), Value::String(p.faults.clone())),
             ("fault_seed".into(), Value::UInt(p.fault_seed)),
         ];
+        if !p.tenants.is_empty() {
+            fields.push(("tenants".into(), Value::String(p.tenants.clone())));
+            fields.push(("budget_permille".into(), Value::UInt(p.budget_permille)));
+        }
         match &self.outcome {
             Outcome::Ok(stats) => {
                 fields.push(("status".into(), Value::String("ok".into())));
                 for (name, get, _) in STAT_FIELDS {
                     fields.push(((*name).into(), Value::UInt(get(stats))));
+                }
+                if !p.tenants.is_empty() {
+                    for (name, get, _) in SERVE_STAT_FIELDS {
+                        fields.push(((*name).into(), Value::UInt(get(stats))));
+                    }
                 }
             }
             Outcome::Error(message) => {
@@ -178,6 +239,18 @@ impl RunRecord {
                 return Err(StoreError::at(line, format!("unknown order `{other}`")));
             }
         };
+        // Tenant fields are optional in the record form: absent means a
+        // single-tenant point, so pre-tenancy stores parse unchanged.
+        let tenants = v
+            .get("tenants")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let budget_permille = if tenants.is_empty() {
+            0
+        } else {
+            u64_field("budget_permille")?
+        };
         let point = RunPoint {
             kernel: str_field("kernel")?,
             order,
@@ -187,12 +260,19 @@ impl RunRecord {
             stride: u64_field("stride")?,
             faults: str_field("faults")?,
             fault_seed: u64_field("fault_seed")?,
+            tenants,
+            budget_permille,
         };
         let outcome = match str_field("status")?.as_str() {
             "ok" => {
                 let mut stats = RunStats::default();
                 for (name, _, set) in STAT_FIELDS {
                     set(&mut stats, u64_field(name)?);
+                }
+                if !point.tenants.is_empty() {
+                    for (name, _, set) in SERVE_STAT_FIELDS {
+                        set(&mut stats, u64_field(name)?);
+                    }
                 }
                 Outcome::Ok(stats)
             }
@@ -435,6 +515,46 @@ mod tests {
         text.push_str("{\"run_id\":\"zz\"}\n");
         let e = ResultsStore::from_jsonl(&text).unwrap_err();
         assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn tenant_records_round_trip_and_single_tenant_stays_inert() {
+        // Single-tenant lines never mention tenancy at all.
+        let single = sample_store();
+        for record in &single.records {
+            let line = record.to_json_line();
+            assert!(!line.contains("tenants"), "{line}");
+            assert!(!line.contains("serve_"), "{line}");
+        }
+        // Multi-tenant records carry the point and serve counters and
+        // survive the JSONL round trip.
+        let point = RunPoint {
+            tenants: "ls:1:daxpy:64+bh:2:copy:64".into(),
+            budget_permille: 500,
+            ..RunPoint::smoke("daxpy", 64)
+        };
+        let store = ResultsStore {
+            campaign: "mt".into(),
+            records: vec![RunRecord {
+                run_id: point.run_id(),
+                point,
+                outcome: Outcome::Ok(RunStats {
+                    cycles: 9000,
+                    useful_words: 768,
+                    serve_completed: 14,
+                    serve_shed: 2,
+                    serve_deadline_misses: 1,
+                    serve_fairness_milli: 930,
+                    ..RunStats::default()
+                }),
+            }],
+        };
+        let text = store.to_jsonl();
+        assert!(text.contains("\"tenants\":\"ls:1:daxpy:64+bh:2:copy:64\""));
+        assert!(text.contains("\"serve_fairness_milli\":930"));
+        let back = ResultsStore::from_jsonl(&text).unwrap();
+        assert_eq!(back, store);
+        assert_eq!(back.to_jsonl(), text);
     }
 
     #[test]

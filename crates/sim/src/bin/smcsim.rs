@@ -52,6 +52,18 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        return match sim::cli::run_serve_cmd(&args[1..]) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("smcsim: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("bench") {
         return match sim::cli::run_bench(&args[1..]) {
             Ok(out) => {

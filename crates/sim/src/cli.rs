@@ -64,11 +64,24 @@ usage: smcsim [OPTIONS]
        smcsim report --metrics METRICS.jsonl [--perfetto TRACE.json]
                                  render a metrics dump as a table and
                                  validate a Perfetto trace
-       smcsim bench [--n N] [--out FILE]
+       smcsim bench [--n N] [--out FILE] [--baseline FILE]
+                                 [--floor-permille P]
                                  profile simulated-cycles-per-second for
-                                 the paper suite  [BENCH_telemetry.json]
+                                 the paper suite  [BENCH_telemetry.json];
+                                 with --baseline, fail if any kernel's rate
+                                 drops below P/1000 of the committed profile
+       smcsim serve --tenants MIX [--arb POLICY] [--memory ORG] [--fifo D]
+                                 [--queue-cap N] [--budget-permille P]
+                                 [--faults SPEC] [--fault-seed S]
+                                 [--metrics-out F] [--json]
+                                 multiplex a multi-tenant mix onto the SMC:
+                                 MIX is '+'-separated class:count:kernel:n[:stride]
+                                 groups (class ls|bh), e.g.
+                                 ls:2:daxpy:256+bh:6:copy:1024; POLICY is
+                                 fcfs|rr|bank-aware|regulated [fcfs]
        smcsim campaign run SPEC.json [--workers N] [--out FILE.jsonl]
-                                 [--bench-out FILE.json] [--quiet]
+                                 [--bench-out FILE.json] [--bench-baseline FILE]
+                                 [--bench-floor-permille P] [--quiet]
                                  expand a campaign spec and run its grid on
                                  N worker threads (default: all cores),
                                  writing a schema-versioned JSONL store
@@ -396,6 +409,8 @@ pub fn run_report(args: &[String]) -> Result<String, String> {
 pub fn run_bench(args: &[String]) -> Result<String, String> {
     let mut n: u64 = 1024;
     let mut out_path = "BENCH_telemetry.json".to_string();
+    let mut baseline: Option<String> = None;
+    let mut floor_permille: u64 = 50;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -413,6 +428,22 @@ pub fn run_bench(args: &[String]) -> Result<String, String> {
                     .get(i)
                     .cloned()
                     .ok_or_else(|| "--out needs a value".to_string())?;
+            }
+            "--baseline" => {
+                i += 1;
+                baseline = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| "--baseline needs a value".to_string())?,
+                );
+            }
+            "--floor-permille" => {
+                i += 1;
+                floor_permille = args
+                    .get(i)
+                    .ok_or_else(|| "--floor-permille needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--floor-permille: {e}"))?;
             }
             other => return Err(format!("bench: unknown option {other:?}\n{USAGE}")),
         }
@@ -451,7 +482,203 @@ pub fn run_bench(args: &[String]) -> Result<String, String> {
     std::fs::write(&out_path, profiler.to_json())
         .map_err(|e| format!("cannot write profile to {out_path}: {e}"))?;
     out.push_str(&format!("profile written to {out_path}\n"));
+    if let Some(baseline_path) = baseline {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read bench baseline {baseline_path}: {e}"))?;
+        let verdict = telemetry::bench::compare_to_baseline(&text, &profiler, floor_permille)
+            .map_err(|e| format!("{baseline_path}: {e}"))?;
+        out.push_str(&verdict);
+        out.push('\n');
+    }
     Ok(out)
+}
+
+/// `smcsim serve`: multiplex a multi-tenant mix onto the SMC through the
+/// `tenancy` serving layer (see [`crate::serve`]).
+///
+/// # Errors
+///
+/// A human-readable message for bad flags, a malformed tenant mix, an
+/// invalid serve configuration, or a serve run that blew its cycle budget.
+pub fn run_serve_cmd(args: &[String]) -> Result<String, String> {
+    let mut mix_spec: Option<String> = None;
+    let mut memory = MemorySystem::CacheLineInterleaved;
+    let mut fifo = 64usize;
+    let mut arb = "fcfs".to_string();
+    let mut queue_cap: Option<usize> = None;
+    let mut budget_permille: u64 = 0;
+    let mut faults_spec: Option<String> = None;
+    let mut fault_seed: u64 = 0;
+    let mut metrics_out: Option<String> = None;
+    let mut json = false;
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tenants" => mix_spec = Some(value(args, &mut i, "--tenants")?),
+            "--memory" => {
+                memory = match value(args, &mut i, "--memory")?.as_str() {
+                    "cli" => MemorySystem::CacheLineInterleaved,
+                    "pi" => MemorySystem::PageInterleaved,
+                    other => return Err(format!("--memory must be cli or pi, got {other:?}")),
+                };
+            }
+            "--fifo" => {
+                fifo = value(args, &mut i, "--fifo")?
+                    .parse()
+                    .map_err(|e| format!("--fifo: {e}"))?;
+            }
+            "--arb" => arb = value(args, &mut i, "--arb")?,
+            "--queue-cap" => {
+                queue_cap = Some(
+                    value(args, &mut i, "--queue-cap")?
+                        .parse()
+                        .map_err(|e| format!("--queue-cap: {e}"))?,
+                );
+            }
+            "--budget-permille" => {
+                budget_permille = value(args, &mut i, "--budget-permille")?
+                    .parse()
+                    .map_err(|e| format!("--budget-permille: {e}"))?;
+            }
+            "--faults" => faults_spec = Some(value(args, &mut i, "--faults")?),
+            "--fault-seed" => {
+                fault_seed = value(args, &mut i, "--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("--fault-seed: {e}"))?;
+            }
+            "--metrics-out" => metrics_out = Some(value(args, &mut i, "--metrics-out")?),
+            "--json" => json = true,
+            other => return Err(format!("serve: unknown option {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let mix_spec = mix_spec.ok_or_else(|| format!("serve needs --tenants MIX\n{USAGE}"))?;
+    let mix = tenancy::TenantMix::parse(&mix_spec).map_err(|e| e.to_string())?;
+    if mix.is_empty() {
+        return Err("serve needs a non-empty tenant mix".to_string());
+    }
+    let mut base = SystemConfig::smc(memory, fifo);
+    if let Some(spec) = faults_spec {
+        let plan = faults::FaultPlan::parse(&spec).map_err(|e| e.to_string())?;
+        base = base.with_faults(plan, fault_seed);
+    }
+    let banks = base.device.total_banks();
+    let mut cfg = crate::serve::serve_config_for(banks, budget_permille);
+    cfg.policy = arb;
+    if let Some(cap) = queue_cap {
+        cfg.queue_capacity = cap;
+    }
+    let report = crate::serve::run_serve(&mix, &cfg, &base)?;
+    if let Some(path) = &metrics_out {
+        let mut registry = telemetry::Registry::new();
+        crate::serve::record_serve_metrics(&report, &mut registry);
+        std::fs::write(path, registry.to_jsonl())
+            .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+    }
+    if json {
+        return Ok(serve_report_json(&report));
+    }
+    Ok(render_serve_report(&report))
+}
+
+/// Render a serve report as the CLI's text summary.
+fn render_serve_report(report: &tenancy::ServeReport) -> String {
+    let (submitted, completed, failed, shed, rejected, misses, words) = report.totals();
+    let mut out = format!(
+        "serve: {} tenants, {} cycles, {} dispatches ({} policy)\n\
+         requests: {submitted} submitted, {completed} completed, {failed} failed, \
+         {shed} shed, {rejected} rejected, {misses} deadline misses\n\
+         moved {words} useful words; fairness {} milli; peak degradation {}\n",
+        report.tenants.len(),
+        report.cycles,
+        report.dispatches,
+        report.policy,
+        report.fairness_milli(),
+        report.peak_level.label(),
+    );
+    if report.budget_violations > 0 {
+        out.push_str(&format!(
+            "BUDGET VIOLATIONS: {} dispatches granted while over budget\n",
+            report.budget_violations
+        ));
+    }
+    for s in &report.starvation {
+        out.push_str(&format!(
+            "starvation: tenant {} ({}) waited {} cycles at cycle {} \
+             (queue {}, level {})\n",
+            s.name,
+            s.class.label(),
+            s.waited,
+            s.now,
+            s.queue_len,
+            s.level.label(),
+        ));
+    }
+    out.push_str(
+        "tenant  class  submitted  completed  failed  shed  rejected  misses  \
+         words  max-wait\n",
+    );
+    for t in &report.tenants {
+        out.push_str(&format!(
+            "{}  {}  {}  {}  {}  {}  {}  {}  {}  {}\n",
+            t.name,
+            t.class,
+            t.submitted,
+            t.completed,
+            t.failed,
+            t.shed,
+            t.rejected,
+            t.deadline_misses,
+            t.useful_words,
+            t.max_wait,
+        ));
+    }
+    out
+}
+
+/// Hand-rolled JSON for a serve report (stable field order).
+fn serve_report_json(report: &tenancy::ServeReport) -> String {
+    let tenants: Vec<String> = report
+        .tenants
+        .iter()
+        .map(|t| {
+            format!(
+                "  {{\"name\":\"{}\",\"class\":\"{}\",\"submitted\":{},\"completed\":{},\
+                 \"failed\":{},\"shed\":{},\"rejected\":{},\"deadline_misses\":{},\
+                 \"useful_words\":{},\"service_cycles\":{},\"max_wait\":{}}}",
+                t.name,
+                t.class,
+                t.submitted,
+                t.completed,
+                t.failed,
+                t.shed,
+                t.rejected,
+                t.deadline_misses,
+                t.useful_words,
+                t.service_cycles,
+                t.max_wait,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"kind\":\"serve-report\",\"cycles\":{},\"dispatches\":{},\"policy\":\"{}\",\
+         \"fairness_milli\":{},\"peak_level\":\"{}\",\"budget_violations\":{},\
+         \"starvation_reports\":{},\"tenants\":[\n{}\n]}}\n",
+        report.cycles,
+        report.dispatches,
+        report.policy,
+        report.fairness_milli(),
+        report.peak_level.label(),
+        report.budget_violations,
+        report.starvation.len(),
+        tenants.join(",\n"),
+    )
 }
 
 /// `smcsim campaign ...`: run, list, or diff declarative parameter-sweep
@@ -487,6 +714,8 @@ fn campaign_run(args: &[String]) -> Result<String, String> {
     let mut workers = default_workers();
     let mut out_path: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut bench_baseline: Option<String> = None;
+    let mut bench_floor_permille: u64 = 50;
     let mut quiet = false;
     let mut i = 0;
     while i < args.len() {
@@ -517,6 +746,22 @@ fn campaign_run(args: &[String]) -> Result<String, String> {
                         .cloned()
                         .ok_or_else(|| "--bench-out needs a value".to_string())?,
                 );
+            }
+            "--bench-baseline" => {
+                i += 1;
+                bench_baseline = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| "--bench-baseline needs a value".to_string())?,
+                );
+            }
+            "--bench-floor-permille" => {
+                i += 1;
+                bench_floor_permille = args
+                    .get(i)
+                    .ok_or_else(|| "--bench-floor-permille needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--bench-floor-permille: {e}"))?;
             }
             "--quiet" => quiet = true,
             other if !other.starts_with("--") && spec_path.is_none() => {
@@ -580,6 +825,17 @@ fn campaign_run(args: &[String]) -> Result<String, String> {
             ));
         }
         out.push_str(&format!("bench profile written to {bench_path}\n"));
+        if let Some(baseline_path) = bench_baseline {
+            let text = std::fs::read_to_string(&baseline_path)
+                .map_err(|e| format!("cannot read bench baseline {baseline_path}: {e}"))?;
+            let verdict =
+                campaign::bench::compare_to_baseline(&text, &report, bench_floor_permille)
+                    .map_err(|e| format!("{baseline_path}: {e}"))?;
+            out.push_str(&verdict);
+            out.push('\n');
+        }
+    } else if bench_baseline.is_some() {
+        return Err("--bench-baseline needs --bench-out (a fresh benchmark to compare)".into());
     }
     Ok(out)
 }
@@ -999,6 +1255,86 @@ mod tests {
         std::fs::write(&bad, "{\"schema\": 1, \"axes\": {\"warp\": [1]}}").unwrap();
         let err = run_campaign_cmd(&args(&format!("list {bad}"))).unwrap_err();
         assert!(err.contains("warp"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_runs_a_mix_and_renders_both_formats() {
+        let text = run_serve_cmd(&args("--tenants ls:1:daxpy:64+bh:2:copy:64 --fifo 16")).unwrap();
+        assert!(text.contains("serve: 3 tenants"), "{text}");
+        assert!(text.contains("ls0"), "{text}");
+        assert!(text.contains("bh1"), "{text}");
+        assert!(text.contains("fairness"), "{text}");
+
+        let json = run_serve_cmd(&args(
+            "--tenants bh:2:copy:64 --fifo 16 --arb regulated --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["kind"], "serve-report");
+        assert_eq!(v["policy"], "regulated");
+        assert_eq!(v["budget_violations"].as_u64(), Some(0));
+        assert_eq!(v["tenants"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn serve_writes_metrics_and_rejects_bad_flags() {
+        let dir = std::env::temp_dir().join("smcsim-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("serve.jsonl").to_str().unwrap().to_string();
+        run_serve_cmd(&args(&format!(
+            "--tenants bh:1:copy:64 --fifo 16 --metrics-out {metrics}"
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(text.contains("serve.submitted"), "{text}");
+        assert!(text.contains("serve.fairness_milli"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert!(run_serve_cmd(&[]).unwrap_err().contains("--tenants"));
+        assert!(run_serve_cmd(&args("--tenants xx:1:copy:64"))
+            .unwrap_err()
+            .contains("unknown tenant class"));
+        assert!(run_serve_cmd(&args("--tenants ls:1:warp:64"))
+            .unwrap_err()
+            .contains("warp"));
+        assert!(run_serve_cmd(&args("--tenants ls:1:copy:64 --arb lifo"))
+            .unwrap_err()
+            .contains("lifo"));
+        assert!(run_serve_cmd(&args("--tenants ls:1:copy:64 --frob"))
+            .unwrap_err()
+            .contains("unknown option"));
+    }
+
+    #[test]
+    fn serve_with_faults_stays_deterministic() {
+        let cmd = "--tenants ls:1:daxpy:64+bh:1:copy:64 --fifo 16 \
+                   --faults nack:50:6 --fault-seed 5 --json";
+        let a = run_serve_cmd(&args(cmd)).unwrap();
+        let b = run_serve_cmd(&args(cmd)).unwrap();
+        assert_eq!(a, b, "serve runs are bit-reproducible");
+    }
+
+    #[test]
+    fn bench_baseline_gate_works_end_to_end() {
+        let dir = std::env::temp_dir().join("smcsim-cli-bench-gate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("bench.json").to_str().unwrap().to_string();
+        run_bench(&args(&format!("--n 64 --out {out}"))).unwrap();
+        // Re-profile against the just-written baseline at a 1-permille
+        // floor: the same machine cannot be 1000x slower.
+        let out2 = dir.join("bench2.json").to_str().unwrap().to_string();
+        let text = run_bench(&args(&format!(
+            "--n 64 --out {out2} --baseline {out} --floor-permille 1"
+        )))
+        .unwrap();
+        assert!(text.contains("bench gate: CLEAN"), "{text}");
+        // An impossible floor fails the gate.
+        let err = run_bench(&args(&format!(
+            "--n 64 --out {out2} --baseline {out} --floor-permille 1000000000"
+        )))
+        .unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -45,6 +45,7 @@ pub mod metrics;
 pub mod plot;
 pub mod report;
 mod runner;
+pub mod serve;
 pub mod sweep;
 pub mod tuning;
 

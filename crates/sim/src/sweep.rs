@@ -54,8 +54,14 @@ pub fn job_for(point: &RunPoint) -> Result<(Kernel, SystemConfig), String> {
 
 /// Execute one run point and fold the result into campaign statistics.
 /// Config errors and simulation failures both come back as structured
-/// [`Outcome::Error`]s; nothing panics.
+/// [`Outcome::Error`]s; nothing panics. Points with a non-empty tenant
+/// mix route through the multi-tenant serving layer instead of a single
+/// kernel run; everything else takes the classic path, bit-identical to
+/// builds without the tenancy layer.
 pub fn run_point(point: &RunPoint) -> Outcome {
+    if !point.tenants.is_empty() {
+        return run_tenant_point(point);
+    }
     let (kernel, config) = match job_for(point) {
         Ok(job) => job,
         Err(message) => return Outcome::Error(message),
@@ -63,6 +69,48 @@ pub fn run_point(point: &RunPoint) -> Outcome {
     match crate::run_kernel(kernel, point.n, point.stride, &config) {
         Ok(result) => Outcome::Ok(stats_of(&result)),
         Err(e) => Outcome::Error(e.to_string()),
+    }
+}
+
+/// Execute a multi-tenant run point: parse the mix, size the serve
+/// configuration for the point's memory organization and budget, and fold
+/// the serve report into campaign statistics. The point's own
+/// kernel/n/stride describe the base grid slot; the tenants spec carries
+/// each tenant's actual workload.
+fn run_tenant_point(point: &RunPoint) -> Outcome {
+    let (_, config) = match job_for(point) {
+        Ok(job) => job,
+        Err(message) => return Outcome::Error(message),
+    };
+    let mix = match tenancy::TenantMix::parse(&point.tenants) {
+        Ok(mix) => mix,
+        Err(e) => return Outcome::Error(format!("bad tenant mix `{}`: {e}", point.tenants)),
+    };
+    let banks = config.device.total_banks();
+    let cfg = crate::serve::serve_config_for(banks, point.budget_permille);
+    match crate::serve::run_serve(&mix, &cfg, &config) {
+        Ok(report) => Outcome::Ok(stats_of_serve(&report)),
+        Err(message) => Outcome::Error(message),
+    }
+}
+
+/// Fold a serve report into the integer statistics a results store
+/// records. Device-level counters stay 0 (each request already folded its
+/// own device run); the serve-specific fields carry the serving layer's
+/// outcome, which is what multi-tenant goldens gate on.
+pub fn stats_of_serve(report: &tenancy::ServeReport) -> RunStats {
+    let (_submitted, completed, _failed, shed, rejected, misses, words) = report.totals();
+    RunStats {
+        cycles: report.cycles,
+        useful_words: words,
+        serve_completed: completed,
+        serve_shed: shed,
+        serve_rejected: rejected,
+        serve_deadline_misses: misses,
+        serve_fairness_milli: report.fairness_milli(),
+        serve_starvation: report.starvation.len() as u64,
+        serve_budget_violations: report.budget_violations,
+        ..RunStats::default()
     }
 }
 
@@ -174,6 +222,40 @@ mod tests {
                 "workers={workers}"
             );
         }
+    }
+
+    #[test]
+    fn tenant_points_route_through_the_serving_layer() {
+        let point = RunPoint {
+            tenants: "ls:1:daxpy:64+bh:2:copy:64".into(),
+            budget_permille: 500,
+            ..RunPoint::smoke("daxpy", 32)
+        };
+        let outcome = run_point(&point);
+        let Outcome::Ok(stats) = &outcome else {
+            panic!("tenant point runs clean: {outcome:?}");
+        };
+        assert!(stats.cycles > 0);
+        assert!(stats.serve_completed > 0, "requests completed");
+        assert_eq!(stats.serve_budget_violations, 0);
+        assert!(stats.serve_fairness_milli > 0);
+        assert_eq!(stats.activates, 0, "device counters stay per-request");
+        // Deterministic: same point, same stats.
+        assert_eq!(run_point(&point), outcome);
+        // A bad mix or bad kernel inside the mix is a structured error.
+        let bad_mix = RunPoint {
+            tenants: "zz:1:copy:64".into(),
+            ..point.clone()
+        };
+        assert!(matches!(run_point(&bad_mix), Outcome::Error(_)));
+        let bad_kernel = RunPoint {
+            tenants: "ls:1:warp:64".into(),
+            ..point.clone()
+        };
+        let Outcome::Error(e) = run_point(&bad_kernel) else {
+            panic!("unknown kernel in mix must error");
+        };
+        assert!(e.contains("warp"), "{e}");
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub enum SmcError {
         /// Attempts made (initial try plus retries).
         attempts: u32,
     },
+    /// An internal scheduling invariant broke mid-run — a controller bug
+    /// surfacing as a structured error instead of a panic, so a serving
+    /// layer above can fail one request rather than the whole process.
+    Internal(&'static str),
 }
 
 impl fmt::Display for SmcError {
@@ -85,6 +89,9 @@ impl fmt::Display for SmcError {
                 f,
                 "DATA transfer to bank {bank} (addr {addr:#x}) NACKed on all {attempts} attempts"
             ),
+            SmcError::Internal(what) => {
+                write!(f, "internal controller invariant violated: {what}")
+            }
         }
     }
 }

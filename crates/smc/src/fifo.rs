@@ -132,32 +132,38 @@ impl StreamFifo {
     /// [`fulfill_read`](Self::fulfill_read) delivers them); for
     /// write-streams the values are claimed immediately and returned.
     ///
-    /// # Panics
-    ///
-    /// Panics if the FIFO is not [`ready_for_access`](Self::ready_for_access)
-    /// at `now` — the MSU must check first.
-    pub fn admit_next_packet(&mut self, now: Cycle) -> (PacketAccess, Vec<u64>) {
-        assert!(
-            self.ready_for_access(now),
-            "admitting an access the FIFO cannot accept (stream {})",
-            self.descriptor.name
-        );
-        let pkt = self.next_packet().expect("readiness implies a next packet");
+    /// Returns `None` when the FIFO is not
+    /// [`ready_for_access`](Self::ready_for_access) at `now`, leaving the
+    /// FIFO untouched — the MSU treats that as "nothing to admit this
+    /// cycle" rather than a fatal condition.
+    pub fn admit_next_packet(&mut self, now: Cycle) -> Option<(PacketAccess, Vec<u64>)> {
+        if !self.ready_for_access(now) {
+            return None;
+        }
+        let pkt = self.next_packet()?;
         let values = match self.descriptor.kind {
             StreamKind::Read => {
                 self.reserved += pkt.elems as usize;
                 Vec::new()
             }
             StreamKind::Write => {
+                // Readiness implies `pkt.elems` claimable slots; re-check
+                // before popping so the claim stays transactional even if
+                // that invariant ever breaks.
+                if self.slots.len() < pkt.elems as usize {
+                    return None;
+                }
                 let mut vals = Vec::with_capacity(pkt.elems as usize);
                 for _ in 0..pkt.elems {
-                    vals.push(self.slots.pop_front().expect("readiness checked").value);
+                    if let Some(slot) = self.slots.pop_front() {
+                        vals.push(slot.value);
+                    }
                 }
                 vals
             }
         };
         self.mem_next_elem += pkt.elems;
-        (pkt, values)
+        Some((pkt, values))
     }
 
     /// Memory side: deliver the data for a previously admitted read packet,
@@ -219,27 +225,22 @@ impl StreamFifo {
 
     /// Memory side: drain `n` elements of a write-FIFO for a packet write.
     ///
-    /// # Panics
-    ///
-    /// Panics if fewer than `n` elements are ready at `now` or if called on
-    /// a read-FIFO.
-    pub fn pop_write(&mut self, n: usize, now: Cycle) -> Vec<u64> {
-        assert_eq!(
-            self.descriptor.kind,
-            StreamKind::Write,
-            "pop_write on a read FIFO"
-        );
-        assert!(
-            self.available(now) >= n,
-            "write FIFO underflow: {} ready < {n}",
-            self.available(now)
-        );
+    /// Returns `None` — leaving the FIFO untouched — if fewer than `n`
+    /// elements are ready at `now` or if called on a read-FIFO, so a
+    /// confused scheduler underflows into a visible stall instead of a
+    /// panic.
+    pub fn pop_write(&mut self, n: usize, now: Cycle) -> Option<Vec<u64>> {
+        if self.descriptor.kind != StreamKind::Write || self.available(now) < n {
+            return None;
+        }
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            out.push(self.slots.pop_front().expect("available checked").value);
+            if let Some(slot) = self.slots.pop_front() {
+                out.push(slot.value);
+            }
         }
         self.mem_next_elem += n as u64;
-        out
+        Some(out)
     }
 
     /// CPU side: dereference the FIFO head of a read-stream. Returns `None`
@@ -370,7 +371,7 @@ mod tests {
         assert!(!f.ready_for_access(0));
         assert!(f.cpu_push(22, 1));
         assert!(f.ready_for_access(1));
-        let vals = f.pop_write(2, 1);
+        let vals = f.pop_write(2, 1).unwrap();
         assert_eq!(vals, vec![11, 22]);
         assert_eq!(f.state().mem_next_elem, 2);
     }
@@ -410,12 +411,12 @@ mod tests {
     #[test]
     fn reservations_hold_space_until_fulfilled() {
         let mut f = read_fifo(4);
-        let (pkt, vals) = f.admit_next_packet(0);
+        let (pkt, vals) = f.admit_next_packet(0).unwrap();
         assert_eq!(pkt.elems, 2);
         assert!(vals.is_empty());
         assert_eq!(f.state().occupancy, 2);
         assert_eq!(f.state().mem_next_elem, 2);
-        let (pkt2, _) = f.admit_next_packet(0);
+        let (pkt2, _) = f.admit_next_packet(0).unwrap();
         assert_eq!(pkt2.first_elem, 2);
         // Full by reservation alone.
         assert!(!f.ready_for_access(0));
@@ -432,24 +433,27 @@ mod tests {
         let mut f = write_fifo(4);
         assert!(f.cpu_push(9, 0));
         assert!(f.cpu_push(10, 0));
-        let (pkt, vals) = f.admit_next_packet(0);
+        let (pkt, vals) = f.admit_next_packet(0).unwrap();
         assert_eq!(pkt.elems, 2);
         assert_eq!(vals, vec![9, 10]);
         assert!(f.is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "cannot accept")]
     fn admission_requires_readiness() {
         let mut f = write_fifo(4);
-        let _ = f.admit_next_packet(0);
+        assert!(
+            f.admit_next_packet(0).is_none(),
+            "unready FIFO admits nothing"
+        );
+        assert_eq!(f.state().mem_next_elem, 0, "a refused admit is a no-op");
     }
 
     #[test]
     #[should_panic(expected = "reserved")]
     fn overfulfilling_panics() {
         let mut f = read_fifo(8);
-        let _ = f.admit_next_packet(0);
+        let _ = f.admit_next_packet(0).unwrap();
         f.fulfill_read(&[1, 2, 3], 0);
     }
 
@@ -462,11 +466,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "underflow")]
-    fn underflow_panics() {
+    fn underflow_returns_none() {
         let mut f = write_fifo(4);
         f.cpu_push(1, 0);
-        let _ = f.pop_write(2, 0);
+        assert!(f.pop_write(2, 0).is_none(), "underflow is a visible stall");
+        assert_eq!(f.state().occupancy, 1, "a refused pop is a no-op");
+        // And a read FIFO refuses pop_write outright.
+        let mut r = read_fifo(4);
+        r.push_read(&[1, 2], 0);
+        assert!(r.pop_write(2, 0).is_none());
     }
 
     #[test]

@@ -480,10 +480,12 @@ impl Msu {
             };
             debug_assert!(candidates[i].ready, "policy selected an unready FIFO");
 
-            let pkt = sbu
-                .fifo(i)
-                .next_packet()
-                .expect("ready FIFO has a next packet");
+            let Some(pkt) = sbu.fifo(i).next_packet() else {
+                // A policy bug selected an exhausted FIFO; skip the admit
+                // rather than panic — the watchdog reports the stall if it
+                // persists.
+                return;
+            };
             let loc = self.map.decode(pkt.packet_addr);
             let plan = self.effective_plan(loc, dev);
             // Open-page systems expose row work: the paper's round-robin
@@ -505,7 +507,9 @@ impl Msu {
                 self.current = Some(i);
             }
             let is_write = sbu.fifo(i).descriptor().kind == StreamKind::Write;
-            let (access, write_values) = sbu.fifo_mut(i).admit_next_packet(now);
+            let Some((access, write_values)) = sbu.fifo_mut(i).admit_next_packet(now) else {
+                return;
+            };
             self.slots.push(Slot {
                 fifo: i,
                 access,
@@ -581,7 +585,11 @@ impl Msu {
             Stage::Precharge => self.slots[k].stage = Stage::Activate,
             Stage::Activate => self.slots[k].stage = Stage::Col,
             Stage::Col => {
-                let data = outcome.data.expect("COL commands carry data");
+                let Some(data) = outcome.data else {
+                    return Err(SmcError::Internal(
+                        "COL command completed without a data interval",
+                    ));
+                };
                 let bank = self.slots[k].loc.bank;
                 if self.faults.nack_data(bank, data.end, self.slots[k].retries) {
                     self.stats.data_nacks += 1;

@@ -136,7 +136,7 @@ mod tests {
             assert!(s.fifo_mut(2).cpu_push(e, 0));
         }
         for _ in 0..4 {
-            let _ = s.fifo_mut(2).pop_write(2, 0);
+            assert!(s.fifo_mut(2).pop_write(2, 0).is_some());
         }
         assert!(s.all_complete());
     }

@@ -79,6 +79,70 @@ impl Profiler {
     }
 }
 
+/// Gate a freshly profiled run against a committed `BENCH_telemetry.json`
+/// baseline: every `(kernel, ordering)` pair present in the baseline must
+/// still be profiled, and its simulation rate must be at least
+/// `floor_permille`/1000 of the committed rate. The floor is deliberately
+/// coarse (CI machines vary); it catches order-of-magnitude regressions,
+/// not percent-level noise.
+///
+/// # Errors
+///
+/// A malformed baseline document, a baseline entry missing from the
+/// current profile, or a rendered list of rate regressions.
+pub fn compare_to_baseline(
+    baseline_json: &str,
+    current: &Profiler,
+    floor_permille: u64,
+) -> Result<String, String> {
+    let doc: serde_json::Value =
+        serde_json::from_str(baseline_json).map_err(|e| format!("bad bench baseline: {e}"))?;
+    let entries = doc["benchmarks"]
+        .as_array()
+        .ok_or_else(|| "bench baseline has no `benchmarks` array".to_string())?;
+    let mut regressions: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for entry in entries {
+        let kernel = entry["kernel"]
+            .as_str()
+            .ok_or_else(|| "baseline entry missing `kernel`".to_string())?;
+        let ordering = entry["ordering"]
+            .as_str()
+            .ok_or_else(|| "baseline entry missing `ordering`".to_string())?;
+        let committed = entry["simulated_cycles_per_sec"]
+            .as_u64()
+            .ok_or_else(|| "baseline entry missing `simulated_cycles_per_sec`".to_string())?;
+        let now = current
+            .records()
+            .iter()
+            .find(|r| r.kernel == kernel && r.ordering == ordering)
+            .ok_or_else(|| format!("current profile is missing {kernel}/{ordering}"))?;
+        checked += 1;
+        if committed == 0 {
+            continue;
+        }
+        let ratio_permille = now.cycles_per_sec.saturating_mul(1000) / committed;
+        if ratio_permille < floor_permille {
+            regressions.push(format!(
+                "  {kernel}/{ordering}: {} cycles/s vs committed {} \
+                 ({ratio_permille} permille < floor {floor_permille})",
+                now.cycles_per_sec, committed
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        Ok(format!(
+            "bench gate: CLEAN ({checked} profiles at or above {floor_permille} permille \
+             of baseline)"
+        ))
+    } else {
+        Err(format!(
+            "bench gate: REGRESSION\n{}",
+            regressions.join("\n")
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +172,30 @@ mod tests {
             Some(2_500_000)
         );
         assert_eq!(p.records()[1].cycles, 80_000);
+    }
+
+    #[test]
+    fn baseline_gate_passes_within_floor_and_fails_below() {
+        let mut committed = Profiler::new();
+        committed.record("copy", "smc", 1_000_000, Duration::from_millis(10));
+        let baseline = committed.to_json();
+
+        // Same speed: clean.
+        let verdict = compare_to_baseline(&baseline, &committed, 500).unwrap();
+        assert!(verdict.contains("CLEAN"), "{verdict}");
+
+        // 100x slower than committed: regression at a 5% floor.
+        let mut slow = Profiler::new();
+        slow.record("copy", "smc", 1_000_000, Duration::from_secs(1));
+        let err = compare_to_baseline(&baseline, &slow, 50).unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+        assert!(err.contains("copy/smc"), "{err}");
+
+        // Missing profile and malformed baselines are structured errors.
+        let empty = Profiler::new();
+        let err = compare_to_baseline(&baseline, &empty, 50).unwrap_err();
+        assert!(err.contains("missing copy/smc"), "{err}");
+        assert!(compare_to_baseline("{not json", &committed, 50).is_err());
+        assert!(compare_to_baseline("{}", &committed, 50).is_err());
     }
 }

@@ -101,11 +101,33 @@ pub enum MetricId {
     OpenSpanCycles,
     /// Distribution of gaps between consecutive DATA packets (cycles).
     DataGapCycles,
+    /// Requests offered to the multi-tenant serving layer.
+    ServeSubmitted,
+    /// Requests completed by the serving layer.
+    ServeCompleted,
+    /// Requests the executor failed (absorbed livelocks, retry exhaustion).
+    ServeFailed,
+    /// Requests shed by the degradation ladder.
+    ServeShed,
+    /// Requests rejected with backpressure (admission queue full).
+    ServeRejected,
+    /// Completed requests that finished after their deadline.
+    ServeDeadlineMisses,
+    /// Useful 64-bit words moved on behalf of tenants.
+    ServeUsefulWords,
+    /// Per-tenant forward-progress starvation reports.
+    ServeStarvationReports,
+    /// Tenants in the served mix.
+    ServeTenants,
+    /// Jain fairness index over per-tenant useful words, in milli.
+    ServeFairnessMilli,
+    /// Distribution of worst per-tenant queue waits (cycles).
+    ServeWaitCycles,
 }
 
 /// Number of metrics in the catalog (= length of the registry's backing
 /// array).
-pub const METRIC_COUNT: usize = 32;
+pub const METRIC_COUNT: usize = 43;
 
 impl MetricId {
     /// Index of this metric in the registry's backing array.
@@ -346,6 +368,83 @@ pub const CATALOG: &[MetricDef] = &[
         kind: MetricKind::Histogram,
         unit: "cycles",
         help: "distribution of gaps between consecutive DATA packets",
+    },
+    MetricDef {
+        id: MetricId::ServeSubmitted,
+        name: "serve.submitted",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        help: "requests offered to the multi-tenant serving layer",
+    },
+    MetricDef {
+        id: MetricId::ServeCompleted,
+        name: "serve.completed",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        help: "requests completed by the serving layer",
+    },
+    MetricDef {
+        id: MetricId::ServeFailed,
+        name: "serve.failed",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        help: "requests the executor failed (absorbed livelocks, retry exhaustion)",
+    },
+    MetricDef {
+        id: MetricId::ServeShed,
+        name: "serve.shed",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        help: "requests shed by the degradation ladder",
+    },
+    MetricDef {
+        id: MetricId::ServeRejected,
+        name: "serve.rejected",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        help: "requests rejected with backpressure (admission queue full)",
+    },
+    MetricDef {
+        id: MetricId::ServeDeadlineMisses,
+        name: "serve.deadline_misses",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        help: "completed requests that finished after their deadline",
+    },
+    MetricDef {
+        id: MetricId::ServeUsefulWords,
+        name: "serve.useful_words",
+        kind: MetricKind::Counter,
+        unit: "words",
+        help: "useful 64-bit words moved on behalf of tenants",
+    },
+    MetricDef {
+        id: MetricId::ServeStarvationReports,
+        name: "serve.starvation_reports",
+        kind: MetricKind::Counter,
+        unit: "events",
+        help: "per-tenant forward-progress starvation reports",
+    },
+    MetricDef {
+        id: MetricId::ServeTenants,
+        name: "serve.tenants",
+        kind: MetricKind::Gauge,
+        unit: "tenants",
+        help: "tenants in the served mix",
+    },
+    MetricDef {
+        id: MetricId::ServeFairnessMilli,
+        name: "serve.fairness_milli",
+        kind: MetricKind::Gauge,
+        unit: "milli",
+        help: "Jain fairness index over per-tenant useful words",
+    },
+    MetricDef {
+        id: MetricId::ServeWaitCycles,
+        name: "serve.wait_cycles",
+        kind: MetricKind::Histogram,
+        unit: "cycles",
+        help: "distribution of worst per-tenant queue waits",
     },
 ];
 

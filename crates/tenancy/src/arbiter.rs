@@ -1,0 +1,240 @@
+//! Pluggable arbitration: which eligible tenant gets the SMC next.
+//!
+//! Arbitration is deliberately orthogonal to the MSU's intra-computation
+//! access ordering — the MSU decides *how* a request's streams hit the
+//! banks, the arbiter only decides *whose* request runs next on the
+//! serially-owned controller. All policies implement one trait so they
+//! can be swapped by name from the CLI and the campaign axes.
+//!
+//! Every policy sees only [`ArbiterView`]: the eligible queue heads plus
+//! regulator token levels and the previously served tenant/bank. Policies
+//! must pick from the eligible set (the server re-checks), are pure
+//! integer code, and never panic.
+
+use crate::tenant::Cycle;
+
+/// Snapshot of one tenant's queue head, as the arbiter sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueView {
+    /// Tenant id.
+    pub tenant: usize,
+    /// True when this tenant may be dispatched now (non-empty queue and
+    /// regulator approval).
+    pub eligible: bool,
+    /// Arrival cycle of the queue head (meaningful when eligible).
+    pub head_submitted_at: Cycle,
+    /// Absolute deadline of the queue head (meaningful when eligible).
+    pub head_deadline_at: Cycle,
+    /// Tenant token-bucket level (may be negative while in debt).
+    pub tokens: i64,
+    /// Bank the head request is expected to touch first, if known.
+    pub first_bank: Option<usize>,
+}
+
+/// Everything a policy may consult when selecting the next tenant.
+#[derive(Debug, Clone)]
+pub struct ArbiterView<'a> {
+    /// Current cycle.
+    pub now: Cycle,
+    /// Tenant served by the previous dispatch, if any.
+    pub last_served: Option<usize>,
+    /// First bank touched by the previous dispatch, if known.
+    pub last_bank: Option<usize>,
+    /// One entry per tenant, indexed by tenant id.
+    pub queues: &'a [QueueView],
+}
+
+impl ArbiterView<'_> {
+    fn eligible(&self) -> impl Iterator<Item = &QueueView> {
+        self.queues.iter().filter(|q| q.eligible)
+    }
+}
+
+/// An arbitration policy: picks the next tenant to dispatch.
+pub trait ArbitrationPolicy {
+    /// Stable policy name (CLI/campaign value).
+    fn name(&self) -> &'static str;
+
+    /// Tenant id to dispatch next, or `None` when nothing is eligible.
+    fn select(&mut self, view: &ArbiterView<'_>) -> Option<usize>;
+}
+
+/// First-come first-served over queue-head arrival times; ties break on
+/// the lower tenant id.
+#[derive(Debug, Default, Clone)]
+pub struct Fcfs;
+
+impl ArbitrationPolicy for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn select(&mut self, view: &ArbiterView<'_>) -> Option<usize> {
+        view.eligible()
+            .min_by_key(|q| (q.head_submitted_at, q.tenant))
+            .map(|q| q.tenant)
+    }
+}
+
+/// Strict round-robin: scan upward from the previously served tenant.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobin;
+
+impl ArbitrationPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+
+    fn select(&mut self, view: &ArbiterView<'_>) -> Option<usize> {
+        let n = view.queues.len();
+        if n == 0 {
+            return None;
+        }
+        let start = view.last_served.map_or(0, |t| (t + 1) % n);
+        (0..n)
+            .map(|i| (start + i) % n)
+            .find(|&t| view.queues.get(t).is_some_and(|q| q.eligible))
+    }
+}
+
+/// Bank-aware FCFS: among eligible heads, prefer one whose first bank
+/// differs from the previously served bank (avoids back-to-back pressure
+/// on one bank), falling back to plain FCFS.
+#[derive(Debug, Default, Clone)]
+pub struct BankAware;
+
+impl ArbitrationPolicy for BankAware {
+    fn name(&self) -> &'static str {
+        "bank-aware"
+    }
+
+    fn select(&mut self, view: &ArbiterView<'_>) -> Option<usize> {
+        let other_bank = view
+            .eligible()
+            .filter(|q| match (q.first_bank, view.last_bank) {
+                (Some(b), Some(last)) => b != last,
+                _ => true,
+            })
+            .min_by_key(|q| (q.head_submitted_at, q.tenant))
+            .map(|q| q.tenant);
+        other_bank.or_else(|| Fcfs.select(view))
+    }
+}
+
+/// Budget-weighted: the eligible tenant with the most unspent tokens goes
+/// first (keeps everyone near their configured share); ties break on the
+/// earlier deadline, then the lower tenant id.
+#[derive(Debug, Default, Clone)]
+pub struct Regulated;
+
+impl ArbitrationPolicy for Regulated {
+    fn name(&self) -> &'static str {
+        "regulated"
+    }
+
+    fn select(&mut self, view: &ArbiterView<'_>) -> Option<usize> {
+        view.eligible()
+            .max_by_key(|q| (q.tokens, std::cmp::Reverse((q.head_deadline_at, q.tenant))))
+            .map(|q| q.tenant)
+    }
+}
+
+/// Instantiate a policy by its stable name.
+pub fn policy_by_name(name: &str) -> Result<Box<dyn ArbitrationPolicy>, String> {
+    match name {
+        "fcfs" => Ok(Box::new(Fcfs)),
+        "rr" | "round-robin" => Ok(Box::new(RoundRobin)),
+        "bank-aware" => Ok(Box::new(BankAware)),
+        "regulated" => Ok(Box::new(Regulated)),
+        other => Err(format!(
+            "unknown arbitration policy `{other}` (expected fcfs, rr, bank-aware, or regulated)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(tenant: usize, eligible: bool, at: Cycle, tokens: i64, bank: Option<usize>) -> QueueView {
+        QueueView {
+            tenant,
+            eligible,
+            head_submitted_at: at,
+            head_deadline_at: at + 50,
+            tokens,
+            first_bank: bank,
+        }
+    }
+
+    fn view<'a>(
+        queues: &'a [QueueView],
+        last: Option<usize>,
+        bank: Option<usize>,
+    ) -> ArbiterView<'a> {
+        ArbiterView {
+            now: 100,
+            last_served: last,
+            last_bank: bank,
+            queues,
+        }
+    }
+
+    #[test]
+    fn fcfs_picks_earliest_arrival_ties_on_id() {
+        let qs = [
+            q(0, true, 30, 10, None),
+            q(1, true, 20, 10, None),
+            q(2, true, 20, 99, None),
+        ];
+        assert_eq!(Fcfs.select(&view(&qs, None, None)), Some(1));
+        let none = [q(0, false, 1, 1, None)];
+        assert_eq!(Fcfs.select(&view(&none, None, None)), None);
+    }
+
+    #[test]
+    fn round_robin_rotates_past_the_last_served() {
+        let qs = [
+            q(0, true, 1, 0, None),
+            q(1, true, 1, 0, None),
+            q(2, true, 1, 0, None),
+        ];
+        assert_eq!(RoundRobin.select(&view(&qs, None, None)), Some(0));
+        assert_eq!(RoundRobin.select(&view(&qs, Some(0), None)), Some(1));
+        assert_eq!(RoundRobin.select(&view(&qs, Some(2), None)), Some(0));
+        let qs = [
+            q(0, true, 1, 0, None),
+            q(1, false, 1, 0, None),
+            q(2, true, 1, 0, None),
+        ];
+        assert_eq!(RoundRobin.select(&view(&qs, Some(0), None)), Some(2));
+        assert_eq!(RoundRobin.select(&view(&[], None, None)), None);
+    }
+
+    #[test]
+    fn bank_aware_avoids_the_last_bank_when_it_can() {
+        let qs = [q(0, true, 10, 0, Some(3)), q(1, true, 20, 0, Some(5))];
+        // Plain FCFS would pick 0; bank 3 was just served, so prefer 1.
+        assert_eq!(BankAware.select(&view(&qs, None, Some(3))), Some(1));
+        // When every head hits the last bank, fall back to FCFS.
+        let qs = [q(0, true, 10, 0, Some(3)), q(1, true, 20, 0, Some(3))];
+        assert_eq!(BankAware.select(&view(&qs, None, Some(3))), Some(0));
+    }
+
+    #[test]
+    fn regulated_prefers_tokens_then_deadline() {
+        let qs = [q(0, true, 10, 5, None), q(1, true, 20, 50, None)];
+        assert_eq!(Regulated.select(&view(&qs, None, None)), Some(1));
+        // Equal tokens: earlier deadline (earlier arrival here) wins.
+        let qs = [q(0, true, 30, 7, None), q(1, true, 10, 7, None)];
+        assert_eq!(Regulated.select(&view(&qs, None, None)), Some(1));
+    }
+
+    #[test]
+    fn policies_resolve_by_name() {
+        for name in ["fcfs", "rr", "round-robin", "bank-aware", "regulated"] {
+            assert!(policy_by_name(name).is_ok(), "{name}");
+        }
+        assert!(policy_by_name("lifo").is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! Multi-tenant serving layer in front of the stream memory controller.
+//!
+//! The paper's SMC assumes a single kernel owns the controller; this crate
+//! is the production-shaped layer that multiplexes *many* clients onto
+//! that serially-owned resource without letting any of them hang, starve,
+//! or silently blow through a bandwidth budget:
+//!
+//! - [`tenant`] — tenant registry: latency-sensitive (`ls`) vs
+//!   bandwidth-hungry (`bh`) classes and the compact mix grammar shared by
+//!   the CLI and the campaign axes;
+//! - [`queue`] — bounded admission queues with explicit backpressure
+//!   (`Admitted` / `Rejected { retry_after }`, never unbounded growth,
+//!   never a panic);
+//! - [`regulator`] — integer-cycle token buckets enforcing per-tenant and
+//!   per-bank bandwidth budgets, with an auditable dispatch trail;
+//! - [`ladder`] — the graceful-degradation ladder: overload and fault
+//!   storms throttle, then shed, bandwidth-hungry tenants strictly before
+//!   latency-sensitive ones;
+//! - [`arbiter`] — pluggable arbitration policies (FCFS, round-robin,
+//!   bank-aware, regulated) behind one trait, orthogonal to the MSU's
+//!   intra-request access ordering;
+//! - [`server`] — the deterministic virtual-time serve loop with
+//!   per-request deadlines, miss accounting, and a per-tenant
+//!   forward-progress watchdog emitting structured starvation reports.
+//!
+//! The crate is simulator-agnostic: the serve loop drives an
+//! [`server::Executor`] callback, and `sim::serve` binds that callback to
+//! the real kernel runner. Everything here is integer-cycle arithmetic,
+//! `#![forbid(unsafe_code)]`, and panic-free on non-test paths — the same
+//! robustness bar `xtask lint` holds the other hot-path crates to.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod arbiter;
+pub mod ladder;
+pub mod queue;
+pub mod regulator;
+pub mod server;
+pub mod tenant;
+
+pub use arbiter::{policy_by_name, ArbitrationPolicy};
+pub use ladder::{DegradeLevel, LadderConfig};
+pub use queue::{Admission, Request};
+pub use regulator::{BucketConfig, RegulatorConfig};
+pub use server::{
+    serve, Executor, ServeConfig, ServeError, ServeReport, ServiceReport, StarvationReport,
+    TenantServeStats,
+};
+pub use tenant::{Cycle, TenantClass, TenantMix, TenantSpec};

@@ -1,0 +1,375 @@
+//! Integer-cycle token-bucket bandwidth regulation, per tenant and per
+//! bank.
+//!
+//! The regulator is *work-conserving with debt*: a tenant is eligible for
+//! dispatch while its bucket (and every bank bucket) holds a strictly
+//! positive level; the actual cost of a request — which is only known
+//! after the memory system has serviced it — is then charged, possibly
+//! driving the level negative. The debt delays that tenant's next
+//! dispatch until refills pay it back, so long-run bandwidth converges on
+//! the configured budget without needing cost estimates up front. This is
+//! the same debt-based shaping Sullivan-style per-bank regulators use to
+//! make shared DRAM predictable.
+//!
+//! Budget enforcement is auditable: every dispatch records the bucket
+//! levels observed at dispatch time in a [`DispatchAudit`] entry, and
+//! [`Regulator::violations`] counts dispatches that were ever allowed with
+//! a non-positive level — the property suite asserts this stays zero.
+
+use crate::tenant::Cycle;
+
+/// Sizing of one token bucket. Tokens are abstract cost units; the serving
+/// layer charges device cycles for tenant buckets and DATA packets for
+/// bank buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketConfig {
+    /// Maximum level the bucket can hold (burst allowance).
+    pub capacity: u64,
+    /// Tokens added at each refill window boundary.
+    pub refill: u64,
+}
+
+/// One token bucket. Levels are signed so completed work can drive a
+/// bucket into debt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenBucket {
+    cfg: BucketConfig,
+    level: i64,
+}
+
+impl TokenBucket {
+    /// A bucket starting full.
+    pub fn new(cfg: BucketConfig) -> Self {
+        let level = i64::try_from(cfg.capacity).unwrap_or(i64::MAX);
+        Self { cfg, level }
+    }
+
+    /// Current level (negative while in debt).
+    pub fn level(&self) -> i64 {
+        self.level
+    }
+
+    /// True while the bucket permits a new dispatch.
+    pub fn eligible(&self) -> bool {
+        self.level > 0
+    }
+
+    /// Add one window's refill, scaled by `permille` (throttling), capped
+    /// at capacity.
+    pub fn refill_scaled(&mut self, permille: u64) {
+        let grant = self.cfg.refill.saturating_mul(permille.min(1000)) / 1000;
+        let grant = i64::try_from(grant).unwrap_or(i64::MAX);
+        let cap = i64::try_from(self.cfg.capacity).unwrap_or(i64::MAX);
+        self.level = self.level.saturating_add(grant).min(cap);
+    }
+
+    /// Charge `cost` tokens of completed work (may go negative).
+    pub fn charge(&mut self, cost: u64) {
+        let cost = i64::try_from(cost).unwrap_or(i64::MAX);
+        self.level = self.level.saturating_sub(cost);
+    }
+}
+
+/// Regulator sizing: one tenant bucket per tenant, one bank bucket per
+/// bank, refilled together every `window` cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegulatorConfig {
+    /// Refill window in cycles.
+    pub window: Cycle,
+    /// Per-tenant bucket for latency-sensitive tenants (cost unit:
+    /// device cycles of service).
+    pub ls_bucket: BucketConfig,
+    /// Per-tenant bucket for bandwidth-hungry tenants.
+    pub bh_bucket: BucketConfig,
+    /// Per-bank bucket (cost unit: DATA packets to that bank).
+    pub bank_bucket: BucketConfig,
+    /// Banks on the channel.
+    pub banks: usize,
+}
+
+impl RegulatorConfig {
+    /// A permissive default: window of 4096 cycles, tenant budgets sized
+    /// so a handful of requests per window fit, bank budgets sized for a
+    /// full window of packets.
+    pub fn default_for(banks: usize) -> Self {
+        Self {
+            window: 4096,
+            ls_bucket: BucketConfig {
+                capacity: 16_384,
+                refill: 8_192,
+            },
+            bh_bucket: BucketConfig {
+                capacity: 8_192,
+                refill: 4_096,
+            },
+            bank_bucket: BucketConfig {
+                capacity: 4_096,
+                refill: 2_048,
+            },
+            banks: banks.max(1),
+        }
+    }
+
+    /// Validate the configuration: refills must be positive (a zero refill
+    /// could park a tenant in debt forever and stall the server).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("regulator window must be positive".to_string());
+        }
+        if self.ls_bucket.refill == 0 || self.bh_bucket.refill == 0 {
+            return Err("tenant bucket refill must be positive".to_string());
+        }
+        if self.bank_bucket.refill == 0 {
+            return Err("bank bucket refill must be positive".to_string());
+        }
+        if self.banks == 0 {
+            return Err("bank count must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Bucket levels observed when a dispatch was granted, for budget audits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchAudit {
+    /// Cycle of the dispatch.
+    pub now: Cycle,
+    /// Tenant dispatched.
+    pub tenant: usize,
+    /// Tenant bucket level at dispatch.
+    pub tenant_level: i64,
+    /// Minimum bank bucket level at dispatch (over all banks).
+    pub min_bank_level: i64,
+}
+
+/// The bandwidth regulator: tenant buckets plus bank buckets on a shared
+/// refill clock.
+#[derive(Debug, Clone)]
+pub struct Regulator {
+    cfg: RegulatorConfig,
+    tenants: Vec<TokenBucket>,
+    banks: Vec<TokenBucket>,
+    next_refill: Cycle,
+    /// Refill scale applied to bandwidth-hungry tenant buckets (set by the
+    /// degradation ladder; 1000 = unthrottled).
+    bh_permille: u64,
+    /// Which tenant buckets are bandwidth-hungry (throttle targets).
+    is_bh: Vec<bool>,
+    audits: Vec<DispatchAudit>,
+    violations: u64,
+}
+
+impl Regulator {
+    /// Build a regulator for `tenant_classes` (true = bandwidth-hungry).
+    pub fn new(cfg: RegulatorConfig, tenant_classes: &[bool]) -> Self {
+        let tenants = tenant_classes
+            .iter()
+            .map(|&bh| TokenBucket::new(if bh { cfg.bh_bucket } else { cfg.ls_bucket }))
+            .collect();
+        let banks = (0..cfg.banks)
+            .map(|_| TokenBucket::new(cfg.bank_bucket))
+            .collect();
+        let next_refill = cfg.window;
+        Self {
+            cfg,
+            tenants,
+            banks,
+            next_refill,
+            bh_permille: 1000,
+            is_bh: tenant_classes.to_vec(),
+            audits: Vec::new(),
+            violations: 0,
+        }
+    }
+
+    /// Cycle of the next refill boundary.
+    pub fn next_refill(&self) -> Cycle {
+        self.next_refill
+    }
+
+    /// Catch the refill clock up to `now` (inclusive).
+    pub fn advance(&mut self, now: Cycle) {
+        while self.next_refill <= now {
+            for (i, b) in self.tenants.iter_mut().enumerate() {
+                let scale = if self.is_bh.get(i).copied().unwrap_or(false) {
+                    self.bh_permille
+                } else {
+                    1000
+                };
+                b.refill_scaled(scale);
+            }
+            for b in &mut self.banks {
+                b.refill_scaled(1000);
+            }
+            self.next_refill = self.next_refill.saturating_add(self.cfg.window);
+        }
+    }
+
+    /// Set the throttle applied to bandwidth-hungry refills (from the
+    /// degradation ladder).
+    pub fn set_bh_throttle(&mut self, permille: u64) {
+        self.bh_permille = permille.clamp(1, 1000);
+    }
+
+    /// Current tenant bucket level.
+    pub fn tenant_level(&self, tenant: usize) -> i64 {
+        self.tenants.get(tenant).map_or(0, |b| b.level())
+    }
+
+    /// Minimum level over all bank buckets.
+    pub fn min_bank_level(&self) -> i64 {
+        self.banks.iter().map(|b| b.level()).min().unwrap_or(0)
+    }
+
+    /// True when `tenant` may be dispatched: its bucket and every bank
+    /// bucket hold positive levels.
+    pub fn eligible(&self, tenant: usize) -> bool {
+        self.tenants.get(tenant).is_some_and(|b| b.eligible())
+            && self.banks.iter().all(|b| b.eligible())
+    }
+
+    /// Record a granted dispatch for the audit trail. Counts a violation
+    /// if the dispatch was granted while any governing level was
+    /// non-positive.
+    pub fn note_dispatch(&mut self, now: Cycle, tenant: usize) {
+        let tenant_level = self.tenant_level(tenant);
+        let min_bank_level = self.min_bank_level();
+        if tenant_level <= 0 || min_bank_level <= 0 {
+            self.violations += 1;
+        }
+        self.audits.push(DispatchAudit {
+            now,
+            tenant,
+            tenant_level,
+            min_bank_level,
+        });
+    }
+
+    /// Charge completed work: `cycles` against the tenant bucket and
+    /// per-bank DATA-packet counts against bank buckets.
+    pub fn charge(&mut self, tenant: usize, cycles: u64, bank_packets: &[(usize, u64)]) {
+        if let Some(b) = self.tenants.get_mut(tenant) {
+            b.charge(cycles);
+        }
+        for &(bank, packets) in bank_packets {
+            if let Some(b) = self.banks.get_mut(bank % self.cfg.banks.max(1)) {
+                b.charge(packets);
+            }
+        }
+    }
+
+    /// Dispatches granted while a governing bucket level was non-positive.
+    /// The property suite asserts this is zero.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// The dispatch audit trail, in dispatch order.
+    pub fn audits(&self) -> &[DispatchAudit] {
+        &self.audits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RegulatorConfig {
+        RegulatorConfig {
+            window: 100,
+            ls_bucket: BucketConfig {
+                capacity: 1000,
+                refill: 500,
+            },
+            bh_bucket: BucketConfig {
+                capacity: 400,
+                refill: 200,
+            },
+            bank_bucket: BucketConfig {
+                capacity: 50,
+                refill: 25,
+            },
+            banks: 4,
+        }
+    }
+
+    #[test]
+    fn buckets_start_full_and_go_into_debt() {
+        let mut r = Regulator::new(cfg(), &[false, true]);
+        assert!(r.eligible(0));
+        assert!(r.eligible(1));
+        assert_eq!(r.tenant_level(0), 1000);
+        assert_eq!(r.tenant_level(1), 400);
+        r.charge(1, 900, &[]);
+        assert_eq!(r.tenant_level(1), -500);
+        assert!(!r.eligible(1));
+        assert!(r.eligible(0));
+    }
+
+    #[test]
+    fn refills_pay_back_debt_and_cap_at_capacity() {
+        let mut r = Regulator::new(cfg(), &[true]);
+        r.charge(0, 700, &[]); // level -300
+        r.advance(100); // +200 -> -100
+        assert_eq!(r.tenant_level(0), -100);
+        assert!(!r.eligible(0));
+        r.advance(399); // +200 at 200, +200 at 300 -> 300
+        assert_eq!(r.tenant_level(0), 300);
+        r.advance(5000);
+        assert_eq!(r.tenant_level(0), 400); // capped at capacity
+    }
+
+    #[test]
+    fn bank_debt_blocks_every_tenant() {
+        let mut r = Regulator::new(cfg(), &[false, false]);
+        r.charge(0, 1, &[(2, 60)]); // bank 2 into debt
+        assert!(!r.eligible(0));
+        assert!(!r.eligible(1));
+        r.advance(100); // bank refill +25 -> -10+25=15? 50-60=-10, +25=15
+        assert!(r.eligible(0));
+    }
+
+    #[test]
+    fn bh_throttle_scales_refill() {
+        let mut r = Regulator::new(cfg(), &[true, false]);
+        r.charge(0, 400, &[]);
+        r.charge(1, 1000, &[]);
+        r.set_bh_throttle(500);
+        r.advance(100);
+        assert_eq!(r.tenant_level(0), 100); // 200 * 500/1000
+        assert_eq!(r.tenant_level(1), 500); // ls unaffected
+    }
+
+    #[test]
+    fn violations_count_dispatches_granted_in_debt() {
+        let mut r = Regulator::new(cfg(), &[false]);
+        r.note_dispatch(10, 0);
+        assert_eq!(r.violations(), 0);
+        r.charge(0, 5000, &[]);
+        r.note_dispatch(20, 0);
+        assert_eq!(r.violations(), 1);
+        assert_eq!(r.audits().len(), 2);
+        assert!(r.audits()[0].tenant_level > 0);
+        assert!(r.audits()[1].tenant_level <= 0);
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_refill() {
+        let mut c = cfg();
+        assert!(c.validate().is_ok());
+        c.bh_bucket.refill = 0;
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.window = 0;
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.bank_bucket.refill = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(RegulatorConfig::default_for(16).validate().is_ok());
+        assert!(RegulatorConfig::default_for(0).validate().is_ok());
+    }
+}

@@ -5,7 +5,8 @@
 //!
 //! * **no-panic** — no `.unwrap()` / `.expect(` / `panic!(` in non-test
 //!   code of the hot-path crates (`rdram`, `smc`, `baseline`, `faults`,
-//!   `checker`, `telemetry`, `campaign`) or in `sim`'s runner/CLI.
+//!   `checker`, `telemetry`, `campaign`, `tenancy`) or in `sim`'s
+//!   runner/CLI.
 //!   Known-safe sites
 //!   live in the checked-in allowlist `lint-allow.txt`; stale entries are
 //!   errors.
@@ -38,6 +39,7 @@ const HOT_PATH_CRATES: &[&str] = &[
     "checker",
     "telemetry",
     "campaign",
+    "tenancy",
 ];
 
 /// Extra files held to the same standard, with no allowlist escape hatch
@@ -53,6 +55,7 @@ const STRICT_DOCS_CRATES: &[&str] = &[
     "checker",
     "telemetry",
     "campaign",
+    "tenancy",
 ];
 
 /// Name of the checked-in allowlist at the repository root.
@@ -229,47 +232,131 @@ fn scan_hot_paths(root: &Path, findings: &mut Vec<Finding>) {
     }
 }
 
-/// Net brace depth of a line, ignoring braces inside string/char literals
-/// and line comments (good enough for rustfmt-formatted sources).
+/// Net brace depth of a sanitized line (string and comment contents have
+/// already been blanked by [`sanitize`], so every brace is structural).
 fn brace_delta(line: &str) -> i64 {
     let mut depth = 0i64;
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    while let Some(c) = chars.next() {
+    for c in line.chars() {
         match c {
-            '\\' if in_str => {
-                chars.next();
-            }
-            '"' => in_str = !in_str,
-            '/' if !in_str && chars.peek() == Some(&'/') => break,
-            '{' if !in_str => depth += 1,
-            '}' if !in_str => depth -= 1,
+            '{' => depth += 1,
+            '}' => depth -= 1,
             _ => {}
         }
     }
     depth
 }
 
-/// The code portion of a line: empty for pure comments, truncated at `//`.
-fn code_of(line: &str) -> &str {
-    let trimmed = line.trim_start();
-    if trimmed.starts_with("//") {
-        return "";
-    }
-    // Truncate a trailing line comment, respecting string literals.
-    let bytes = line.as_bytes();
-    let mut in_str = false;
+/// Replace the contents of comments and string/char literals with spaces,
+/// preserving line structure, so brace counting and token scanning see
+/// only real code. Handles line comments, nested block comments, ordinary
+/// and byte strings with escapes, raw strings with any number of `#`s
+/// (which may span lines — the failure mode of per-line tracking), and
+/// char literals vs lifetimes.
+fn sanitize(text: &str) -> String {
+    let b: Vec<char> = text.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(text.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_str => i += 1,
-            b'"' => in_str = !in_str,
-            b'/' if !in_str && bytes.get(i + 1) == Some(&b'/') => return &line[..i],
-            _ => {}
+    while i < n {
+        let c = b[i];
+        // Line comment: drop to end of line.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
         }
+        // Block comment, nesting-aware.
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1i64;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string: `r"…"` / `r#"…"#` / `br#"…"#`, any hash count, not
+        // preceded by an identifier character.
+        if c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r')) {
+            let ident_before = i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_');
+            let r_at = if c == 'b' { i + 1 } else { i };
+            let mut hashes = 0usize;
+            let mut k = r_at + 1;
+            while b.get(k) == Some(&'#') {
+                hashes += 1;
+                k += 1;
+            }
+            if !ident_before && b.get(k) == Some(&'"') {
+                i = k + 1;
+                while i < n {
+                    if b[i] == '"'
+                        && b[i + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&h| h == '#')
+                            .count()
+                            == hashes
+                    {
+                        i += 1 + hashes;
+                        break;
+                    }
+                    if b[i] == '\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary (or byte) string, escape-aware.
+        if c == '"' {
+            i += 1;
+            while i < n {
+                match b[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        out.push('\n');
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            continue;
+        }
+        // Char literal (`'x'` / `'\x'`) vs lifetime (`'a`).
+        if c == '\'' {
+            if b.get(i + 1) == Some(&'\\') {
+                i += 2;
+                while i < n && b[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                continue;
+            }
+            if b.get(i + 2) == Some(&'\'') {
+                i += 3;
+                continue;
+            }
+        }
+        out.push(c);
         i += 1;
     }
-    line
+    out
 }
 
 /// Whether `needle` occurs in `hay` delimited by non-identifier characters.
@@ -310,12 +397,16 @@ fn scan_file(root: &Path, file: &Path, floats: bool, findings: &mut Vec<Finding>
         .unwrap_or(file)
         .display()
         .to_string();
+    // Strip comments and string/char literals once for the whole file:
+    // brace depth and pattern matching then see only structural code, and
+    // multi-line raw strings (e.g. JSON fixtures) can no longer desync the
+    // `#[cfg(test)]` block tracker.
+    let clean = sanitize(&text);
     let mut pending_cfg_test = false;
     let mut test_depth: i64 = -1; // -1 = not inside a #[cfg(test)] block
-    for (i, line) in text.lines().enumerate() {
-        let code = code_of(line);
+    for ((i, line), code) in text.lines().enumerate().zip(clean.lines()) {
         if test_depth >= 0 {
-            test_depth += brace_delta(line);
+            test_depth += brace_delta(code);
             if test_depth <= 0 {
                 test_depth = -1;
             }
@@ -327,7 +418,7 @@ fn scan_file(root: &Path, file: &Path, floats: bool, findings: &mut Vec<Finding>
         }
         if pending_cfg_test {
             pending_cfg_test = false;
-            let delta = brace_delta(line);
+            let delta = brace_delta(code);
             if delta > 0 {
                 test_depth = delta;
                 continue;
@@ -345,7 +436,7 @@ fn scan_file(root: &Path, file: &Path, floats: bool, findings: &mut Vec<Finding>
                     rule: "no-panic",
                     path: rel.clone(),
                     line: i + 1,
-                    message: format!("`{pat}` in non-test hot-path code: {}", code.trim()),
+                    message: format!("`{pat}` in non-test hot-path code: {}", line.trim()),
                 });
             }
         }
@@ -357,7 +448,7 @@ fn scan_file(root: &Path, file: &Path, floats: bool, findings: &mut Vec<Finding>
                     line: i + 1,
                     message: format!(
                         "`{ty}` in non-test hot-path code (cycle accounting is integer-only): {}",
-                        code.trim()
+                        line.trim()
                     ),
                 });
             }

@@ -64,6 +64,74 @@ fn repeated_runs_are_byte_stable_across_worker_counts() {
     }
 }
 
+fn tenancy_spec() -> CampaignSpec {
+    CampaignSpec::from_json(&repo_file("tenancy-smoke.json")).expect("committed spec parses")
+}
+
+fn tenancy_golden() -> ResultsStore {
+    ResultsStore::from_jsonl(&repo_file("tenancy-smoke.golden.jsonl"))
+        .expect("committed tenancy golden parses")
+}
+
+/// The committed multi-tenant golden describes exactly the committed
+/// spec's grid, runs clean, and carries the serving-layer counters the
+/// fairness gate rides on.
+#[test]
+fn tenancy_golden_covers_its_grid_with_serve_counters() {
+    let spec = tenancy_spec();
+    let golden = tenancy_golden();
+    let points = expand(&spec);
+    assert_eq!(golden.campaign, spec.name);
+    assert_eq!(golden.records.len(), points.len());
+    for (point, record) in points.iter().zip(&golden.records) {
+        assert_eq!(record.run_id, point.run_id(), "{}", point.key());
+        assert!(!point.tenants.is_empty(), "every point is multi-tenant");
+        let campaign::Outcome::Ok(stats) = &record.outcome else {
+            panic!("{} errored", point.key());
+        };
+        assert!(stats.serve_completed > 0, "{}", point.key());
+        assert_eq!(stats.serve_budget_violations, 0, "{}", point.key());
+        assert!(stats.serve_fairness_milli > 0, "{}", point.key());
+    }
+}
+
+/// A fresh multi-tenant run reproduces the committed golden bit-for-bit
+/// at any worker count — per-tenant deadline-miss and fairness counters
+/// are regression-gated, not advisory.
+#[test]
+fn fresh_tenancy_run_matches_the_committed_golden() {
+    let golden = tenancy_golden();
+    let store = sim::sweep::run_spec(&tenancy_spec(), 2, None);
+    let report = diff_stores(&golden, &store, Tolerance::default());
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(
+        store.to_jsonl(),
+        golden.to_jsonl(),
+        "regenerated tenancy store is byte-identical to the committed golden"
+    );
+}
+
+/// With tenancy disabled (an empty `tenants` field) the campaign path is
+/// inert: keys, run IDs, and record bytes never mention the tenancy layer,
+/// so every pre-tenancy golden in the repository still matches.
+#[test]
+fn single_tenant_path_is_inert() {
+    let spec = smoke_spec();
+    let store = sim::sweep::run_spec(&spec, 2, None);
+    for record in &store.records {
+        assert!(record.point.tenants.is_empty());
+        assert_eq!(record.point.budget_permille, 0);
+        let line = record.to_json_line();
+        assert!(!line.contains("tenants"), "{line}");
+        assert!(!line.contains("serve_"), "{line}");
+        assert!(!record.point.key().contains("tenants"), "keys unchanged");
+    }
+    // And the committed single-tenant golden never mentions tenancy.
+    let golden_text = repo_file("smoke.golden.jsonl");
+    assert!(!golden_text.contains("tenants"));
+    assert!(!golden_text.contains("serve_"));
+}
+
 /// The diff gate actually fires on a cycle regression in this store.
 #[test]
 fn gate_catches_an_injected_regression() {

@@ -69,7 +69,7 @@ proptest! {
         while (delivered.len() as u64) < length {
             // Memory side: admit + fulfill while there is room.
             while fifo.ready_for_access(now) {
-                let (pkt, _) = fifo.admit_next_packet(now);
+                let (pkt, _) = fifo.admit_next_packet(now).expect("ready FIFO admits");
                 let values: Vec<u64> =
                     pkt.element_range().map(|e| 1000 + e).collect();
                 fifo.fulfill_read(&values, now);
