@@ -255,7 +255,7 @@ impl BaselineController {
         let mut cache = CacheModel::new(cache_cfg);
         let mut queue: VecDeque<LineOp> = VecDeque::new();
         // Latest fetch op per resident line.
-        let mut owner: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut owner: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
         let writeback = |queue: &mut VecDeque<LineOp>, line_addr: u64, i: u64| {
             queue.push_back(LineOp {
                 stream: 0,

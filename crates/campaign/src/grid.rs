@@ -1,7 +1,7 @@
 //! Grid expansion: turn a [`CampaignSpec`]'s axes into the deterministic,
 //! deduplicated list of [`RunPoint`]s it describes.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::spec::{CampaignSpec, Order, RunPoint};
 
@@ -33,7 +33,7 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// repeated axis value) are collapsed to their first occurrence.
 pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
     let axes = &spec.axes;
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     let mut points = Vec::new();
     for kernel in &axes.kernels {
         for memory in &axes.memories {

@@ -74,7 +74,7 @@ pub fn run_points<F>(
 where
     F: Fn(&RunPoint) -> Outcome + Sync,
 {
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     let unique: Vec<&RunPoint> = points.iter().filter(|p| seen.insert(p.key())).collect();
     let outcomes = parallel_map(&unique, workers, &|_, p: &&RunPoint| runner(p), progress);
     let records = unique

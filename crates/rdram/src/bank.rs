@@ -77,7 +77,7 @@ impl Bank {
     /// The bank must be [`SenseAmps::Closed`]; activating an open bank is a
     /// protocol error the device reports separately.
     pub fn earliest_activate(&self, t: &Timing) -> Cycle {
-        let trc_bound = self.last_act.map_or(0, |a| a + t.t_rc);
+        let trc_bound = self.last_act.map_or(0, |a| a.saturating_add(t.t_rc));
         self.ready_for_act.max(trc_bound)
     }
 
@@ -94,7 +94,7 @@ impl Bank {
     /// that opened the row, and overlapping the final COL packet by at most
     /// `tCPOL`.
     pub fn earliest_precharge(&self, t: &Timing) -> Cycle {
-        let tras_bound = self.last_act.map_or(0, |a| a + t.t_ras);
+        let tras_bound = self.last_act.map_or(0, |a| a.saturating_add(t.t_ras));
         let col_bound = self.last_col.map_or(0, |c| c.end.saturating_sub(t.t_cpol));
         tras_bound.max(col_bound)
     }
@@ -108,7 +108,7 @@ impl Bank {
     pub fn record_activate(&mut self, start: Cycle, row: u64, t: &Timing) {
         self.amps = SenseAmps::Open { row };
         self.last_act = Some(start);
-        self.col_allowed = start + t.t_rcd + 1;
+        self.col_allowed = start.saturating_add(t.t_rcd).saturating_add(1);
         self.last_col = None;
         self.cols_since_act = 0;
     }
@@ -123,7 +123,7 @@ impl Bank {
     /// re-activated `tRP` later.
     pub fn record_precharge(&mut self, start: Cycle, t: &Timing) {
         self.amps = SenseAmps::Closed;
-        self.ready_for_act = self.ready_for_act.max(start + t.t_rp);
+        self.ready_for_act = self.ready_for_act.max(start.saturating_add(t.t_rp));
     }
 }
 

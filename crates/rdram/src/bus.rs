@@ -78,8 +78,10 @@ impl DataBus {
             // Write data followed by read data: insert the turnaround gap.
             // `next_free` is the end of the write packet, so the gap is
             // measured from there.
-            (Some(Dir::Write), Dir::Read) => free + t.t_rw,
-            _ => free,
+            (Some(Dir::Write), Dir::Read) => free.saturating_add(t.t_rw),
+            (Some(Dir::Write), Dir::Write)
+            | (Some(Dir::Read), Dir::Read | Dir::Write)
+            | (None, Dir::Read | Dir::Write) => free,
         }
     }
 

@@ -214,7 +214,8 @@ impl Rdram {
         let base = match cmd {
             Command::Row(RowOp::Activate { bank, .. }) => {
                 let b = &self.banks[*bank];
-                let trr = self.last_act_dev[self.device_of(*bank)].map_or(0, |a| a + t.t_rr);
+                let trr = self.last_act_dev[self.device_of(*bank)]
+                    .map_or(0, |a| a.saturating_add(t.t_rr));
                 now.max(self.row_bus.next_free())
                     .max(b.earliest_activate(t))
                     .max(trr)
@@ -367,7 +368,7 @@ impl Rdram {
             Dir::Read => t.read_data_delay(),
             Dir::Write => t.write_data_delay(),
         };
-        let data = Interval::with_len(start + data_delay, t.t_pack);
+        let data = Interval::with_len(start.saturating_add(data_delay), t.t_pack);
 
         self.col_bus.reserve(packet);
         self.data_bus.reserve(data, dir, &t);

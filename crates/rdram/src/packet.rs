@@ -46,13 +46,13 @@ impl Interval {
         assert!(len > 0, "bus reservations must be non-empty");
         Interval {
             start,
-            end: start + len,
+            end: start.saturating_add(len),
         }
     }
 
     /// Number of cycles covered.
     pub fn len(&self) -> Cycle {
-        self.end - self.start
+        self.end.saturating_sub(self.start)
     }
 
     /// Whether the interval covers no cycles.

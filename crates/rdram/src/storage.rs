@@ -6,7 +6,7 @@
 //! end-to-end kernel tests verify that access *reordering* never changes
 //! computation *results*.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::ELEM_BYTES;
 
@@ -28,7 +28,7 @@ const CHUNK_BYTES: u64 = 4096;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MemoryImage {
-    chunks: HashMap<u64, Box<[u8; CHUNK_BYTES as usize]>>,
+    chunks: BTreeMap<u64, Box<[u8; CHUNK_BYTES as usize]>>,
 }
 
 impl MemoryImage {

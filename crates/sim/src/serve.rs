@@ -12,7 +12,7 @@
 //! request differently but the whole serve run stays bit-reproducible.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use kernels::Kernel;
 use rdram::Command;
@@ -59,7 +59,7 @@ pub fn bank_packets_of(commands: &[rdram::CommandRecord]) -> Vec<(usize, u64)> {
 /// seed and always run.
 pub struct SimExecutor {
     base: SystemConfig,
-    memo: RefCell<HashMap<(String, u64, u64), ServiceReport>>,
+    memo: RefCell<BTreeMap<(String, u64, u64), ServiceReport>>,
 }
 
 impl SimExecutor {
@@ -71,7 +71,7 @@ impl SimExecutor {
         base.record_commands = true;
         Self {
             base,
-            memo: RefCell::new(HashMap::new()),
+            memo: RefCell::new(BTreeMap::new()),
         }
     }
 

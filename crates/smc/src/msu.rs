@@ -16,7 +16,7 @@
 //! enable [`MsuConfig::speculative_activate`] to get exactly that
 //! improvement.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -149,9 +149,10 @@ pub struct Msu {
     stats: MsuStats,
     faults: FaultInjector,
     /// Consecutive injected conflicts per bank (degradation trigger).
-    fault_streaks: HashMap<usize, u32>,
+    /// Ordered so any iteration is deterministic.
+    fault_streaks: BTreeMap<usize, u32>,
     /// Banks demoted to closed-page service for the rest of the run.
-    degraded: HashSet<usize>,
+    degraded: BTreeSet<usize>,
     /// The most recent command issued, for livelock diagnostics.
     last_issued: Option<(Command, Cycle)>,
 }
@@ -175,8 +176,8 @@ impl Msu {
             refresh: None,
             stats: MsuStats::default(),
             faults: FaultInjector::inert(),
-            fault_streaks: HashMap::new(),
-            degraded: HashSet::new(),
+            fault_streaks: BTreeMap::new(),
+            degraded: BTreeSet::new(),
             last_issued: None,
         }
     }

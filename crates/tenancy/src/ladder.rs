@@ -181,7 +181,7 @@ impl Ladder {
                 self.level = match self.level {
                     DegradeLevel::Critical => DegradeLevel::Shed,
                     DegradeLevel::Shed => DegradeLevel::Throttle,
-                    _ => DegradeLevel::Normal,
+                    DegradeLevel::Throttle | DegradeLevel::Normal => DegradeLevel::Normal,
                 };
                 self.calm = 0;
                 self.transitions.push(LadderTransition {

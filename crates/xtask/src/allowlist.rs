@@ -1,0 +1,95 @@
+//! The checked-in suppression list, `lint-allow.txt`.
+//!
+//! Grammar (unchanged across lint engines): one entry per line,
+//! `rule | path-suffix | substring`, `#` comments, blank lines ignored. A
+//! finding is suppressed when its rule matches exactly, its path ends
+//! with the suffix, and its message contains the substring. Entries that
+//! suppress nothing are *stale* and become findings themselves, so the
+//! list can only shrink as the code it covers is fixed.
+
+use crate::engine::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug)]
+pub struct AllowEntry {
+    /// Rule id the entry applies to.
+    pub rule: String,
+    /// Path suffix the finding's file must end with.
+    pub path_suffix: String,
+    /// Substring the finding's message must contain.
+    pub substring: String,
+    /// 1-based line in the allowlist file (for stale reports).
+    pub line_no: usize,
+    /// Whether the entry suppressed at least one finding.
+    pub used: bool,
+}
+
+/// Parse allowlist text. Errors name the offending line.
+pub fn parse(text: &str, file_label: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(3, '|').map(str::trim).collect();
+        let [rule, path_suffix, substring] = parts.as_slice() else {
+            return Err(format!(
+                "{file_label}:{}: expected `rule | path-suffix | substring`, got {line:?}",
+                i + 1
+            ));
+        };
+        entries.push(AllowEntry {
+            rule: rule.to_string(),
+            path_suffix: path_suffix.to_string(),
+            substring: substring.to_string(),
+            line_no: i + 1,
+            used: false,
+        });
+    }
+    Ok(entries)
+}
+
+/// Apply the allowlist: drop suppressed findings (marking entries used),
+/// then append one `stale-allowlist` finding per unused entry.
+///
+/// `no_allowlist_paths` are files with no escape hatch — entries naming
+/// them never match, so they both fail to suppress and go stale.
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &mut [AllowEntry],
+    no_allowlist_paths: &[&str],
+    allowlist_label: &str,
+) -> Vec<Finding> {
+    let mut kept: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| {
+            if no_allowlist_paths.iter().any(|p| f.path.ends_with(p)) {
+                return true;
+            }
+            for e in entries.iter_mut() {
+                if e.rule == f.rule
+                    && f.path.ends_with(&e.path_suffix)
+                    && f.message.contains(&e.substring)
+                {
+                    e.used = true;
+                    return false;
+                }
+            }
+            true
+        })
+        .collect();
+    for e in entries.iter().filter(|e| !e.used) {
+        kept.push(Finding {
+            rule: "stale-allowlist",
+            path: allowlist_label.to_string(),
+            line: e.line_no,
+            col: 1,
+            message: format!(
+                "stale allowlist entry `{} | {} | {}` matched nothing — remove it",
+                e.rule, e.path_suffix, e.substring
+            ),
+        });
+    }
+    kept
+}

@@ -1,0 +1,445 @@
+//! The span-aware rule engine: source files, findings, and the token
+//! region analyses every rule shares.
+//!
+//! A [`SourceFile`] owns the text and token stream of one `.rs` file plus
+//! two derived per-token masks:
+//!
+//! * **test regions** — tokens inside a `#[cfg(test)]` item (module, fn,
+//!   or braceless item). Rules never fire inside tests.
+//! * **float-ok regions** — tokens inside a fn item whose *signature*
+//!   mentions `f32`/`f64` (a declared float boundary: display derivation
+//!   or IEEE storage accessors), or inside a `const`/`static` item with an
+//!   explicit float type ascription. The no-float rule only fires outside
+//!   these, which is what lets most of the old file-wide allowlist entries
+//!   burn down.
+
+use std::fmt;
+
+use crate::lexer::{lex, Token};
+
+/// One finding a rule produced: file, position, rule id, message.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable rule identifier (e.g. `no-panic`, `cycle-integrity`).
+    pub rule: &'static str,
+    /// Repository-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description, including the offending source line so
+    /// allowlist substring matching keeps working.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}:{}: {}",
+            self.rule, self.path, self.line, self.col, self.message
+        )
+    }
+}
+
+/// A lexed source file with the region masks rules consult.
+pub struct SourceFile {
+    /// Repository-relative path used in findings.
+    pub rel: String,
+    /// Raw text.
+    pub text: String,
+    /// Token stream from [`lex`].
+    pub tokens: Vec<Token>,
+    /// `mask[i]` — token `i` is inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+    /// `mask[i]` — token `i` is inside a declared float boundary.
+    pub float_ok: Vec<bool>,
+    lines: Vec<String>,
+}
+
+impl SourceFile {
+    /// Lex `text` and compute the region masks.
+    pub fn new(rel: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let tokens = lex(&text);
+        let in_test = test_mask(&tokens);
+        let float_ok = float_ok_mask(&tokens);
+        let lines = text.lines().map(str::to_string).collect();
+        SourceFile {
+            rel: rel.into(),
+            text,
+            tokens,
+            in_test,
+            float_ok,
+            lines,
+        }
+    }
+
+    /// The trimmed text of 1-based line `line` (empty when out of range).
+    pub fn line_text(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map_or("", |l| l.trim())
+    }
+
+    /// Construct a finding anchored at token `i`.
+    pub fn finding(&self, rule: &'static str, i: usize, message: String) -> Finding {
+        let (line, col) = self.tokens.get(i).map_or((0, 0), |t| (t.line, t.col));
+        Finding {
+            rule,
+            path: self.rel.clone(),
+            line,
+            col,
+            message,
+        }
+    }
+}
+
+/// Does `tokens[i..]` start the exact sequence `#[cfg(test)]`?
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let pats: [&dyn Fn(&Token) -> bool; 7] = [
+        &|t| t.is_punct('#'),
+        &|t| t.is_punct('['),
+        &|t| t.is_ident("cfg"),
+        &|t| t.is_punct('('),
+        &|t| t.is_ident("test"),
+        &|t| t.is_punct(')'),
+        &|t| t.is_punct(']'),
+    ];
+    pats.iter()
+        .enumerate()
+        .all(|(k, p)| tokens.get(i + k).is_some_and(|t| p(t)))
+}
+
+/// Skip a balanced `#[…]` attribute starting at `i` (which must point at
+/// `#`); returns the index one past the closing `]`.
+fn skip_attr(tokens: &[Token], mut i: usize) -> usize {
+    debug_assert!(tokens[i].is_punct('#'));
+    i += 1;
+    if tokens.get(i).is_some_and(|t| t.is_punct('[')) {
+        let mut depth = 0i64;
+        while i < tokens.len() {
+            if tokens[i].is_punct('[') {
+                depth += 1;
+            } else if tokens[i].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Extent of the item starting at `i` (after its attributes): through the
+/// matching `}` of its first brace block, or through the terminating `;`
+/// for braceless items. Returns the index one past the item.
+fn item_extent(tokens: &[Token], mut i: usize) -> usize {
+    while i < tokens.len() {
+        if tokens[i].is_punct('{') {
+            let mut depth = 0i64;
+            while i < tokens.len() {
+                if tokens[i].is_punct('{') {
+                    depth += 1;
+                } else if tokens[i].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                i += 1;
+            }
+            return i;
+        }
+        if tokens[i].is_punct(';') {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Per-token `#[cfg(test)]` mask.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && is_cfg_test_attr(tokens, i) {
+            let attr_start = i;
+            // Skip this and any further attributes on the same item.
+            let mut j = skip_attr(tokens, i);
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                j = skip_attr(tokens, j);
+            }
+            let end = item_extent(tokens, j);
+            for flag in mask.iter_mut().take(end).skip(attr_start) {
+                *flag = true;
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Per-token float-boundary mask: fn items whose signature mentions
+/// `f32`/`f64`, and `const`/`static` items with a float type ascription.
+fn float_ok_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_ident("fn") {
+            // Signature: everything up to the body `{` or a trait-decl `;`.
+            let mut j = i + 1;
+            let mut has_float = false;
+            while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                if tokens[j].is_ident("f64") || tokens[j].is_ident("f32") {
+                    has_float = true;
+                }
+                j += 1;
+            }
+            if has_float {
+                let end = item_extent(tokens, j);
+                for flag in mask.iter_mut().take(end).skip(i) {
+                    *flag = true;
+                }
+                i = end;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        if (t.is_ident("const") || t.is_ident("static"))
+            && !tokens.get(i + 1).is_some_and(|t| t.is_ident("fn"))
+        {
+            // const NAME: Type = …; — float-ok when the ascription between
+            // `:` and `=` names a float type.
+            let mut j = i + 1;
+            let mut has_float = false;
+            let mut seen_colon = false;
+            while j < tokens.len() && !tokens[j].is_punct(';') && !tokens[j].is_punct('{') {
+                if tokens[j].is_punct(':') {
+                    seen_colon = true;
+                }
+                if tokens[j].is_punct('=') {
+                    break;
+                }
+                if seen_colon && (tokens[j].is_ident("f64") || tokens[j].is_ident("f32")) {
+                    has_float = true;
+                }
+                j += 1;
+            }
+            if has_float {
+                let end = item_extent(tokens, j);
+                for flag in mask.iter_mut().take(end).skip(i) {
+                    *flag = true;
+                }
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// One `match` expression found in a token stream: the span of its
+/// scrutinee, and for each arm the span of its pattern (including any
+/// guard) and the index of the `_` token when the whole arm is a bare
+/// wildcard.
+pub struct MatchExpr {
+    /// Token range of the scrutinee (exclusive of `match` and `{`).
+    pub scrutinee: (usize, usize),
+    /// Pattern token ranges, one per arm (pattern + guard, up to `=>`).
+    pub arm_patterns: Vec<(usize, usize)>,
+    /// Token indices of bare `_ =>` wildcard arms.
+    pub wildcard_arms: Vec<usize>,
+    /// Token index one past the match's closing `}`.
+    pub end: usize,
+}
+
+/// Find every `match` expression in `tokens`, outermost and nested alike.
+///
+/// Arm patterns are tracked at the match's own brace depth with separate
+/// paren/bracket accounting, so a `_` inside a tuple pattern or a nested
+/// match is not mistaken for a bare wildcard arm of this match.
+pub fn find_matches(tokens: &[Token]) -> Vec<MatchExpr> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("match") {
+            continue;
+        }
+        // Don't treat `.match`-like method positions (none in Rust) or the
+        // struct-field use of the word as a match; requiring a following
+        // block is enough in practice.
+        let Some(body_open) = scrutinee_end(tokens, i + 1) else {
+            continue;
+        };
+        let mut arms = Vec::new();
+        let mut wildcards = Vec::new();
+        let mut j = body_open + 1;
+        let mut brace = 1i64; // depth relative to the match block
+        let mut paren = 0i64;
+        let mut pat_start = j;
+        let mut in_pattern = true;
+        while j < tokens.len() && brace > 0 {
+            let t = &tokens[j];
+            if t.is_punct('{') {
+                brace += 1;
+            } else if t.is_punct('}') {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+                // A `{…}` arm body just closed at depth 1: the next arm's
+                // pattern starts after an optional comma.
+                if brace == 1 && !in_pattern {
+                    in_pattern = true;
+                    pat_start = j + 1;
+                }
+            } else if t.is_punct('(') || t.is_punct('[') {
+                paren += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                paren -= 1;
+            } else if in_pattern
+                && brace == 1
+                && paren == 0
+                && t.is_punct('=')
+                && tokens.get(j + 1).is_some_and(|n| n.is_punct('>'))
+            {
+                // End of a pattern. A bare wildcard arm is a lone `_`
+                // (ignoring a leading `,`).
+                let pat: Vec<usize> = (pat_start..j)
+                    .filter(|&k| !tokens[k].is_punct(','))
+                    .collect();
+                arms.push((pat_start, j));
+                if pat.len() == 1 && tokens[pat[0]].is_ident("_") {
+                    wildcards.push(pat[0]);
+                }
+                in_pattern = false;
+                j += 2;
+                // Expression bodies run to the `,` at this depth; block
+                // bodies are handled by the brace tracking above.
+                if tokens.get(j).is_some_and(|t| t.is_punct('{')) {
+                    continue;
+                }
+                let mut p2 = 0i64;
+                let mut b2 = 0i64;
+                while j < tokens.len() {
+                    let u = &tokens[j];
+                    if u.is_punct('(') || u.is_punct('[') {
+                        p2 += 1;
+                    } else if u.is_punct(')') || u.is_punct(']') {
+                        p2 -= 1;
+                    } else if u.is_punct('{') {
+                        b2 += 1;
+                    } else if u.is_punct('}') {
+                        if b2 == 0 {
+                            break; // closes the match itself
+                        }
+                        b2 -= 1;
+                    } else if u.is_punct(',') && p2 == 0 && b2 == 0 {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                in_pattern = true;
+                pat_start = j;
+                continue;
+            }
+            j += 1;
+        }
+        out.push(MatchExpr {
+            scrutinee: (i + 1, body_open),
+            arm_patterns: arms,
+            wildcard_arms: wildcards,
+            end: j.min(tokens.len()),
+        });
+    }
+    out
+}
+
+/// Index of the `{` opening the match body, scanning past any parens /
+/// brackets in the scrutinee. Struct literals cannot appear un-parenthesised
+/// in a match scrutinee, so the first `{` at depth zero is the body.
+fn scrutinee_end(tokens: &[Token], mut i: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            return Some(i);
+        } else if t.is_punct(';') && depth == 0 {
+            return None; // `match` used as an identifier-ish thing; bail
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::TokenKind;
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn b() { y.unwrap(); }\n}\nfn c() {}\n";
+        let f = SourceFile::new("x.rs", src);
+        let unwraps: Vec<bool> = f
+            .tokens
+            .iter()
+            .zip(&f.in_test)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, &m)| m)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+
+    #[test]
+    fn float_mask_scopes_to_signatures() {
+        let src = "fn ratio(&self) -> f64 { self.a as f64 / self.b as f64 }\nfn cycles(&self) -> u64 { self.c }\nconst NS: f64 = 2.5;\nstruct S { x: f64 }\n";
+        let f = SourceFile::new("x.rs", src);
+        let flagged: Vec<&str> = f
+            .tokens
+            .iter()
+            .zip(&f.float_ok)
+            .filter(|(t, &ok)| (t.is_ident("f64") || t.kind == TokenKind::Float) && !ok)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        // Only the struct field's f64 is outside a float boundary.
+        assert_eq!(flagged, vec!["f64"]);
+    }
+
+    #[test]
+    fn match_finder_sees_wildcards_and_tuple_patterns() {
+        let src = "fn f(x: Option<Dir>, d: Dir) -> u64 { match (x, d) { (Some(Dir::Write), Dir::Read) => 1, _ => 0, } }";
+        let f = SourceFile::new("x.rs", src);
+        let ms = find_matches(&f.tokens);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].arm_patterns.len(), 2);
+        assert_eq!(ms[0].wildcard_arms.len(), 1);
+    }
+
+    #[test]
+    fn nested_match_wildcard_is_not_attributed_to_outer() {
+        let src = "fn f(a: u8) -> u8 { match a { 1 => match b { C::X => 1, _ => 2, }, 2 => 9, other => other, } }";
+        let f = SourceFile::new("x.rs", src);
+        let ms = find_matches(&f.tokens);
+        assert_eq!(ms.len(), 2);
+        let outer = &ms[0];
+        let inner = &ms[1];
+        assert_eq!(outer.wildcard_arms.len(), 0);
+        assert_eq!(inner.wildcard_arms.len(), 1);
+        assert_eq!(outer.arm_patterns.len(), 3);
+    }
+}

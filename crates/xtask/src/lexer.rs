@@ -1,0 +1,480 @@
+//! A small token-level lexer for Rust source.
+//!
+//! The substring scanner this replaces could not tell a lifetime from a
+//! char literal, a `HashMap` identifier from the word inside a doc string,
+//! or a float literal from a range expression. The lexer produces a flat
+//! token stream with byte spans and line/column positions; everything the
+//! rule engine does — `#[cfg(test)]` region tracking, function-signature
+//! scoping, match-arm analysis — is defined over these tokens, so string
+//! and comment contents can never desynchronise a rule again.
+//!
+//! The lexer is deliberately *approximate where it is safe to be*: it does
+//! not classify keywords (they surface as [`TokenKind::Ident`]) and emits
+//! one [`TokenKind::Punct`] per punctuation character, leaving multi-char
+//! operators (`=>`, `+=`, `->`) to the consumer. It is *exact where it
+//! must be*: strings (including raw strings with any number of `#`s and
+//! byte/raw-byte prefixes), nested block comments, char literals vs
+//! lifetimes, and float vs integer vs range literals.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// A lifetime or loop label: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Any string literal: `"…"`, `b"…"`, `r"…"`, `r#"…"#`, `br#"…"#`.
+    Str,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'\''`.
+    Char,
+    /// An integer literal, with any suffix: `42`, `0xFF`, `1_000u64`.
+    Int,
+    /// A float literal, with any suffix: `2.5`, `1e9`, `1.0f64`.
+    Float,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// Byte offset of the token's first character.
+    pub start: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based column (in characters) on that line.
+    pub col: usize,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    chars: Vec<(usize, char)>,
+    text: &'a str,
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor {
+            chars: text.char_indices().collect(),
+            text,
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_pos(&self) -> usize {
+        self.chars.get(self.i).map_or(self.text.len(), |&(b, _)| b)
+    }
+
+    /// Advance one char, maintaining line/column accounting.
+    fn bump(&mut self) {
+        if let Some(&(_, c)) = self.chars.get(self.i) {
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+/// Lex `text` into tokens. Comments and whitespace are consumed but not
+/// emitted; every emitted token carries its byte span and line/column.
+pub fn lex(text: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(text);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && cur.peek(1) == Some('/') {
+            while cur.peek(0).is_some_and(|c| c != '\n') {
+                cur.bump();
+            }
+            continue;
+        }
+        // Block comment, nesting-aware.
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut depth = 1u32;
+            cur.bump_n(2);
+            while depth > 0 && cur.peek(0).is_some() {
+                if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+                    depth += 1;
+                    cur.bump_n(2);
+                } else if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+                    depth -= 1;
+                    cur.bump_n(2);
+                } else {
+                    cur.bump();
+                }
+            }
+            continue;
+        }
+        // String prefixes: r", r#", b", br#", rb is not valid Rust; also
+        // raw identifiers r#name.
+        if c == 'r' || c == 'b' {
+            if let Some(tok) = try_prefixed(&mut cur) {
+                out.push(tok);
+                continue;
+            }
+        }
+        if c == '"' {
+            out.push(lex_string(&mut cur));
+            continue;
+        }
+        if c == '\'' {
+            out.push(lex_quote(&mut cur));
+            continue;
+        }
+        if is_ident_start(c) {
+            out.push(lex_ident(&mut cur));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.push(lex_number(&mut cur));
+            continue;
+        }
+        // Anything else: one punctuation character.
+        let (start, line, col) = (cur.byte_pos(), cur.line, cur.col);
+        cur.bump();
+        out.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            start,
+            end: cur.byte_pos(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Handle tokens starting `r` / `b`: raw strings, byte strings, byte
+/// chars, and raw identifiers. Returns `None` when the prefix is just the
+/// start of an ordinary identifier.
+fn try_prefixed(cur: &mut Cursor<'_>) -> Option<Token> {
+    let c = cur.peek(0)?;
+    let (start, line, col) = (cur.byte_pos(), cur.line, cur.col);
+    // b'x' byte char.
+    if c == 'b' && cur.peek(1) == Some('\'') {
+        cur.bump();
+        let mut tok = lex_quote(cur);
+        tok.start = start;
+        tok.col = col;
+        tok.text.insert(0, 'b');
+        return Some(tok);
+    }
+    // b"…" byte string.
+    if c == 'b' && cur.peek(1) == Some('"') {
+        cur.bump();
+        let mut tok = lex_string(cur);
+        tok.start = start;
+        tok.col = col;
+        tok.text.insert(0, 'b');
+        return Some(tok);
+    }
+    // r"…" / r#"…"# / br#"…"# raw (byte) strings, and r#ident.
+    let hash_at = if c == 'r' {
+        1
+    } else if c == 'b' && cur.peek(1) == Some('r') {
+        2
+    } else {
+        return None;
+    };
+    let mut hashes = 0;
+    while cur.peek(hash_at + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(hash_at + hashes) == Some('"') {
+        // Raw string: consume prefix, hashes, opening quote, then scan for
+        // `"` followed by the same number of `#`s.
+        cur.bump_n(hash_at + hashes + 1);
+        loop {
+            match cur.peek(0) {
+                None => break,
+                Some('"') => {
+                    let mut matched = 0;
+                    while matched < hashes && cur.peek(1 + matched) == Some('#') {
+                        matched += 1;
+                    }
+                    if matched == hashes {
+                        cur.bump_n(1 + hashes);
+                        break;
+                    }
+                    cur.bump();
+                }
+                Some(_) => cur.bump(),
+            }
+        }
+        let end = cur.byte_pos();
+        return Some(Token {
+            kind: TokenKind::Str,
+            text: cur.text[start..end].to_string(),
+            start,
+            end,
+            line,
+            col,
+        });
+    }
+    if c == 'r' && hashes == 1 && cur.peek(1 + hashes).is_some_and(is_ident_start) {
+        // Raw identifier r#name.
+        cur.bump_n(2);
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        let end = cur.byte_pos();
+        return Some(Token {
+            kind: TokenKind::Ident,
+            text: cur.text[start..end].to_string(),
+            start,
+            end,
+            line,
+            col,
+        });
+    }
+    None
+}
+
+fn lex_string(cur: &mut Cursor<'_>) -> Token {
+    let (start, line, col) = (cur.byte_pos(), cur.line, cur.col);
+    cur.bump(); // opening quote
+    loop {
+        match cur.peek(0) {
+            None => break,
+            Some('\\') => cur.bump_n(2),
+            Some('"') => {
+                cur.bump();
+                break;
+            }
+            Some(_) => cur.bump(),
+        }
+    }
+    let end = cur.byte_pos();
+    Token {
+        kind: TokenKind::Str,
+        text: cur.text[start..end].to_string(),
+        start,
+        end,
+        line,
+        col,
+    }
+}
+
+/// Lex a token starting with `'`: a char literal or a lifetime.
+///
+/// Disambiguation follows the language: `'` + `\` is always a char
+/// literal; `'` + any char + `'` is a char literal; `'` + ident-start with
+/// no closing quote right after is a lifetime (or loop label). This is the
+/// rule the old `sanitize()` got wrong — a lifetime whose second character
+/// happened to precede a stray quote, or an escaped-quote literal `'\''`,
+/// could be mis-lexed as an unterminated char literal that swallowed real
+/// code.
+fn lex_quote(cur: &mut Cursor<'_>) -> Token {
+    let (start, line, col) = (cur.byte_pos(), cur.line, cur.col);
+    match (cur.peek(1), cur.peek(2)) {
+        // Escaped char literal: consume the escape, then scan to the
+        // closing quote ('\u{…}' spans several chars).
+        (Some('\\'), _) => {
+            cur.bump_n(3); // ' \ <first escape char>
+            while cur.peek(0).is_some_and(|c| c != '\'' && c != '\n') {
+                cur.bump();
+            }
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+        }
+        // Ordinary char literal: 'x' (x may itself be ident-start: 'a').
+        (Some(_), Some('\'')) => cur.bump_n(3),
+        // Lifetime or loop label: 'ident.
+        (Some(c), _) if is_ident_start(c) => {
+            cur.bump_n(2);
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            let end = cur.byte_pos();
+            return Token {
+                kind: TokenKind::Lifetime,
+                text: cur.text[start..end].to_string(),
+                start,
+                end,
+                line,
+                col,
+            };
+        }
+        // Degenerate: a lone quote (invalid Rust); emit as punct-ish char.
+        _ => cur.bump(),
+    }
+    let end = cur.byte_pos();
+    Token {
+        kind: TokenKind::Char,
+        text: cur.text[start..end].to_string(),
+        start,
+        end,
+        line,
+        col,
+    }
+}
+
+fn lex_ident(cur: &mut Cursor<'_>) -> Token {
+    let (start, line, col) = (cur.byte_pos(), cur.line, cur.col);
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    let end = cur.byte_pos();
+    Token {
+        kind: TokenKind::Ident,
+        text: cur.text[start..end].to_string(),
+        start,
+        end,
+        line,
+        col,
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> Token {
+    let (start, line, col) = (cur.byte_pos(), cur.line, cur.col);
+    let mut kind = TokenKind::Int;
+    let radix_prefixed = cur.peek(0) == Some('0')
+        && matches!(cur.peek(1), Some('x') | Some('X') | Some('b') | Some('o'));
+    if radix_prefixed {
+        cur.bump_n(2);
+        while cur
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            cur.bump();
+        }
+    } else {
+        while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            cur.bump();
+        }
+        // Fractional part: `.` followed by a digit (so `1..2` and `1.max()`
+        // stay integers), or a trailing `1.` not followed by `.`/ident.
+        if cur.peek(0) == Some('.') {
+            match cur.peek(1) {
+                Some(d) if d.is_ascii_digit() => {
+                    kind = TokenKind::Float;
+                    cur.bump();
+                    while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                        cur.bump();
+                    }
+                }
+                Some('.') => {}
+                Some(c) if is_ident_start(c) => {}
+                _ => {
+                    kind = TokenKind::Float;
+                    cur.bump();
+                }
+            }
+        }
+        // Exponent.
+        if matches!(cur.peek(0), Some('e') | Some('E')) {
+            let sign = matches!(cur.peek(1), Some('+') | Some('-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if cur.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                kind = TokenKind::Float;
+                cur.bump_n(digit_at + 1);
+                while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    cur.bump();
+                }
+            }
+        }
+    }
+    // Type suffix (`u64`, `f32`, `usize`…) glued onto the literal.
+    if cur.peek(0).is_some_and(is_ident_start) {
+        let suffix_start = cur.i;
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        let suffix: String = cur.chars[suffix_start..cur.i]
+            .iter()
+            .map(|&(_, c)| c)
+            .collect();
+        if suffix == "f32" || suffix == "f64" {
+            kind = TokenKind::Float;
+        }
+    }
+    let end = cur.byte_pos();
+    Token {
+        kind,
+        text: cur.text[start..end].to_string(),
+        start,
+        end,
+        line,
+        col,
+    }
+}
+
+/// Blank the contents of comments and string/char literals, preserving
+/// line structure and every other character, so downstream line-oriented
+/// consumers (brace counting, grep-style checks) see only structural code.
+///
+/// Built on [`lex`], so it inherits the lexer's correct handling of
+/// lifetimes, escaped-quote char literals, and multi-line raw strings.
+pub fn sanitize(text: &str) -> String {
+    let tokens = lex(text);
+    let mut keep = vec![false; text.len()];
+    for t in &tokens {
+        if matches!(t.kind, TokenKind::Str | TokenKind::Char) {
+            continue;
+        }
+        for flag in keep.iter_mut().take(t.end).skip(t.start) {
+            *flag = true;
+        }
+    }
+    let mut out = String::with_capacity(text.len());
+    for (i, c) in text.char_indices() {
+        if keep[i] || c == '\n' {
+            out.push(c);
+        } else if !c.is_whitespace() {
+            out.push(' ');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}

@@ -1,104 +1,12 @@
-//! `cargo run -p xtask -- lint` — repository-specific static analysis.
-//!
-//! Self-contained (std only) source scanner enforcing invariants `clippy`
-//! cannot express for this workspace:
-//!
-//! * **no-panic** — no `.unwrap()` / `.expect(` / `panic!(` in non-test
-//!   code of the hot-path crates (`rdram`, `smc`, `baseline`, `faults`,
-//!   `checker`, `telemetry`, `campaign`, `tenancy`) or in `sim`'s
-//!   runner/CLI.
-//!   Known-safe sites
-//!   live in the checked-in allowlist `lint-allow.txt`; stale entries are
-//!   errors.
-//! * **no-float** — no `f64` / `f32` in the same non-test code: cycle
-//!   accounting — and metric accumulation in `telemetry` — is integer
-//!   arithmetic, floats are for derived reporting only (allowlisted per
-//!   site).
-//! * **forbid-unsafe** — every `crates/*` crate root carries
-//!   `#![forbid(unsafe_code)]`.
-//! * **strict-docs** — the hot-path crates and `checker` deny missing
-//!   docs.
-//! * **vendor-drift** — every `vendor/*` stub keeps its directory name,
-//!   declares itself a stand-in, and is referenced by the workspace (or by
-//!   another stub); every `path = "vendor/.."` workspace dependency points
-//!   at a stub that exists.
+//! CLI driver for the repository lint: argument parsing and report
+//! emission live here; all analysis is in the `xtask` library.
 
 #![forbid(unsafe_code)]
 
-use std::fmt;
-use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Crates whose non-test code must be panic-free and float-free.
-const HOT_PATH_CRATES: &[&str] = &[
-    "rdram",
-    "smc",
-    "baseline",
-    "faults",
-    "checker",
-    "telemetry",
-    "campaign",
-    "tenancy",
-];
-
-/// Extra files held to the same standard, with no allowlist escape hatch
-/// (entries naming them are reported as errors).
-const NO_ALLOWLIST_FILES: &[&str] = &["crates/sim/src/runner.rs", "crates/sim/src/cli.rs"];
-
-/// Crates that must carry `#![deny(missing_docs)]`.
-const STRICT_DOCS_CRATES: &[&str] = &[
-    "rdram",
-    "smc",
-    "baseline",
-    "faults",
-    "checker",
-    "telemetry",
-    "campaign",
-    "tenancy",
-];
-
-/// Name of the checked-in allowlist at the repository root.
-const ALLOWLIST: &str = "lint-allow.txt";
-
-#[derive(Debug)]
-struct Finding {
-    rule: &'static str,
-    path: String,
-    line: usize,
-    message: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}: {}:{}: {}",
-            self.rule, self.path, self.line, self.message
-        )
-    }
-}
-
-/// One `rule | path-suffix | substring` allowlist entry.
-#[derive(Debug)]
-struct AllowEntry {
-    rule: String,
-    path_suffix: String,
-    substring: String,
-    line_no: usize,
-    used: bool,
-}
-
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("lint") => lint(),
-        _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
-            ExitCode::from(2)
-        }
-    }
-}
+use xtask::report;
 
 fn repo_root() -> PathBuf {
     // CARGO_MANIFEST_DIR is crates/xtask; the workspace root is two up.
@@ -110,480 +18,60 @@ fn repo_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
-fn lint() -> ExitCode {
-    let root = repo_root();
-    let mut findings = Vec::new();
-    let mut allow = match load_allowlist(&root) {
-        Ok(entries) => entries,
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint [--format text|json] [--sarif <path>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("lint") {
+        return usage();
+    }
+    let mut format = "text".to_string();
+    let mut sarif_out: Option<PathBuf> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next() {
+                Some(f) if f == "text" || f == "json" => format = f.clone(),
+                _ => return usage(),
+            },
+            "--sarif" => match it.next() {
+                Some(p) => sarif_out = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let outcome = match xtask::run_lint(&repo_root()) {
+        Ok(o) => o,
         Err(msg) => {
             eprintln!("xtask lint: {msg}");
             return ExitCode::FAILURE;
         }
     };
 
-    scan_hot_paths(&root, &mut findings);
-    check_forbid_unsafe(&root, &mut findings);
-    check_strict_docs(&root, &mut findings);
-    check_vendor_drift(&root, &mut findings);
-
-    // Apply the allowlist, tracking which entries earned their keep.
-    let findings: Vec<Finding> = findings
-        .into_iter()
-        .filter(|f| !allowed(f, &mut allow))
-        .collect();
-
-    let mut failed = false;
-    for f in &findings {
-        eprintln!("xtask lint: {f}");
-        failed = true;
-    }
-    for e in &allow {
-        if !e.used {
-            eprintln!(
-                "xtask lint: {ALLOWLIST}:{}: stale allowlist entry `{} | {} | {}` matched nothing — remove it",
-                e.line_no, e.rule, e.path_suffix, e.substring
-            );
-            failed = true;
+    if let Some(path) = &sarif_out {
+        if let Err(e) = std::fs::write(path, report::sarif(&outcome.findings)) {
+            eprintln!("xtask lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
         }
     }
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        println!("xtask lint: OK");
+    if format == "json" {
+        print!("{}", report::findings_json(&outcome.findings));
+    }
+
+    if outcome.findings.is_empty() {
+        if format == "text" {
+            println!("xtask lint: OK");
+        }
         ExitCode::SUCCESS
-    }
-}
-
-fn allowed(f: &Finding, allow: &mut [AllowEntry]) -> bool {
-    // sim's runner/CLI have no escape hatch: burned down, not allowlisted.
-    if NO_ALLOWLIST_FILES.iter().any(|p| f.path.ends_with(p)) {
-        return false;
-    }
-    for e in allow.iter_mut() {
-        if e.rule == f.rule && f.path.ends_with(&e.path_suffix) && f.message.contains(&e.substring)
-        {
-            e.used = true;
-            return true;
+    } else {
+        for f in &outcome.findings {
+            eprintln!("xtask lint: {f}");
         }
-    }
-    false
-}
-
-fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
-    let path = root.join(ALLOWLIST);
-    let text =
-        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let mut entries = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let parts: Vec<&str> = line.splitn(3, '|').map(str::trim).collect();
-        let [rule, path_suffix, substring] = parts.as_slice() else {
-            return Err(format!(
-                "{ALLOWLIST}:{}: expected `rule | path-suffix | substring`, got {line:?}",
-                i + 1
-            ));
-        };
-        entries.push(AllowEntry {
-            rule: rule.to_string(),
-            path_suffix: path_suffix.to_string(),
-            substring: substring.to_string(),
-            line_no: i + 1,
-            used: false,
-        });
-    }
-    Ok(entries)
-}
-
-/// Recursively collect `.rs` files under `dir`.
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
-    paths.sort();
-    for path in paths {
-        if path.is_dir() {
-            rust_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-fn scan_hot_paths(root: &Path, findings: &mut Vec<Finding>) {
-    let mut files = Vec::new();
-    for krate in HOT_PATH_CRATES {
-        rust_files(&root.join("crates").join(krate).join("src"), &mut files);
-    }
-    for extra in NO_ALLOWLIST_FILES {
-        files.push(root.join(extra));
-    }
-    for file in files {
-        // The float rule targets cycle accounting inside the hot-path
-        // crates; sim's runner/CLI legitimately derive float bandwidth
-        // percentages, so only the panic rule extends to them.
-        let floats = !NO_ALLOWLIST_FILES
-            .iter()
-            .any(|p| file.ends_with(Path::new(p)));
-        scan_file(root, &file, floats, findings);
-    }
-}
-
-/// Net brace depth of a sanitized line (string and comment contents have
-/// already been blanked by [`sanitize`], so every brace is structural).
-fn brace_delta(line: &str) -> i64 {
-    let mut depth = 0i64;
-    for c in line.chars() {
-        match c {
-            '{' => depth += 1,
-            '}' => depth -= 1,
-            _ => {}
-        }
-    }
-    depth
-}
-
-/// Replace the contents of comments and string/char literals with spaces,
-/// preserving line structure, so brace counting and token scanning see
-/// only real code. Handles line comments, nested block comments, ordinary
-/// and byte strings with escapes, raw strings with any number of `#`s
-/// (which may span lines — the failure mode of per-line tracking), and
-/// char literals vs lifetimes.
-fn sanitize(text: &str) -> String {
-    let b: Vec<char> = text.chars().collect();
-    let n = b.len();
-    let mut out = String::with_capacity(text.len());
-    let mut i = 0;
-    while i < n {
-        let c = b[i];
-        // Line comment: drop to end of line.
-        if c == '/' && b.get(i + 1) == Some(&'/') {
-            while i < n && b[i] != '\n' {
-                i += 1;
-            }
-            continue;
-        }
-        // Block comment, nesting-aware.
-        if c == '/' && b.get(i + 1) == Some(&'*') {
-            let mut depth = 1i64;
-            i += 2;
-            while i < n && depth > 0 {
-                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
-                    depth += 1;
-                    i += 2;
-                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    if b[i] == '\n' {
-                        out.push('\n');
-                    }
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw string: `r"…"` / `r#"…"#` / `br#"…"#`, any hash count, not
-        // preceded by an identifier character.
-        if c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r')) {
-            let ident_before = i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_');
-            let r_at = if c == 'b' { i + 1 } else { i };
-            let mut hashes = 0usize;
-            let mut k = r_at + 1;
-            while b.get(k) == Some(&'#') {
-                hashes += 1;
-                k += 1;
-            }
-            if !ident_before && b.get(k) == Some(&'"') {
-                i = k + 1;
-                while i < n {
-                    if b[i] == '"'
-                        && b[i + 1..]
-                            .iter()
-                            .take(hashes)
-                            .filter(|&&h| h == '#')
-                            .count()
-                            == hashes
-                    {
-                        i += 1 + hashes;
-                        break;
-                    }
-                    if b[i] == '\n' {
-                        out.push('\n');
-                    }
-                    i += 1;
-                }
-                continue;
-            }
-        }
-        // Ordinary (or byte) string, escape-aware.
-        if c == '"' {
-            i += 1;
-            while i < n {
-                match b[i] {
-                    '\\' => i += 2,
-                    '"' => {
-                        i += 1;
-                        break;
-                    }
-                    '\n' => {
-                        out.push('\n');
-                        i += 1;
-                    }
-                    _ => i += 1,
-                }
-            }
-            continue;
-        }
-        // Char literal (`'x'` / `'\x'`) vs lifetime (`'a`).
-        if c == '\'' {
-            if b.get(i + 1) == Some(&'\\') {
-                i += 2;
-                while i < n && b[i] != '\'' {
-                    i += 1;
-                }
-                i += 1;
-                continue;
-            }
-            if b.get(i + 2) == Some(&'\'') {
-                i += 3;
-                continue;
-            }
-        }
-        out.push(c);
-        i += 1;
-    }
-    out
-}
-
-/// Whether `needle` occurs in `hay` delimited by non-identifier characters.
-fn has_token(hay: &str, needle: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = hay[from..].find(needle) {
-        let start = from + pos;
-        let end = start + needle.len();
-        let before_ok = start == 0
-            || !hay[..start]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after_ok = !hay[end..]
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-fn scan_file(root: &Path, file: &Path, floats: bool, findings: &mut Vec<Finding>) {
-    let Ok(text) = fs::read_to_string(file) else {
-        findings.push(Finding {
-            rule: "no-panic",
-            path: file.display().to_string(),
-            line: 0,
-            message: "cannot read file".into(),
-        });
-        return;
-    };
-    let rel = file
-        .strip_prefix(root)
-        .unwrap_or(file)
-        .display()
-        .to_string();
-    // Strip comments and string/char literals once for the whole file:
-    // brace depth and pattern matching then see only structural code, and
-    // multi-line raw strings (e.g. JSON fixtures) can no longer desync the
-    // `#[cfg(test)]` block tracker.
-    let clean = sanitize(&text);
-    let mut pending_cfg_test = false;
-    let mut test_depth: i64 = -1; // -1 = not inside a #[cfg(test)] block
-    for ((i, line), code) in text.lines().enumerate().zip(clean.lines()) {
-        if test_depth >= 0 {
-            test_depth += brace_delta(code);
-            if test_depth <= 0 {
-                test_depth = -1;
-            }
-            continue;
-        }
-        if code.trim() == "#[cfg(test)]" {
-            pending_cfg_test = true;
-            continue;
-        }
-        if pending_cfg_test {
-            pending_cfg_test = false;
-            let delta = brace_delta(code);
-            if delta > 0 {
-                test_depth = delta;
-                continue;
-            }
-            // `#[cfg(test)]` on a braceless item (e.g. a `use`): skip just
-            // this line.
-            continue;
-        }
-        if code.trim().is_empty() {
-            continue;
-        }
-        for pat in [".unwrap()", ".expect(", "panic!("] {
-            if code.contains(pat) {
-                findings.push(Finding {
-                    rule: "no-panic",
-                    path: rel.clone(),
-                    line: i + 1,
-                    message: format!("`{pat}` in non-test hot-path code: {}", line.trim()),
-                });
-            }
-        }
-        for ty in ["f64", "f32"] {
-            if floats && has_token(code, ty) {
-                findings.push(Finding {
-                    rule: "no-float",
-                    path: rel.clone(),
-                    line: i + 1,
-                    message: format!(
-                        "`{ty}` in non-test hot-path code (cycle accounting is integer-only): {}",
-                        line.trim()
-                    ),
-                });
-            }
-        }
-    }
-}
-
-fn check_forbid_unsafe(root: &Path, findings: &mut Vec<Finding>) {
-    let crates_dir = root.join("crates");
-    let Ok(entries) = fs::read_dir(&crates_dir) else {
-        return;
-    };
-    let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
-    dirs.sort();
-    for dir in dirs.into_iter().filter(|d| d.is_dir()) {
-        let lib = dir.join("src/lib.rs");
-        let main = dir.join("src/main.rs");
-        let entry = if lib.is_file() { lib } else { main };
-        let rel = entry
-            .strip_prefix(root)
-            .unwrap_or(&entry)
-            .display()
-            .to_string();
-        match fs::read_to_string(&entry) {
-            Ok(text) if text.contains("#![forbid(unsafe_code)]") => {}
-            Ok(_) => findings.push(Finding {
-                rule: "forbid-unsafe",
-                path: rel,
-                line: 1,
-                message: "crate root lacks `#![forbid(unsafe_code)]`".into(),
-            }),
-            Err(e) => findings.push(Finding {
-                rule: "forbid-unsafe",
-                path: rel,
-                line: 0,
-                message: format!("cannot read crate root: {e}"),
-            }),
-        }
-    }
-}
-
-fn check_strict_docs(root: &Path, findings: &mut Vec<Finding>) {
-    for krate in STRICT_DOCS_CRATES {
-        let lib = root.join("crates").join(krate).join("src/lib.rs");
-        let rel = lib.strip_prefix(root).unwrap_or(&lib).display().to_string();
-        match fs::read_to_string(&lib) {
-            Ok(text) if text.contains("#![deny(missing_docs)]") => {}
-            Ok(_) => findings.push(Finding {
-                rule: "strict-docs",
-                path: rel,
-                line: 1,
-                message: "hot-path crate must carry `#![deny(missing_docs)]`".into(),
-            }),
-            Err(e) => findings.push(Finding {
-                rule: "strict-docs",
-                path: rel,
-                line: 0,
-                message: format!("cannot read crate root: {e}"),
-            }),
-        }
-    }
-}
-
-fn check_vendor_drift(root: &Path, findings: &mut Vec<Finding>) {
-    let vendor = root.join("vendor");
-    let root_manifest = fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
-    let Ok(entries) = fs::read_dir(&vendor) else {
-        return;
-    };
-    let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
-    dirs.sort();
-    // Concatenated manifests of all stubs, for intra-vendor references
-    // (serde_derive is reachable only through serde's path dependency).
-    let vendor_manifests: String = dirs
-        .iter()
-        .filter(|d| d.is_dir())
-        .filter_map(|d| fs::read_to_string(d.join("Cargo.toml")).ok())
-        .collect();
-    for dir in dirs.iter().filter(|d| d.is_dir()) {
-        let name = dir
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default();
-        let rel = format!("vendor/{name}");
-        let manifest = fs::read_to_string(dir.join("Cargo.toml")).unwrap_or_default();
-        if !manifest.contains(&format!("name = \"{name}\"")) {
-            findings.push(Finding {
-                rule: "vendor-drift",
-                path: format!("{rel}/Cargo.toml"),
-                line: 1,
-                message: format!("package name must match directory name `{name}`"),
-            });
-        }
-        let referenced = root_manifest.contains(&format!("vendor/{name}\""))
-            || vendor_manifests.contains(&format!("../{name}\""));
-        if !referenced {
-            findings.push(Finding {
-                rule: "vendor-drift",
-                path: format!("{rel}/Cargo.toml"),
-                line: 1,
-                message: "stub is referenced by neither the workspace manifest nor another stub"
-                    .into(),
-            });
-        }
-        match fs::read_to_string(dir.join("src/lib.rs")) {
-            Ok(text) if text.contains("stand-in") => {}
-            Ok(_) => findings.push(Finding {
-                rule: "vendor-drift",
-                path: format!("{rel}/src/lib.rs"),
-                line: 1,
-                message: "stub must document itself as an offline stand-in".into(),
-            }),
-            Err(e) => findings.push(Finding {
-                rule: "vendor-drift",
-                path: format!("{rel}/src/lib.rs"),
-                line: 0,
-                message: format!("cannot read stub root: {e}"),
-            }),
-        }
-    }
-    // Reverse direction: every vendor path the workspace names must exist.
-    for line in root_manifest.lines() {
-        if let Some(pos) = line.find("path = \"vendor/") {
-            let rest = &line[pos + "path = \"".len()..];
-            if let Some(end) = rest.find('"') {
-                let path = &rest[..end];
-                if !root.join(path).join("Cargo.toml").is_file() {
-                    findings.push(Finding {
-                        rule: "vendor-drift",
-                        path: "Cargo.toml".into(),
-                        line: 1,
-                        message: format!("workspace references missing stub `{path}`"),
-                    });
-                }
-            }
-        }
+        ExitCode::FAILURE
     }
 }

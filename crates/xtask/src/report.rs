@@ -1,0 +1,111 @@
+//! Machine-readable finding reports: a plain JSON array and SARIF 2.1.0.
+//!
+//! Hand-rolled emission (std only) — the workspace's vendored serde stubs
+//! are simulation-facing and xtask stays dependency-free. The SARIF shape
+//! is the minimal valid subset CI artifact viewers understand: one run,
+//! one driver, per-rule metadata, one result per finding with a physical
+//! location.
+
+use crate::engine::Finding;
+
+/// JSON-escape `s` into `out`.
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    esc(s, &mut out);
+    out.push('"');
+    out
+}
+
+/// Render findings as a JSON array of `{rule, path, line, col, message}`.
+pub fn findings_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+            quoted(f.rule),
+            quoted(&f.path),
+            f.line,
+            f.col,
+            quoted(&f.message)
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Every rule id the analyzer can emit, with a one-line description —
+/// becomes the SARIF driver's rule table.
+pub const RULE_CATALOG: &[(&str, &str)] = &[
+    ("no-panic", "No .unwrap()/.expect()/panic! in non-test hot-path code"),
+    ("no-float", "Cycle accounting is integer-only; floats live behind declared boundaries"),
+    (
+        "no-nondeterminism",
+        "No randomized containers, unstable hashers, or wall-clock reads in deterministic paths",
+    ),
+    (
+        "cycle-integrity",
+        "No truncating casts or unchecked +/-/* on cycle-carrying values in device/controller hot paths",
+    ),
+    (
+        "exhaustive-match",
+        "No `_ =>` wildcard arms in matches over protocol enums",
+    ),
+    ("forbid-unsafe", "Every crate root forbids unsafe code"),
+    ("strict-docs", "Hot-path crates deny missing docs"),
+    ("vendor-drift", "Vendored stubs stay named, referenced, and self-describing"),
+    ("stale-allowlist", "Allowlist entries that suppress nothing must be removed"),
+];
+
+/// Render findings as a SARIF 2.1.0 log.
+pub fn sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"runs\": [{\n    \"tool\": {\"driver\": {\"name\": \"xtask-lint\", \"informationUri\": \"https://example.invalid/xtask\", \"rules\": [");
+    for (i, (id, desc)) in RULE_CATALOG.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n      {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            quoted(id),
+            quoted(desc)
+        ));
+    }
+    out.push_str("\n    ]}},\n    \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n      {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+            quoted(f.rule),
+            quoted(&f.message),
+            quoted(&f.path),
+            f.line.max(1),
+            f.col.max(1)
+        ));
+    }
+    out.push_str("\n    ]\n  }]\n}\n");
+    out
+}

@@ -1,0 +1,315 @@
+//! The rule families, each a pure function from a [`SourceFile`] to
+//! findings.
+//!
+//! Every rule skips `#[cfg(test)]` regions. Messages always embed the
+//! trimmed offending source line, because the allowlist suppresses
+//! findings by substring match against the message — that grammar is
+//! unchanged from the substring-scanner days.
+
+use crate::engine::{find_matches, Finding, SourceFile};
+use crate::lexer::TokenKind;
+
+/// Integer types an `as` cast can truncate a `u64` cycle count into.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "i64", "isize"];
+
+/// Identifiers whose presence marks nondeterminism: randomized-iteration
+/// containers and hashers, and wall-clock reads. Any of these in a path
+/// that feeds DeviceStats, telemetry, campaign stores, or the serve loop
+/// breaks byte-identical replay.
+const NONDET_IDENTS: &[(&str, &str)] = &[
+    ("HashMap", "randomized iteration order breaks byte-identical stores; use BTreeMap or an index-keyed Vec"),
+    ("HashSet", "randomized iteration order breaks byte-identical stores; use BTreeSet or an index-keyed Vec"),
+    ("RandomState", "per-process random hasher seeds; use a deterministic container"),
+    ("DefaultHasher", "hash output is not stable across toolchains; use the fnv1a64 helper"),
+    ("SystemTime", "wall-clock read in a deterministic path"),
+    ("Instant", "wall-clock read in a deterministic path"),
+];
+
+/// Protocol enums on which a `_ =>` wildcard arm is forbidden, so a new
+/// command/packet/bank-state/ladder-state variant forces every consumer to
+/// handle it explicitly.
+const PROTOCOL_ENUMS: &[&str] = &[
+    "Command",
+    "RowOp",
+    "ColOp",
+    "Dir",
+    "SenseAmps",
+    "BankState",
+    "DegradeLevel",
+];
+
+/// Identifier names the cycle-integrity rule treats as carrying cycle
+/// counts inside the controller/device hot paths.
+fn is_cycle_ident(name: &str) -> bool {
+    matches!(
+        name,
+        "now" | "cycle" | "cycles" | "earliest" | "deadline" | "free" | "start" | "end"
+    ) || name.ends_with("_cycle")
+        || name.ends_with("_cycles")
+        || name.ends_with("_at")
+        || (name.starts_with("t_") && name.len() > 2)
+}
+
+/// no-panic: `.unwrap()`, `.expect(`, `panic!(`, `todo!(`,
+/// `unimplemented!(` in non-test code.
+pub fn no_panic(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let flagged = if t.is_ident("unwrap")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(')'))
+        {
+            Some(".unwrap()")
+        } else if t.is_ident("expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            Some(".expect(")
+        } else if (t.is_ident("panic") || t.is_ident("todo") || t.is_ident("unimplemented"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+            && !(i > 0 && toks[i - 1].is_punct('.'))
+        {
+            match t.text.as_str() {
+                "panic" => Some("panic!("),
+                "todo" => Some("todo!("),
+                _ => Some("unimplemented!("),
+            }
+        } else {
+            None
+        };
+        if let Some(pat) = flagged {
+            out.push(file.finding(
+                "no-panic",
+                i,
+                format!(
+                    "`{pat}` in non-test hot-path code: {}",
+                    file.line_text(t.line)
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// no-float: `f32`/`f64` type tokens and float literals outside declared
+/// float boundaries (fn signatures mentioning a float type, float-typed
+/// consts) — cycle accounting is integer arithmetic.
+pub fn no_float(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if file.in_test[i] || file.float_ok[i] {
+            continue;
+        }
+        let what = if t.is_ident("f64") {
+            "`f64`"
+        } else if t.is_ident("f32") {
+            "`f32`"
+        } else if t.kind == TokenKind::Float {
+            "float literal"
+        } else {
+            continue;
+        };
+        out.push(file.finding(
+            "no-float",
+            i,
+            format!(
+                "{what} outside a declared float boundary (cycle accounting is integer-only): {}",
+                file.line_text(t.line)
+            ),
+        ));
+    }
+    out
+}
+
+/// no-nondeterminism: randomized containers/hashers and wall-clock reads.
+pub fn no_nondeterminism(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if file.in_test[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if let Some((name, why)) = NONDET_IDENTS.iter().find(|(n, _)| t.text == *n) {
+            out.push(file.finding(
+                "no-nondeterminism",
+                i,
+                format!("`{name}` — {why}: {}", file.line_text(t.line)),
+            ));
+        }
+    }
+    out
+}
+
+/// cycle-integrity: in the controller/device hot paths, truncating `as`
+/// casts are forbidden outright, and bare `+`/`-`/`*` with a
+/// cycle-carrying operand must be a checked/saturating call instead (or
+/// carry an allowlist entry with a rationale).
+pub fn cycle_integrity(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // Truncating casts.
+        if t.is_ident("as") {
+            if let Some(ty) = toks.get(i + 1) {
+                if NARROW_INTS.iter().any(|n| ty.is_ident(n)) {
+                    out.push(file.finding(
+                        "cycle-integrity",
+                        i,
+                        format!(
+                            "truncating `as {}` cast in a cycle hot path (use try_into or widen): {}",
+                            ty.text,
+                            file.line_text(t.line)
+                        ),
+                    ));
+                }
+            }
+            continue;
+        }
+        // Bare arithmetic with a cycle-carrying adjacent operand.
+        let op = match t.text.as_str() {
+            "+" | "-" | "*" if t.kind == TokenKind::Punct => t.text.as_str(),
+            _ => continue,
+        };
+        // Compound assignment (`+=`) and arrows (`->`) are not binary
+        // arithmetic; accumulator updates are bounded by run length.
+        if toks
+            .get(i + 1)
+            .is_some_and(|n| n.is_punct('=') || n.is_punct('>'))
+        {
+            continue;
+        }
+        // Binary position: something value-like must precede the operator.
+        let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) else {
+            continue;
+        };
+        let binary = matches!(
+            prev.kind,
+            TokenKind::Ident | TokenKind::Int | TokenKind::Float
+        ) && !prev.is_ident("return")
+            || prev.is_punct(')')
+            || prev.is_punct(']');
+        if !binary {
+            continue;
+        }
+        let prev_cycle = prev.kind == TokenKind::Ident && is_cycle_ident(&prev.text);
+        let next_cycle = toks
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokenKind::Ident && is_cycle_ident(&n.text))
+            // `x + self.t_rw` / `x + t.t_rcd`: look through one `ident .`
+            // pair to the field being read.
+            || (toks.get(i + 2).is_some_and(|d| d.is_punct('.'))
+                && toks
+                    .get(i + 3)
+                    .is_some_and(|f| f.kind == TokenKind::Ident && is_cycle_ident(&f.text)));
+        if prev_cycle || next_cycle {
+            out.push(file.finding(
+                "cycle-integrity",
+                i,
+                format!(
+                    "unchecked `{op}` on a cycle-carrying value (use checked_/saturating_ ops \
+                     or allowlist with a rationale): {}",
+                    file.line_text(t.line)
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// exhaustive-match: a bare `_ =>` wildcard arm in a match that patterns
+/// over a protocol enum silently swallows future variants.
+pub fn exhaustive_match(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for m in find_matches(toks) {
+        if m.wildcard_arms.is_empty() {
+            continue;
+        }
+        // A match "patterns over" a protocol enum when any arm pattern (or
+        // the scrutinee itself) names `Enum::`.
+        let mut ranges = m.arm_patterns.clone();
+        ranges.push(m.scrutinee);
+        let named = ranges.iter().find_map(|&(a, b)| {
+            (a..b).find_map(|k| {
+                let t = &toks[k];
+                if t.kind == TokenKind::Ident
+                    && PROTOCOL_ENUMS.contains(&t.text.as_str())
+                    && toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                {
+                    Some(t.text.clone())
+                } else {
+                    None
+                }
+            })
+        });
+        if let Some(enum_name) = named {
+            for &w in &m.wildcard_arms {
+                if file.in_test[w] {
+                    continue;
+                }
+                out.push(file.finding(
+                    "exhaustive-match",
+                    w,
+                    format!(
+                        "`_ =>` wildcard arm in a match over protocol enum `{enum_name}` \
+                         (new variants must force explicit handling): {}",
+                        file.line_text(toks[w].line)
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(rule: fn(&SourceFile) -> Vec<Finding>, src: &str) -> Vec<Finding> {
+        rule(&SourceFile::new("fixture.rs", src))
+    }
+
+    #[test]
+    fn no_panic_ignores_idents_in_strings_and_tests() {
+        let src = r#"
+fn a() { let s = "please .unwrap() me"; }
+fn b(x: Option<u8>) -> u8 { x.unwrap() }
+#[cfg(test)]
+mod tests { fn t(x: Option<u8>) { x.unwrap(); } }
+"#;
+        let f = findings(no_panic, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn cycle_integrity_sees_field_reads() {
+        let src = "fn f(free: u64, t: &Timing) -> u64 { free + t.t_rw }";
+        assert_eq!(findings(cycle_integrity, src).len(), 1);
+        let ok = "fn f(free: u64, t: &Timing) -> u64 { free.saturating_add(t.t_rw) }";
+        assert!(findings(cycle_integrity, ok).is_empty());
+    }
+
+    #[test]
+    fn nondeterminism_is_token_exact() {
+        // `Instantiate` must not fire; `Instant` must.
+        let src = "/// Instantiate the policy.\nfn f() { let x = Instantiate::new(); }";
+        assert!(findings(no_nondeterminism, src).is_empty());
+        let bad = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(findings(no_nondeterminism, bad).len(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Known-bad: unchecked arithmetic on cycle-carrying values and a
+//! truncating cast, in what stands in for a device hot path.
+
+/// `start` is cycle-carrying, so the bare `+` must fire.
+pub fn end_of(start: u64, len: u64) -> u64 {
+    start + len
+}
+
+/// Looking through a field read: `t.t_rw` is cycle-carrying.
+pub fn with_turnaround(free: u64, t: &Timing) -> u64 {
+    free + t.t_rw
+}
+
+/// Truncating `as` cast on a cycle count must fire.
+pub fn low_bits(cycle: u64) -> u32 {
+    cycle as u32
+}

@@ -1,0 +1,27 @@
+//! Known-good: saturating cycle math, widening casts, and non-cycle
+//! arithmetic that the rule must leave alone.
+
+/// The saturating form of the bad fixture's `start + len`.
+pub fn end_of(start: u64, len: u64) -> u64 {
+    start.saturating_add(len)
+}
+
+/// Saturating through the field read too.
+pub fn with_turnaround(free: u64, t: &Timing) -> u64 {
+    free.saturating_add(t.t_rw)
+}
+
+/// Widening never truncates.
+pub fn widen(x: u32) -> u64 {
+    u64::from(x)
+}
+
+/// Arithmetic on non-cycle identifiers stays allowed.
+pub fn words_per_packet(width_bytes: u64, word_bytes: u64) -> u64 {
+    width_bytes * 8 / word_bytes
+}
+
+/// Accumulator updates (`+=`) are bounded by run length, not flagged.
+pub fn accumulate(busy_cycles: &mut u64, len: u64) {
+    *busy_cycles += len;
+}

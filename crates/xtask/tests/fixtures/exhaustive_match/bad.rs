@@ -1,0 +1,18 @@
+//! Known-bad: a `_ =>` wildcard arm in a match over a protocol enum.
+
+/// Data transfer direction — one of the protocol enums.
+pub enum Dir {
+    /// Device-to-controller transfer.
+    Read,
+    /// Controller-to-device transfer.
+    Write,
+}
+
+/// Adding a third direction would be silently swallowed by the wildcard —
+/// must fire `exhaustive-match`.
+pub fn is_read(d: Dir) -> bool {
+    match d {
+        Dir::Read => true,
+        _ => false,
+    }
+}

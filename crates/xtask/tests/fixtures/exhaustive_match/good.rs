@@ -1,0 +1,36 @@
+//! Known-good: explicit arms over protocol enums; wildcards over
+//! internal (non-protocol) enums stay allowed.
+
+/// Data transfer direction — one of the protocol enums.
+pub enum Dir {
+    /// Device-to-controller transfer.
+    Read,
+    /// Controller-to-device transfer.
+    Write,
+}
+
+/// Every variant named: a new one is a compile error here.
+pub fn is_read(d: Dir) -> bool {
+    match d {
+        Dir::Read => true,
+        Dir::Write => false,
+    }
+}
+
+/// An internal pipeline stage, not a protocol enum.
+pub enum Stage {
+    /// Fetch.
+    Fetch,
+    /// Decode.
+    Decode,
+    /// Retire.
+    Retire,
+}
+
+/// Wildcards over non-protocol enums are fine.
+pub fn is_fetch(s: Stage) -> bool {
+    match s {
+        Stage::Fetch => true,
+        _ => false,
+    }
+}

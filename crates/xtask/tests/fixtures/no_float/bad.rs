@@ -1,0 +1,9 @@
+//! Known-bad: float math leaking into integer cycle accounting.
+
+/// Average cycles per word computed in floating point. Neither the
+/// signature nor any const declares a float boundary, so the two `f64`
+/// tokens and the `1000.0` literal must all fire `no-float`.
+pub fn avg_milli(cycles: u64, words: u64) -> u64 {
+    let ratio = cycles as f64 / words as f64;
+    (ratio * 1000.0) as u64
+}

@@ -1,0 +1,25 @@
+//! Known-good: integer accounting, with floats only behind declared
+//! boundaries (a float-returning signature, a float-ascribed const).
+
+/// Milli-percent of peak from integer counters — the hot-path idiom.
+pub fn milli_percent(n: u64, d: u64) -> u64 {
+    if d == 0 {
+        0
+    } else {
+        n.saturating_mul(100_000) / d
+    }
+}
+
+/// Display derivation: `f64` in the signature declares the boundary, so
+/// the float math in the body is allowed.
+pub fn as_gbytes_per_s(bytes_per_cycle: u64) -> f64 {
+    bytes_per_cycle as f64 * 1.6
+}
+
+/// Float-ascribed const is a declared boundary too.
+pub const CYCLE_NS: f64 = 1.25;
+
+/// Range and method calls on integers must not be mis-lexed as floats.
+pub fn not_floats(n: u64) -> u64 {
+    (0..2u64).map(|i| i.max(1)).sum::<u64>() + n.min(7)
+}

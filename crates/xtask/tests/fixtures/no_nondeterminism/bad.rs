@@ -1,0 +1,17 @@
+//! Known-bad: randomized containers and wall-clock reads in a path that
+//! feeds serialized output.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Randomized iteration order leaks into whatever serializes this map —
+/// every `HashMap` token must fire `no-nondeterminism`.
+pub fn tally(xs: &[u8]) -> HashMap<u8, u64> {
+    let started = Instant::now();
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    let _ = started.elapsed();
+    m
+}

@@ -1,0 +1,24 @@
+//! Known-good: ordered containers throughout. The word "Instantiate" in
+//! prose shares a prefix with `Instant` and must NOT fire — the rule is
+//! token-exact, not substring.
+
+use std::collections::BTreeMap;
+
+/// Instantiate a tally with deterministic iteration order.
+pub fn tally(xs: &[u8]) -> BTreeMap<u8, u64> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _ = Instant::now();
+    }
+}

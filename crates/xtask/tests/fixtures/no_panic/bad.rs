@@ -1,0 +1,19 @@
+//! Known-bad: panic paths in non-test hot-path code.
+
+/// Pops the next queued command or dies — must fire `no-panic`.
+pub fn next(q: &mut Vec<u64>) -> u64 {
+    q.pop().unwrap()
+}
+
+/// Explains itself away but still aborts — must fire `no-panic`.
+pub fn budget(words: u64, limit: u64) -> u64 {
+    if words > limit {
+        panic!("over budget");
+    }
+    words
+}
+
+/// Unfinished path left in shipping code — must fire `no-panic`.
+pub fn later() {
+    todo!("write the retire path")
+}

@@ -1,0 +1,22 @@
+//! Known-good: errors are values; `.unwrap()` only in prose, strings, and
+//! tests — none of which may fire `no-panic`.
+
+/// Pops the next queued command if any.
+pub fn next(q: &mut Vec<u64>) -> Option<u64> {
+    q.pop()
+}
+
+/// Mentions .unwrap() in a comment and returns it inside a string.
+pub fn advice() -> &'static str {
+    // Callers who .unwrap() this are on their own.
+    "never .unwrap() a device response"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        Some(1u8).unwrap();
+        assert!(std::panic::catch_unwind(|| panic!("also fine here")).is_err());
+    }
+}

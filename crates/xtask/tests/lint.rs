@@ -1,0 +1,337 @@
+//! The fixture corpus: every token-level rule family must fire on its
+//! known-bad fixture and stay silent on its known-good one, the lexer
+//! must survive the char-literal/lifetime cases that broke the old
+//! substring scanner, stale allowlist entries must become findings, and
+//! the SARIF report must have the advertised 2.1.0 shape.
+
+use xtask::engine::Finding;
+use xtask::lexer::{lex, sanitize, TokenKind};
+use xtask::{allowlist, report, scan_source, RuleSet};
+
+fn scan(rel: &str, text: &str, rules: RuleSet) -> Vec<Finding> {
+    scan_source(rel, text, rules)
+}
+
+fn family(bad: &str, good: &str, rules: RuleSet, rule_id: &str) {
+    let bad_findings = scan("fixtures/bad.rs", bad, rules);
+    assert!(
+        !bad_findings.is_empty(),
+        "`{rule_id}` must fire on its known-bad fixture"
+    );
+    assert!(
+        bad_findings.iter().all(|f| f.rule == rule_id),
+        "only `{rule_id}` findings expected, got {bad_findings:?}"
+    );
+    assert!(
+        bad_findings.iter().all(|f| f.line > 0 && f.col > 0),
+        "findings carry 1-based line/column positions: {bad_findings:?}"
+    );
+    let good_findings = scan("fixtures/good.rs", good, rules);
+    assert!(
+        good_findings.is_empty(),
+        "`{rule_id}` must stay silent on its known-good fixture, got {good_findings:?}"
+    );
+}
+
+#[test]
+fn no_panic_fixtures() {
+    family(
+        include_str!("fixtures/no_panic/bad.rs"),
+        include_str!("fixtures/no_panic/good.rs"),
+        RuleSet {
+            no_panic: true,
+            ..RuleSet::default()
+        },
+        "no-panic",
+    );
+    // Three distinct panic forms in the bad fixture.
+    let f = scan(
+        "bad.rs",
+        include_str!("fixtures/no_panic/bad.rs"),
+        RuleSet {
+            no_panic: true,
+            ..RuleSet::default()
+        },
+    );
+    assert_eq!(f.len(), 3, "{f:?}");
+}
+
+#[test]
+fn no_float_fixtures() {
+    family(
+        include_str!("fixtures/no_float/bad.rs"),
+        include_str!("fixtures/no_float/good.rs"),
+        RuleSet {
+            no_float: true,
+            ..RuleSet::default()
+        },
+        "no-float",
+    );
+    // Two `f64` tokens plus the `1000.0` literal.
+    let f = scan(
+        "bad.rs",
+        include_str!("fixtures/no_float/bad.rs"),
+        RuleSet {
+            no_float: true,
+            ..RuleSet::default()
+        },
+    );
+    assert_eq!(f.len(), 3, "{f:?}");
+}
+
+#[test]
+fn no_nondeterminism_fixtures() {
+    family(
+        include_str!("fixtures/no_nondeterminism/bad.rs"),
+        include_str!("fixtures/no_nondeterminism/good.rs"),
+        RuleSet {
+            no_nondeterminism: true,
+            ..RuleSet::default()
+        },
+        "no-nondeterminism",
+    );
+}
+
+#[test]
+fn cycle_integrity_fixtures() {
+    family(
+        include_str!("fixtures/cycle_integrity/bad.rs"),
+        include_str!("fixtures/cycle_integrity/good.rs"),
+        RuleSet {
+            cycle_integrity: true,
+            ..RuleSet::default()
+        },
+        "cycle-integrity",
+    );
+    // Two unchecked ops plus one truncating cast.
+    let f = scan(
+        "bad.rs",
+        include_str!("fixtures/cycle_integrity/bad.rs"),
+        RuleSet {
+            cycle_integrity: true,
+            ..RuleSet::default()
+        },
+    );
+    assert_eq!(f.len(), 3, "{f:?}");
+    assert!(f.iter().any(|f| f.message.contains("truncating `as u32`")));
+}
+
+#[test]
+fn exhaustive_match_fixtures() {
+    family(
+        include_str!("fixtures/exhaustive_match/bad.rs"),
+        include_str!("fixtures/exhaustive_match/good.rs"),
+        RuleSet {
+            exhaustive_match: true,
+            ..RuleSet::default()
+        },
+        "exhaustive-match",
+    );
+}
+
+#[test]
+fn every_family_on_the_full_ruleset_stays_clean_on_good_fixtures() {
+    // The good fixtures are also clean under ALL families at once — no
+    // rule family trips over another family's legitimate idiom.
+    for good in [
+        include_str!("fixtures/no_panic/good.rs"),
+        include_str!("fixtures/no_float/good.rs"),
+        include_str!("fixtures/no_nondeterminism/good.rs"),
+        include_str!("fixtures/cycle_integrity/good.rs"),
+        include_str!("fixtures/exhaustive_match/good.rs"),
+    ] {
+        let f = scan("fixtures/good.rs", good, RuleSet::all());
+        assert!(f.is_empty(), "{f:?}");
+    }
+}
+
+// ---- lexer regressions: the cases that broke the substring scanner ----
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn first<'a>(xs: &'a [u64]) -> &'a u64 { &xs[0] }";
+    let toks = lex(src);
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .collect();
+    assert_eq!(lifetimes.len(), 3, "{toks:?}");
+    assert!(lifetimes.iter().all(|t| t.text == "'a"));
+    assert!(!toks.iter().any(|t| t.kind == TokenKind::Char));
+    // sanitize() must keep the lifetimes (they are code, not literals).
+    assert_eq!(sanitize(src), src);
+}
+
+#[test]
+fn escaped_quote_char_literal_does_not_derail_the_scan() {
+    // The historical sanitize() bug: `'\''` opened a "char literal" that
+    // never closed, hiding everything after it. The `.unwrap()` after the
+    // literal must still be visible to the rules.
+    let src = "fn f(x: Option<u8>) -> u8 { let _q = '\\''; x.unwrap() }";
+    let f = scan(
+        "x.rs",
+        src,
+        RuleSet {
+            no_panic: true,
+            ..RuleSet::default()
+        },
+    );
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(f[0].message.contains(".unwrap()"));
+    // And the literal itself is blanked, not the code around it.
+    let clean = sanitize(src);
+    assert!(clean.contains("unwrap"));
+    assert!(!clean.contains("\\'"));
+}
+
+#[test]
+fn lifetime_after_char_literal_mix() {
+    // `'x'` (char), `'a` (lifetime), and a string containing an
+    // apostrophe, all on one line.
+    let src = "fn g<'a>(c: char, s: &'a str) -> bool { c == 'x' && s == \"it's\" }";
+    let toks = lex(src);
+    assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+    assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    assert_eq!(
+        toks.iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count(),
+        2
+    );
+}
+
+// ---- allowlist: stale entries fail the lint ---------------------------
+
+#[test]
+fn stale_allowlist_entries_become_findings() {
+    let mut entries = allowlist::parse(
+        "no-panic | src/dead.rs | long gone\nno-panic | src/live.rs | unwrap\n",
+        "lint-allow.txt",
+    )
+    .unwrap();
+    let findings = vec![Finding {
+        rule: "no-panic",
+        path: "crates/x/src/live.rs".into(),
+        line: 3,
+        col: 7,
+        message: "`.unwrap()` in non-test hot-path code: x.unwrap()".into(),
+    }];
+    let kept = allowlist::apply(findings, &mut entries, &[], "lint-allow.txt");
+    // The live finding is suppressed; the dead entry surfaces as stale.
+    assert_eq!(kept.len(), 1, "{kept:?}");
+    assert_eq!(kept[0].rule, "stale-allowlist");
+    assert_eq!(kept[0].line, 1, "stale report points at the entry's line");
+    assert!(kept[0].message.contains("src/dead.rs"));
+}
+
+#[test]
+fn no_allowlist_files_cannot_be_suppressed() {
+    let mut entries =
+        allowlist::parse("no-panic | src/runner.rs | unwrap\n", "lint-allow.txt").unwrap();
+    let findings = vec![Finding {
+        rule: "no-panic",
+        path: "crates/sim/src/runner.rs".into(),
+        line: 1,
+        col: 1,
+        message: "`.unwrap()` in non-test hot-path code: x.unwrap()".into(),
+    }];
+    let kept = allowlist::apply(
+        findings,
+        &mut entries,
+        &["crates/sim/src/runner.rs"],
+        "lint-allow.txt",
+    );
+    // Finding survives AND the entry goes stale: two findings total.
+    assert_eq!(kept.len(), 2, "{kept:?}");
+    assert!(kept.iter().any(|f| f.rule == "no-panic"));
+    assert!(kept.iter().any(|f| f.rule == "stale-allowlist"));
+}
+
+// ---- SARIF shape ------------------------------------------------------
+
+#[test]
+fn sarif_has_the_2_1_0_shape() {
+    let findings = vec![
+        Finding {
+            rule: "cycle-integrity",
+            path: "crates/rdram/src/bank.rs".into(),
+            line: 80,
+            col: 41,
+            message: "unchecked `+` on a cycle-carrying value: a + t.t_rc".into(),
+        },
+        Finding {
+            rule: "no-panic",
+            path: "crates/smc/src/msu.rs".into(),
+            line: 0, // degenerate position must clamp to 1 in SARIF
+            col: 0,
+            message: "quoting \"tricky\" text\n with a newline".into(),
+        },
+    ];
+    let doc = serde_json::from_str(&report::sarif(&findings)).expect("SARIF must be valid JSON");
+    assert_eq!(doc["version"].as_str(), Some("2.1.0"));
+    assert!(doc["$schema"].as_str().unwrap().contains("sarif-2.1.0"));
+    let runs = doc["runs"].as_array().unwrap();
+    assert_eq!(runs.len(), 1);
+    let driver = &runs[0]["tool"]["driver"];
+    assert_eq!(driver["name"].as_str(), Some("xtask-lint"));
+    let rules = driver["rules"].as_array().unwrap();
+    assert_eq!(rules.len(), report::RULE_CATALOG.len());
+    for (rule, (id, _)) in rules.iter().zip(report::RULE_CATALOG) {
+        assert_eq!(rule["id"].as_str(), Some(*id));
+        assert!(rule["shortDescription"]["text"].as_str().is_some());
+    }
+    let results = runs[0]["results"].as_array().unwrap();
+    assert_eq!(results.len(), 2);
+    let r0 = &results[0];
+    assert_eq!(r0["ruleId"].as_str(), Some("cycle-integrity"));
+    assert_eq!(r0["level"].as_str(), Some("error"));
+    let loc = &r0["locations"].as_array().unwrap()[0]["physicalLocation"];
+    assert_eq!(
+        loc["artifactLocation"]["uri"].as_str(),
+        Some("crates/rdram/src/bank.rs")
+    );
+    assert_eq!(loc["region"]["startLine"].as_u64(), Some(80));
+    assert_eq!(loc["region"]["startColumn"].as_u64(), Some(41));
+    // Degenerate 0 positions clamp to SARIF's 1-based minimum.
+    let loc1 = &results[1]["locations"].as_array().unwrap()[0]["physicalLocation"];
+    assert_eq!(loc1["region"]["startLine"].as_u64(), Some(1));
+}
+
+#[test]
+fn findings_json_round_trips() {
+    let findings = vec![Finding {
+        rule: "no-float",
+        path: "crates/rdram/src/legacy.rs".into(),
+        line: 12,
+        col: 9,
+        message: "float \"literal\"".into(),
+    }];
+    let doc = serde_json::from_str(&report::findings_json(&findings)).unwrap();
+    let arr = doc.as_array().unwrap();
+    assert_eq!(arr.len(), 1);
+    assert_eq!(arr[0]["rule"].as_str(), Some("no-float"));
+    assert_eq!(arr[0]["line"].as_u64(), Some(12));
+    assert_eq!(arr[0]["message"].as_str(), Some("float \"literal\""));
+}
+
+// ---- the repository itself is clean -----------------------------------
+
+#[test]
+fn repository_lint_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    let outcome = xtask::run_lint(&root).expect("lint must run");
+    assert!(
+        outcome.findings.is_empty(),
+        "repository lint must be clean:\n{}",
+        outcome
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
