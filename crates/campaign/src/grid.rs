@@ -21,16 +21,18 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// Expand `spec` into its run points.
 ///
 /// The nesting order (kernel → memory → order → alignment → n → stride →
-/// faults → fault seed → tenants → budget) is part of the store format:
-/// it fixes the record order of every campaign, independent of worker
-/// count. Three collapses keep the grid free of synonymous points before
-/// dedup even runs: natural-order points ignore the `fifo` axis (one
-/// point per family, not one per depth), a clean run (`faults == ""`)
-/// pins `fault_seed` to 0 because the seed is inert without a plan, and a
-/// single-tenant run (`tenants == ""`) pins `budget_permille` to 0
-/// because the regulator budget is inert without tenants. Points matching
-/// any exclusion clause are dropped, and exact duplicates (e.g. a
-/// repeated axis value) are collapsed to their first occurrence.
+/// faults → fault seed → tenants → budget → attribution) is part of the
+/// store format: it fixes the record order of every campaign, independent
+/// of worker count. Four collapses keep the grid free of synonymous
+/// points before dedup even runs: natural-order points ignore the `fifo`
+/// axis (one point per family, not one per depth), a clean run
+/// (`faults == ""`) pins `fault_seed` to 0 because the seed is inert
+/// without a plan, a single-tenant run (`tenants == ""`) pins
+/// `budget_permille` to 0 because the regulator budget is inert without
+/// tenants, and a multi-tenant run pins `attribution` to 0 because the
+/// serve loop owns the clock there. Points matching any exclusion clause
+/// are dropped, and exact duplicates (e.g. a repeated axis value) are
+/// collapsed to their first occurrence.
 pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
     let axes = &spec.axes;
     let mut seen = BTreeSet::new();
@@ -61,23 +63,35 @@ pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
                                                 &axes.budgets
                                             };
                                             for &budget_permille in budgets {
-                                                let point = RunPoint {
-                                                    kernel: kernel.clone(),
-                                                    order,
-                                                    memory: memory.clone(),
-                                                    alignment: alignment.clone(),
-                                                    n,
-                                                    stride,
-                                                    faults: faults.clone(),
-                                                    fault_seed,
-                                                    tenants: tenants.clone(),
-                                                    budget_permille,
+                                                let attrs: &[u64] = if tenants.is_empty() {
+                                                    &axes.attributions
+                                                } else {
+                                                    &[0]
                                                 };
-                                                if spec.exclude.iter().any(|x| x.matches(&point)) {
-                                                    continue;
-                                                }
-                                                if seen.insert(point.key()) {
-                                                    points.push(point);
+                                                for &attribution in attrs {
+                                                    let point = RunPoint {
+                                                        kernel: kernel.clone(),
+                                                        order,
+                                                        memory: memory.clone(),
+                                                        alignment: alignment.clone(),
+                                                        n,
+                                                        stride,
+                                                        faults: faults.clone(),
+                                                        fault_seed,
+                                                        tenants: tenants.clone(),
+                                                        budget_permille,
+                                                        attribution,
+                                                    };
+                                                    if spec
+                                                        .exclude
+                                                        .iter()
+                                                        .any(|x| x.matches(&point))
+                                                    {
+                                                        continue;
+                                                    }
+                                                    if seen.insert(point.key()) {
+                                                        points.push(point);
+                                                    }
                                                 }
                                             }
                                         }
@@ -174,6 +188,22 @@ mod tests {
                 .collect::<Vec<_>>(),
             [250, 500, 1000]
         );
+    }
+
+    #[test]
+    fn multi_tenant_runs_collapse_the_attribution_axis() {
+        let mut spec = CampaignSpec::named("t");
+        spec.axes.tenant_mixes = vec![String::new(), "ls:1:daxpy:64".into()];
+        spec.axes.attributions = vec![0, 1];
+        let points = expand(&spec);
+        // Single-tenant point with attribution off and on + 1 tenant point
+        // (attribution pinned to 0).
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].attribution, 0);
+        assert_eq!(points[1].attribution, 1);
+        assert!(points[1].tenants.is_empty());
+        assert_eq!(points[2].tenants, "ls:1:daxpy:64");
+        assert_eq!(points[2].attribution, 0);
     }
 
     #[test]

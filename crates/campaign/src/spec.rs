@@ -83,6 +83,12 @@ pub struct RunPoint {
     /// Bandwidth-hungry budget as permille of the default regulator budget
     /// (forced to 0 — "use the default" — when `tenants` is empty).
     pub budget_permille: u64,
+    /// Whether the run collects cycle attribution (0 = off, 1 = on; forced
+    /// to 0 for multi-tenant points, where the serve loop owns the clock
+    /// and attribution does not apply). When 0, the field is omitted from
+    /// the key and the record form, so pre-attribution campaigns and their
+    /// goldens are byte-identical to builds that predate the profiler.
+    pub attribution: u64,
 }
 
 impl RunPoint {
@@ -108,6 +114,9 @@ impl RunPoint {
                 self.tenants, self.budget_permille
             ));
         }
+        if self.attribution != 0 {
+            key.push_str("|attr=1");
+        }
         key
     }
 
@@ -132,6 +141,7 @@ impl RunPoint {
             fault_seed: 0,
             tenants: String::new(),
             budget_permille: 0,
+            attribution: 0,
         }
     }
 }
@@ -168,6 +178,9 @@ pub struct Axes {
     /// Bandwidth-hungry budgets in permille of the regulator default, 0
     /// meaning "the default" (`budget_permille`). Default: `[0]`.
     pub budgets: Vec<u64>,
+    /// Cycle-attribution switches, each 0 (off) or 1 (on)
+    /// (`attribution`). Default: `[0]`.
+    pub attributions: Vec<u64>,
 }
 
 impl Default for Axes {
@@ -184,6 +197,7 @@ impl Default for Axes {
             fault_seeds: vec![0],
             tenant_mixes: vec![String::new()],
             budgets: vec![0],
+            attributions: vec![0],
         }
     }
 }
@@ -214,6 +228,8 @@ pub struct Exclude {
     pub tenants: Option<String>,
     /// Match on the bandwidth-hungry budget permille.
     pub budget_permille: Option<u64>,
+    /// Match on the attribution switch (0 or 1).
+    pub attribution: Option<u64>,
 }
 
 impl Exclude {
@@ -237,6 +253,7 @@ impl Exclude {
             && eq_u(&self.fault_seed, point.fault_seed)
             && eq_s(&self.tenants, &point.tenants)
             && eq_u(&self.budget_permille, point.budget_permille)
+            && eq_u(&self.attribution, point.attribution)
     }
 }
 
@@ -346,12 +363,20 @@ fn parse_axes(v: &Value, path: &str) -> Result<Axes, SpecError> {
             "fault_seed" => axes.fault_seeds = u64_list(value, &p, 0)?,
             "tenants" => axes.tenant_mixes = string_list(value, &p, None)?,
             "budget_permille" => axes.budgets = u64_list(value, &p, 0)?,
+            "attribution" => {
+                let switches = u64_list(value, &p, 0)?;
+                if let Some(i) = switches.iter().position(|&s| s > 1) {
+                    return Err(err(&format!("{p}[{i}]"), "must be 0 or 1"));
+                }
+                axes.attributions = switches;
+            }
             other => {
                 return Err(err(
                     path,
                     format!(
                         "unknown axis `{other}` (known: kernel, order, memory, fifo, n, \
-                         stride, alignment, faults, fault_seed, tenants, budget_permille)"
+                         stride, alignment, faults, fault_seed, tenants, budget_permille, \
+                         attribution)"
                     ),
                 ));
             }
@@ -390,6 +415,7 @@ fn parse_exclude(v: &Value, path: &str) -> Result<Exclude, SpecError> {
             "stride" => clause.stride = Some(want_u64(value, &p)?),
             "fault_seed" => clause.fault_seed = Some(want_u64(value, &p)?),
             "budget_permille" => clause.budget_permille = Some(want_u64(value, &p)?),
+            "attribution" => clause.attribution = Some(want_u64(value, &p)?),
             other => return Err(err(path, format!("unknown exclude field `{other}`"))),
         }
     }
@@ -611,6 +637,41 @@ mod tests {
         };
         assert!(clause.matches(&hit));
         assert!(!clause.matches(&RunPoint::smoke("daxpy", 64)));
+    }
+
+    #[test]
+    fn attribution_extends_the_key_only_when_on() {
+        let off = RunPoint::smoke("copy", 64);
+        // Attribution-off keys are byte-identical to the pre-profiler format.
+        assert!(!off.key().contains("attr"));
+        let on = RunPoint {
+            attribution: 1,
+            ..off.clone()
+        };
+        assert_eq!(on.key(), format!("{}|attr=1", off.key()));
+        assert_ne!(on.run_id(), off.run_id());
+    }
+
+    #[test]
+    fn attribution_axis_parses_and_rejects_non_switch_values() {
+        let spec = CampaignSpec::from_json(
+            r#"{"schema": 1, "name": "t", "axes": {"attribution": [0, 1]}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.axes.attributions, [0, 1]);
+        let e =
+            CampaignSpec::from_json(r#"{"schema": 1, "name": "t", "axes": {"attribution": [2]}}"#)
+                .unwrap_err();
+        assert_eq!(e.path, "$.axes.attribution[0]");
+        let spec = CampaignSpec::from_json(
+            r#"{"schema": 1, "name": "t", "exclude": [{"attribution": 1}]}"#,
+        )
+        .unwrap();
+        assert!(spec.exclude[0].matches(&RunPoint {
+            attribution: 1,
+            ..RunPoint::smoke("copy", 64)
+        }));
+        assert!(!spec.exclude[0].matches(&RunPoint::smoke("copy", 64)));
     }
 
     #[test]

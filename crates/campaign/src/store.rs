@@ -64,6 +64,19 @@ pub struct RunStats {
     pub serve_starvation: u64,
     /// Token-budget violations observed at dispatch (must stay 0).
     pub serve_budget_violations: u64,
+    /// Attribution: cycles moving useful data (attribution points only;
+    /// stays 0 — and unserialized — when `attribution` is off).
+    pub attr_data_cycles: u64,
+    /// Attribution: bus-turnaround cycles.
+    pub attr_turnaround_cycles: u64,
+    /// Attribution: activate/precharge cycles hiding no data transfer.
+    pub attr_row_overhead_cycles: u64,
+    /// Attribution: cycles waiting on a busy conflicting bank.
+    pub attr_bank_conflict_cycles: u64,
+    /// Attribution: cycles lost to retries and fault recovery.
+    pub attr_retry_cycles: u64,
+    /// Attribution: cycles no component can claim.
+    pub attr_idle_cycles: u64,
 }
 
 /// One row of [`STAT_FIELDS`]: field name, getter, setter.
@@ -152,6 +165,42 @@ const SERVE_STAT_FIELDS: &[StatField] = &[
     ),
 ];
 
+/// Cycle-attribution counters, serialized (and parsed) only for records
+/// whose point has `attribution` on — attribution-off stores never carry
+/// these fields, which keeps pre-profiler goldens byte-identical.
+const ATTR_STAT_FIELDS: &[StatField] = &[
+    (
+        "attr_data_cycles",
+        |s| s.attr_data_cycles,
+        |s, v| s.attr_data_cycles = v,
+    ),
+    (
+        "attr_turnaround_cycles",
+        |s| s.attr_turnaround_cycles,
+        |s, v| s.attr_turnaround_cycles = v,
+    ),
+    (
+        "attr_row_overhead_cycles",
+        |s| s.attr_row_overhead_cycles,
+        |s, v| s.attr_row_overhead_cycles = v,
+    ),
+    (
+        "attr_bank_conflict_cycles",
+        |s| s.attr_bank_conflict_cycles,
+        |s, v| s.attr_bank_conflict_cycles = v,
+    ),
+    (
+        "attr_retry_cycles",
+        |s| s.attr_retry_cycles,
+        |s, v| s.attr_retry_cycles = v,
+    ),
+    (
+        "attr_idle_cycles",
+        |s| s.attr_idle_cycles,
+        |s, v| s.attr_idle_cycles = v,
+    ),
+];
+
 /// How one run ended: statistics, or a structured error message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Outcome {
@@ -195,6 +244,9 @@ impl RunRecord {
             fields.push(("tenants".into(), Value::String(p.tenants.clone())));
             fields.push(("budget_permille".into(), Value::UInt(p.budget_permille)));
         }
+        if p.attribution != 0 {
+            fields.push(("attribution".into(), Value::UInt(p.attribution)));
+        }
         match &self.outcome {
             Outcome::Ok(stats) => {
                 fields.push(("status".into(), Value::String("ok".into())));
@@ -203,6 +255,11 @@ impl RunRecord {
                 }
                 if !p.tenants.is_empty() {
                     for (name, get, _) in SERVE_STAT_FIELDS {
+                        fields.push(((*name).into(), Value::UInt(get(stats))));
+                    }
+                }
+                if p.attribution != 0 {
+                    for (name, get, _) in ATTR_STAT_FIELDS {
                         fields.push(((*name).into(), Value::UInt(get(stats))));
                     }
                 }
@@ -251,6 +308,9 @@ impl RunRecord {
         } else {
             u64_field("budget_permille")?
         };
+        // Like the tenant fields, `attribution` is optional: absent means
+        // off, so pre-profiler stores parse unchanged.
+        let attribution = v.get("attribution").and_then(Value::as_u64).unwrap_or(0);
         let point = RunPoint {
             kernel: str_field("kernel")?,
             order,
@@ -262,6 +322,7 @@ impl RunRecord {
             fault_seed: u64_field("fault_seed")?,
             tenants,
             budget_permille,
+            attribution,
         };
         let outcome = match str_field("status")?.as_str() {
             "ok" => {
@@ -271,6 +332,11 @@ impl RunRecord {
                 }
                 if !point.tenants.is_empty() {
                     for (name, _, set) in SERVE_STAT_FIELDS {
+                        set(&mut stats, u64_field(name)?);
+                    }
+                }
+                if point.attribution != 0 {
+                    for (name, _, set) in ATTR_STAT_FIELDS {
                         set(&mut stats, u64_field(name)?);
                     }
                 }
@@ -552,6 +618,45 @@ mod tests {
         let text = store.to_jsonl();
         assert!(text.contains("\"tenants\":\"ls:1:daxpy:64+bh:2:copy:64\""));
         assert!(text.contains("\"serve_fairness_milli\":930"));
+        let back = ResultsStore::from_jsonl(&text).unwrap();
+        assert_eq!(back, store);
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn attribution_records_round_trip_and_off_points_stay_inert() {
+        // Attribution-off lines never mention the profiler at all.
+        let plain = sample_store();
+        for record in &plain.records {
+            let line = record.to_json_line();
+            assert!(!line.contains("attr"), "{line}");
+        }
+        // Attribution-on records carry the switch and the six category
+        // counters, and survive the JSONL round trip.
+        let point = RunPoint {
+            attribution: 1,
+            ..RunPoint::smoke("vaxpy", 64)
+        };
+        let store = ResultsStore {
+            campaign: "attr".into(),
+            records: vec![RunRecord {
+                run_id: point.run_id(),
+                point,
+                outcome: Outcome::Ok(RunStats {
+                    cycles: 1000,
+                    attr_data_cycles: 700,
+                    attr_turnaround_cycles: 30,
+                    attr_row_overhead_cycles: 150,
+                    attr_bank_conflict_cycles: 50,
+                    attr_retry_cycles: 20,
+                    attr_idle_cycles: 50,
+                    ..RunStats::default()
+                }),
+            }],
+        };
+        let text = store.to_jsonl();
+        assert!(text.contains("\"attribution\":1"), "{text}");
+        assert!(text.contains("\"attr_data_cycles\":700"), "{text}");
         let back = ResultsStore::from_jsonl(&text).unwrap();
         assert_eq!(back, store);
         assert_eq!(back.to_jsonl(), text);

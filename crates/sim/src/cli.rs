@@ -38,6 +38,13 @@ pub struct Job {
     /// Write a Chrome trace-event / Perfetto JSON timeline to this path
     /// (implies telemetry collection). Load it at `ui.perfetto.dev`.
     pub perfetto_out: Option<String>,
+    /// Write the run's exclusive cycle attribution to this path as JSON
+    /// (implies telemetry collection); render it with
+    /// `smcsim report --attribution`.
+    pub attribution_out: Option<String>,
+    /// Write the run's metric registry to this path as Prometheus-style
+    /// text exposition (implies telemetry collection).
+    pub prom_out: Option<String>,
 }
 
 impl Default for Job {
@@ -52,6 +59,8 @@ impl Default for Job {
             record_trace: None,
             metrics_out: None,
             perfetto_out: None,
+            attribution_out: None,
+            prom_out: None,
         }
     }
 }
@@ -61,9 +70,14 @@ pub const USAGE: &str = "\
 usage: smcsim [OPTIONS]
        smcsim check TRACE.json   replay a recorded trace through the
                                  timing-conformance checker
-       smcsim report --metrics METRICS.jsonl [--perfetto TRACE.json]
-                                 render a metrics dump as a table and
-                                 validate a Perfetto trace
+       smcsim report [--metrics METRICS.jsonl] [--perfetto TRACE.json]
+                     [--attribution ATTR.json] [--percentiles TRACE.jsonl]
+                     [--prom METRICS.prom]
+                                 render a metrics dump as a table, a cycle
+                                 attribution as category/bank tables, a
+                                 serve trace stream as exact per-tenant
+                                 latency/slack percentiles; validate a
+                                 Perfetto trace or a Prometheus exposition
        smcsim bench [--n N] [--out FILE] [--baseline FILE]
                                  [--floor-permille P]
                                  profile simulated-cycles-per-second for
@@ -73,7 +87,8 @@ usage: smcsim [OPTIONS]
        smcsim serve --tenants MIX [--arb POLICY] [--memory ORG] [--fifo D]
                                  [--queue-cap N] [--budget-permille P]
                                  [--faults SPEC] [--fault-seed S]
-                                 [--metrics-out F] [--json]
+                                 [--metrics-out F] [--trace-out F]
+                                 [--perfetto-out F] [--json]
                                  multiplex a multi-tenant mix onto the SMC:
                                  MIX is '+'-separated class:count:kernel:n[:stride]
                                  groups (class ls|bh), e.g.
@@ -112,7 +127,14 @@ usage: smcsim [OPTIONS]
   --fault-seed S    seed for the fault injector's random draws         [0]
   --record-trace F  write the issued command stream to F (JSON) for `check`
   --metrics-out F   write the run's metric registry to F as JSON Lines
-  --perfetto-out F  write a Perfetto/Chrome trace-event timeline to F
+  --perfetto-out F  write a Perfetto/Chrome trace-event timeline to F;
+                    for serve, the request-lifecycle timeline (one track
+                    per tenant)
+  --attribution-out F  write the run's exclusive cycle attribution to F
+                    (render with `smcsim report --attribution F`)
+  --prom-out F      write the run's metrics as Prometheus text exposition
+  --trace-out F     (serve) write the request-lifecycle trace stream to F
+                    as JSONL (render with `smcsim report --percentiles F`)
   --json            JSON output
   --explain         print the analytic bound derivation (Eqs. 5.15-5.18)
   --help";
@@ -213,6 +235,14 @@ pub fn parse(args: &[String]) -> Result<Job, String> {
                 job.config.telemetry = true;
                 job.perfetto_out = Some(value(args, &mut i, "--perfetto-out")?);
             }
+            "--attribution-out" => {
+                job.config.telemetry = true;
+                job.attribution_out = Some(value(args, &mut i, "--attribution-out")?);
+            }
+            "--prom-out" => {
+                job.config.telemetry = true;
+                job.prom_out = Some(value(args, &mut i, "--prom-out")?);
+            }
             "--json" => job.json = true,
             "--explain" => job.explain = true,
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
@@ -267,6 +297,14 @@ pub fn execute(job: &Job) -> Result<String, String> {
         if let Some(path) = &job.perfetto_out {
             std::fs::write(path, tel.perfetto_json())
                 .map_err(|e| format!("cannot write Perfetto trace to {path}: {e}"))?;
+        }
+        if let Some(path) = &job.attribution_out {
+            std::fs::write(path, tel.attribution.to_json())
+                .map_err(|e| format!("cannot write attribution to {path}: {e}"))?;
+        }
+        if let Some(path) = &job.prom_out {
+            std::fs::write(path, telemetry::exposition::to_prometheus(&tel.registry))
+                .map_err(|e| format!("cannot write exposition to {path}: {e}"))?;
         }
     }
     if let Some(path) = &job.record_trace {
@@ -346,54 +384,97 @@ pub fn run_check(path: &str) -> Result<String, String> {
 pub fn run_report(args: &[String]) -> Result<String, String> {
     let mut metrics_path: Option<String> = None;
     let mut perfetto_path: Option<String> = None;
+    let mut attribution_path: Option<String> = None;
+    let mut percentiles_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
     let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
     while i < args.len() {
         match args[i].as_str() {
-            "--metrics" => {
-                i += 1;
-                metrics_path = Some(
-                    args.get(i)
-                        .cloned()
-                        .ok_or_else(|| "--metrics needs a value".to_string())?,
-                );
-            }
-            "--perfetto" => {
-                i += 1;
-                perfetto_path = Some(
-                    args.get(i)
-                        .cloned()
-                        .ok_or_else(|| "--perfetto needs a value".to_string())?,
-                );
-            }
+            "--metrics" => metrics_path = Some(value(args, &mut i, "--metrics")?),
+            "--perfetto" => perfetto_path = Some(value(args, &mut i, "--perfetto")?),
+            "--attribution" => attribution_path = Some(value(args, &mut i, "--attribution")?),
+            "--percentiles" => percentiles_path = Some(value(args, &mut i, "--percentiles")?),
+            "--prom" => prom_path = Some(value(args, &mut i, "--prom")?),
             other => return Err(format!("report: unknown option {other:?}\n{USAGE}")),
         }
         i += 1;
     }
     let mut out = String::new();
+    let section = |out: &mut String, text: &str| {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(text);
+    };
     if let Some(path) = &metrics_path {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read metrics {path}: {e}"))?;
         let table = metrics::table_from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
-        out.push_str(&table.render());
+        section(&mut out, &table.render());
+    }
+    if let Some(path) = &attribution_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read attribution {path}: {e}"))?;
+        let attr =
+            telemetry::CycleAttribution::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        section(&mut out, &crate::observe::render_attribution(&attr));
+    }
+    if let Some(path) = &percentiles_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read trace stream {path}: {e}"))?;
+        let trace = crate::observe::trace_from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        let (completed, failed, shed, rejected) = trace.outcome_totals();
+        section(
+            &mut out,
+            &format!(
+                "{path}: {} spans ({completed} completed, {failed} failed, {shed} shed, \
+                 {rejected} rejected), {} incidents\n{}",
+                trace.spans().len(),
+                trace.incidents().len(),
+                crate::observe::percentiles_table(&trace).render(),
+            ),
+        );
+    }
+    if let Some(path) = &prom_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read exposition {path}: {e}"))?;
+        let summary = telemetry::exposition::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        section(
+            &mut out,
+            &format!(
+                "{path}: OK ({} families, {} samples, {} histograms)\n",
+                summary.families, summary.samples, summary.histograms,
+            ),
+        );
     }
     if let Some(path) = &perfetto_path {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read Perfetto trace {path}: {e}"))?;
         let summary = telemetry::perfetto::validate(&text).map_err(|e| format!("{path}: {e}"))?;
-        if !out.is_empty() {
-            out.push('\n');
-        }
-        out.push_str(&format!(
-            "{path}: OK ({} events over {} tracks: {} spans, {} counter samples, {} instants)\n",
-            summary.events,
-            summary.tracks,
-            summary.complete_events,
-            summary.counter_events,
-            summary.instant_events,
-        ));
+        section(
+            &mut out,
+            &format!(
+                "{path}: OK ({} events over {} tracks: {} spans, {} counter samples, \
+                 {} instants)\n",
+                summary.events,
+                summary.tracks,
+                summary.complete_events,
+                summary.counter_events,
+                summary.instant_events,
+            ),
+        );
     }
-    if metrics_path.is_none() && perfetto_path.is_none() {
-        return Err(format!("report needs --metrics and/or --perfetto\n{USAGE}"));
+    if out.is_empty() {
+        return Err(format!(
+            "report needs --metrics, --attribution, --percentiles, --prom, \
+             and/or --perfetto\n{USAGE}"
+        ));
     }
     Ok(out)
 }
@@ -468,7 +549,14 @@ pub fn run_bench(args: &[String]) -> Result<String, String> {
             let start = std::time::Instant::now();
             let r = run_kernel(kernel, n, 1, &cfg)
                 .map_err(|e| format!("bench {} ({ordering}): {e}", kernel.name()))?;
-            profiler.record(kernel.name(), ordering, r.cycles, start.elapsed());
+            let percent_peak_milli = crate::sweep::stats_of(&r).percent_peak_milli;
+            profiler.record(
+                kernel.name(),
+                ordering,
+                r.cycles,
+                percent_peak_milli,
+                start.elapsed(),
+            );
             let rec = profiler
                 .records()
                 .last()
@@ -510,6 +598,8 @@ pub fn run_serve_cmd(args: &[String]) -> Result<String, String> {
     let mut faults_spec: Option<String> = None;
     let mut fault_seed: u64 = 0;
     let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut perfetto_out: Option<String> = None;
     let mut json = false;
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -553,6 +643,8 @@ pub fn run_serve_cmd(args: &[String]) -> Result<String, String> {
                     .map_err(|e| format!("--fault-seed: {e}"))?;
             }
             "--metrics-out" => metrics_out = Some(value(args, &mut i, "--metrics-out")?),
+            "--trace-out" => trace_out = Some(value(args, &mut i, "--trace-out")?),
+            "--perfetto-out" => perfetto_out = Some(value(args, &mut i, "--perfetto-out")?),
             "--json" => json = true,
             other => return Err(format!("serve: unknown option {other:?}\n{USAGE}")),
         }
@@ -574,10 +666,31 @@ pub fn run_serve_cmd(args: &[String]) -> Result<String, String> {
     if let Some(cap) = queue_cap {
         cfg.queue_capacity = cap;
     }
-    let report = crate::serve::run_serve(&mix, &cfg, &base)?;
+    // Tracing is opt-in: the untraced path stays byte-identical to what it
+    // produced before the trace surfaces existed.
+    let tracing = trace_out.is_some() || perfetto_out.is_some();
+    let (report, trace) = if tracing {
+        let (report, trace) = crate::serve::run_serve_traced(&mix, &cfg, &base)?;
+        (report, Some(trace))
+    } else {
+        (crate::serve::run_serve(&mix, &cfg, &base)?, None)
+    };
+    if let Some(trace) = &trace {
+        if let Some(path) = &trace_out {
+            std::fs::write(path, crate::observe::trace_jsonl(trace))
+                .map_err(|e| format!("cannot write trace stream to {path}: {e}"))?;
+        }
+        if let Some(path) = &perfetto_out {
+            std::fs::write(path, crate::observe::serve_perfetto(trace))
+                .map_err(|e| format!("cannot write Perfetto trace to {path}: {e}"))?;
+        }
+    }
     if let Some(path) = &metrics_out {
         let mut registry = telemetry::Registry::new();
         crate::serve::record_serve_metrics(&report, &mut registry);
+        if let Some(trace) = &trace {
+            crate::serve::record_trace_metrics(trace, &mut registry);
+        }
         std::fs::write(path, registry.to_jsonl())
             .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
     }

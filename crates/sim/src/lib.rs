@@ -42,6 +42,7 @@ mod error;
 pub mod experiments;
 mod layout;
 pub mod metrics;
+pub mod observe;
 pub mod plot;
 pub mod report;
 mod runner;

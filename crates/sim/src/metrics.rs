@@ -10,7 +10,7 @@
 
 use rdram::DeviceConfig;
 use smc::SmcError;
-use telemetry::{BankState, Event, MetricId, MetricKind, Registry, Timeline};
+use telemetry::{BankState, CycleAttribution, Event, MetricId, MetricKind, Registry, Timeline};
 
 use crate::report::Table;
 use crate::{RunResult, SimError};
@@ -25,6 +25,10 @@ pub struct RunTelemetry {
     /// Controller-side events (FIFO depth samples, scheduling decisions,
     /// fault recoveries) in cycle order.
     pub events: Vec<Event>,
+    /// Exclusive per-cycle cost attribution of the run (data / retry /
+    /// turnaround / row overhead / bank conflict / idle, per bank and
+    /// globally). Always sums exactly to `run.cycles`.
+    pub attribution: CycleAttribution,
 }
 
 impl RunTelemetry {
@@ -95,10 +99,20 @@ impl RunTelemetry {
             registry.observe(MetricId::DataGapCycles, gap);
         }
 
+        let attribution = CycleAttribution::from_run(device, &timeline, &events, run.cycles);
+        let g = attribution.global();
+        registry.add(MetricId::AttrDataCycles, g.data);
+        registry.add(MetricId::AttrRetryCycles, g.retry);
+        registry.add(MetricId::AttrTurnaroundCycles, g.turnaround);
+        registry.add(MetricId::AttrRowOverheadCycles, g.row_overhead);
+        registry.add(MetricId::AttrBankConflictCycles, g.bank_conflict);
+        registry.add(MetricId::AttrIdleCycles, g.idle);
+
         RunTelemetry {
             registry,
             timeline,
             events,
+            attribution,
         }
     }
 
@@ -252,6 +266,35 @@ mod tests {
         assert!(h.count() > 0);
         // Bank residency was reconstructed.
         assert!(reg.value(MetricId::BankOpenCycles) > 0);
+    }
+
+    #[test]
+    fn attribution_partitions_the_run_and_reconciles() {
+        for memory in [
+            MemorySystem::CacheLineInterleaved,
+            MemorySystem::PageInterleaved,
+        ] {
+            let cfg = SystemConfig::smc(memory, 64).with_telemetry();
+            let r = run_kernel(Kernel::Vaxpy, 128, 1, &cfg).expect("fault-free run");
+            let tel = r.telemetry.as_ref().expect("telemetry requested");
+            tel.attribution.check_exact().expect("exact partition");
+            let mismatches = tel.attribution.reconcile(&r.device_stats);
+            assert!(mismatches.is_empty(), "{memory:?}: {mismatches:?}");
+            assert_eq!(tel.attribution.total(), r.cycles);
+            // The registry mirrors the attribution globals.
+            let g = tel.attribution.global();
+            assert_eq!(tel.registry.value(MetricId::AttrDataCycles), g.data);
+            assert_eq!(tel.registry.value(MetricId::AttrIdleCycles), g.idle);
+            let sum = tel.registry.value(MetricId::AttrDataCycles)
+                + tel.registry.value(MetricId::AttrRetryCycles)
+                + tel.registry.value(MetricId::AttrTurnaroundCycles)
+                + tel.registry.value(MetricId::AttrRowOverheadCycles)
+                + tel.registry.value(MetricId::AttrBankConflictCycles)
+                + tel.registry.value(MetricId::AttrIdleCycles);
+            assert_eq!(sum, r.cycles, "{memory:?}: categories sum to the run");
+            // vaxpy writes then reads: turnaround cycles must appear.
+            assert!(g.turnaround > 0, "{memory:?}");
+        }
     }
 
     #[test]

@@ -315,13 +315,25 @@ pub fn run_kernel(
         // so any divergence is a bug in one of the two models. Faulty runs
         // are exempt — NACKed transfers perturb the replay's hit accounting.
         #[cfg(debug_assertions)]
-        if injector.is_none() {
-            let mismatches =
-                telemetry::reconcile(collected.timeline.counts(), &result.device_stats);
-            assert!(
-                mismatches.is_empty(),
-                "telemetry replay diverged from device counters: {mismatches:?}"
-            );
+        {
+            // The exact-partition invariant holds on every run, fault
+            // storms included: attribution must account for each cycle
+            // exactly once.
+            let exact = collected.attribution.check_exact();
+            assert!(exact.is_ok(), "cycle attribution lost cycles: {exact:?}");
+            if injector.is_none() {
+                let mismatches =
+                    telemetry::reconcile(collected.timeline.counts(), &result.device_stats);
+                assert!(
+                    mismatches.is_empty(),
+                    "telemetry replay diverged from device counters: {mismatches:?}"
+                );
+                let attr_mismatches = collected.attribution.reconcile(&result.device_stats);
+                assert!(
+                    attr_mismatches.is_empty(),
+                    "cycle attribution diverged from device counters: {attr_mismatches:?}"
+                );
+            }
         }
         result.telemetry = Some(collected);
     }

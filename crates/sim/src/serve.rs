@@ -16,7 +16,10 @@ use std::collections::BTreeMap;
 
 use kernels::Kernel;
 use rdram::Command;
-use tenancy::{serve, Request, ServeConfig, ServeReport, ServiceReport, TenantMix, TenantSpec};
+use tenancy::{
+    serve, serve_traced, Request, ServeConfig, ServeReport, ServeTrace, ServiceReport, TenantMix,
+    TenantSpec,
+};
 
 use crate::SystemConfig;
 
@@ -159,6 +162,22 @@ pub fn run_serve(
     serve(mix, cfg, &exec).map_err(|e| e.to_string())
 }
 
+/// [`run_serve`] with request-lifecycle tracing: returns the report plus
+/// the recorded [`ServeTrace`] (one span per request, incidents for
+/// starvation trips and absorbed executor failures). The report is
+/// identical to the untraced run.
+pub fn run_serve_traced(
+    mix: &TenantMix,
+    cfg: &ServeConfig,
+    base: &SystemConfig,
+) -> Result<(ServeReport, ServeTrace), String> {
+    validate_mix(mix)?;
+    let exec = SimExecutor::new(base.clone());
+    let mut trace = ServeTrace::new();
+    let report = serve_traced(mix, cfg, &exec, Some(&mut trace)).map_err(|e| e.to_string())?;
+    Ok((report, trace))
+}
+
 /// Fold a serve report into a telemetry registry under the `serve.*`
 /// metrics, reconciling the aggregate counters.
 pub fn record_serve_metrics(report: &ServeReport, registry: &mut telemetry::Registry) {
@@ -179,6 +198,18 @@ pub fn record_serve_metrics(report: &ServeReport, registry: &mut telemetry::Regi
     registry.set(MetricId::ServeFairnessMilli, report.fairness_milli());
     for t in &report.tenants {
         registry.observe(MetricId::ServeWaitCycles, t.max_wait);
+    }
+}
+
+/// Fold a recorded serve trace into a telemetry registry: one latency and
+/// one deadline-slack histogram observation per completed request.
+pub fn record_trace_metrics(trace: &ServeTrace, registry: &mut telemetry::Registry) {
+    use telemetry::MetricId;
+    for span in trace.spans() {
+        if span.outcome == tenancy::RequestOutcome::Completed {
+            registry.observe(MetricId::ServeLatencyCycles, span.latency());
+            registry.observe(MetricId::ServeSlackCycles, span.slack());
+        }
     }
 }
 
@@ -270,6 +301,28 @@ mod tests {
         assert!(report.starvation.is_empty());
         assert!(words > 0);
         report.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn traced_serve_matches_untraced_and_feeds_histograms() {
+        let mix = TenantMix::parse("ls:1:daxpy:64+bh:2:copy:64").unwrap();
+        let untraced = run_serve(&mix, &serve_cfg(), &base()).unwrap();
+        let (report, trace) = run_serve_traced(&mix, &serve_cfg(), &base()).unwrap();
+        assert_eq!(report, untraced, "tracing must not perturb the report");
+        let (submitted, completed, failed, shed, rejected, _m, _w) = report.totals();
+        assert_eq!(trace.spans().len() as u64, submitted);
+        assert_eq!(trace.outcome_totals(), (completed, failed, shed, rejected));
+        // Exact per-tenant percentiles answer from the trace.
+        let p = trace.latency_percentiles(0).expect("tenant 0 completed");
+        assert!(p.max >= p.p50 && p.p50 > 0);
+        // Histograms land in the registry with one sample per completion.
+        let mut registry = telemetry::Registry::new();
+        record_trace_metrics(&trace, &mut registry);
+        use telemetry::MetricId;
+        let lat = registry.histogram(MetricId::ServeLatencyCycles).unwrap();
+        assert_eq!(lat.count(), completed);
+        let slack = registry.histogram(MetricId::ServeSlackCycles).unwrap();
+        assert_eq!(slack.count(), completed);
     }
 
     #[test]

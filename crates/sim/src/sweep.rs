@@ -62,12 +62,31 @@ pub fn run_point(point: &RunPoint) -> Outcome {
     if !point.tenants.is_empty() {
         return run_tenant_point(point);
     }
-    let (kernel, config) = match job_for(point) {
+    let (kernel, mut config) = match job_for(point) {
         Ok(job) => job,
         Err(message) => return Outcome::Error(message),
     };
+    if point.attribution != 0 {
+        // Attribution rides on the telemetry channel; the run itself is
+        // cycle-identical with or without it.
+        config = config.with_telemetry();
+    }
     match crate::run_kernel(kernel, point.n, point.stride, &config) {
-        Ok(result) => Outcome::Ok(stats_of(&result)),
+        Ok(result) => {
+            let mut stats = stats_of(&result);
+            if point.attribution != 0 {
+                if let Some(tel) = &result.telemetry {
+                    let g = tel.attribution.global();
+                    stats.attr_data_cycles = g.data;
+                    stats.attr_turnaround_cycles = g.turnaround;
+                    stats.attr_row_overhead_cycles = g.row_overhead;
+                    stats.attr_bank_conflict_cycles = g.bank_conflict;
+                    stats.attr_retry_cycles = g.retry;
+                    stats.attr_idle_cycles = g.idle;
+                }
+            }
+            Outcome::Ok(stats)
+        }
         Err(e) => Outcome::Error(e.to_string()),
     }
 }
@@ -189,6 +208,32 @@ mod tests {
         assert!(job_for(&bad_faults).unwrap_err().contains("fault spec"));
         // Errors surface as structured outcomes, not panics.
         assert!(matches!(run_point(&bad_kernel), Outcome::Error(_)));
+    }
+
+    #[test]
+    fn attribution_points_fill_the_category_counters_exactly() {
+        let off = RunPoint::smoke("vaxpy", 64);
+        let on = RunPoint {
+            attribution: 1,
+            ..off.clone()
+        };
+        let (off_out, on_out) = (run_point(&off), run_point(&on));
+        let (Outcome::Ok(plain), Outcome::Ok(attr)) = (&off_out, &on_out) else {
+            panic!("both points run clean: {off_out:?} / {on_out:?}");
+        };
+        // Attribution never perturbs the simulated outcome...
+        assert_eq!(plain.cycles, attr.cycles);
+        assert_eq!(plain.percent_peak_milli, attr.percent_peak_milli);
+        assert_eq!(plain.attr_data_cycles, 0, "off points stay zeroed");
+        // ...and the six categories partition the run exactly.
+        let sum = attr.attr_data_cycles
+            + attr.attr_turnaround_cycles
+            + attr.attr_row_overhead_cycles
+            + attr.attr_bank_conflict_cycles
+            + attr.attr_retry_cycles
+            + attr.attr_idle_cycles;
+        assert_eq!(sum, attr.cycles);
+        assert!(attr.attr_data_cycles > 0);
     }
 
     #[test]

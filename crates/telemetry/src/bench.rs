@@ -22,6 +22,12 @@ pub struct BenchRecord {
     pub wall_micros: u64,
     /// Simulation rate: simulated cycles advanced per wall-clock second.
     pub cycles_per_sec: u64,
+    /// Effective bandwidth of the simulated run as a fraction of peak, in
+    /// milli (1000 = peak). Deterministic — unlike the wall-clock fields —
+    /// so a bench regression can be attributed: a rate drop with an
+    /// unchanged percent-of-peak is host overhead, a shifted
+    /// percent-of-peak is a simulation behavior change.
+    pub percent_peak_milli: u64,
 }
 
 /// Simulation rate from a cycle count and a wall-clock duration.
@@ -46,14 +52,23 @@ impl Profiler {
         Self::default()
     }
 
-    /// Record one profiled run.
-    pub fn record(&mut self, kernel: &str, ordering: &str, cycles: u64, wall: Duration) {
+    /// Record one profiled run. `percent_peak_milli` is the run's
+    /// effective bandwidth as a fraction of peak, in milli.
+    pub fn record(
+        &mut self,
+        kernel: &str,
+        ordering: &str,
+        cycles: u64,
+        percent_peak_milli: u64,
+        wall: Duration,
+    ) {
         self.records.push(BenchRecord {
             kernel: kernel.to_string(),
             ordering: ordering.to_string(),
             cycles,
             wall_micros: u64::try_from(wall.as_micros()).unwrap_or(u64::MAX),
             cycles_per_sec: rate(cycles, wall),
+            percent_peak_milli,
         });
     }
 
@@ -70,8 +85,14 @@ impl Profiler {
             .map(|r| {
                 format!(
                     "  {{\"kernel\":\"{}\",\"ordering\":\"{}\",\"cycles\":{},\
-                     \"wall_micros\":{},\"simulated_cycles_per_sec\":{}}}",
-                    r.kernel, r.ordering, r.cycles, r.wall_micros, r.cycles_per_sec
+                     \"wall_micros\":{},\"simulated_cycles_per_sec\":{},\
+                     \"percent_peak_milli\":{}}}",
+                    r.kernel,
+                    r.ordering,
+                    r.cycles,
+                    r.wall_micros,
+                    r.cycles_per_sec,
+                    r.percent_peak_milli
                 )
             })
             .collect();
@@ -160,8 +181,8 @@ mod tests {
     #[test]
     fn profiler_renders_valid_json() {
         let mut p = Profiler::new();
-        p.record("copy", "smc", 50_000, Duration::from_millis(20));
-        p.record("vaxpy", "natural", 80_000, Duration::from_millis(40));
+        p.record("copy", "smc", 50_000, 897, Duration::from_millis(20));
+        p.record("vaxpy", "natural", 80_000, 312, Duration::from_millis(40));
         let json = p.to_json();
         let doc = serde_json::from_str(&json).expect("valid JSON");
         let benches = doc["benchmarks"].as_array().expect("array");
@@ -171,13 +192,15 @@ mod tests {
             benches[0]["simulated_cycles_per_sec"].as_u64(),
             Some(2_500_000)
         );
+        assert_eq!(benches[0]["percent_peak_milli"].as_u64(), Some(897));
+        assert_eq!(benches[1]["percent_peak_milli"].as_u64(), Some(312));
         assert_eq!(p.records()[1].cycles, 80_000);
     }
 
     #[test]
     fn baseline_gate_passes_within_floor_and_fails_below() {
         let mut committed = Profiler::new();
-        committed.record("copy", "smc", 1_000_000, Duration::from_millis(10));
+        committed.record("copy", "smc", 1_000_000, 897, Duration::from_millis(10));
         let baseline = committed.to_json();
 
         // Same speed: clean.
@@ -186,7 +209,7 @@ mod tests {
 
         // 100x slower than committed: regression at a 5% floor.
         let mut slow = Profiler::new();
-        slow.record("copy", "smc", 1_000_000, Duration::from_secs(1));
+        slow.record("copy", "smc", 1_000_000, 897, Duration::from_secs(1));
         let err = compare_to_baseline(&baseline, &slow, 50).unwrap_err();
         assert!(err.contains("REGRESSION"), "{err}");
         assert!(err.contains("copy/smc"), "{err}");

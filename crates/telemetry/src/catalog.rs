@@ -123,11 +123,27 @@ pub enum MetricId {
     ServeFairnessMilli,
     /// Distribution of worst per-tenant queue waits (cycles).
     ServeWaitCycles,
+    /// Attributed cycles: DATA bus carrying packets.
+    AttrDataCycles,
+    /// Attributed cycles: fault recovery (injected stalls, NACK retries).
+    AttrRetryCycles,
+    /// Attributed cycles: write-to-read DATA-bus turnaround gaps.
+    AttrTurnaroundCycles,
+    /// Attributed cycles: next packet's bank activating/precharging.
+    AttrRowOverheadCycles,
+    /// Attributed cycles: stalled behind another bank's activate/precharge.
+    AttrBankConflictCycles,
+    /// Attributed cycles: nothing happening on the interface.
+    AttrIdleCycles,
+    /// Distribution of per-request serve latencies (cycles).
+    ServeLatencyCycles,
+    /// Distribution of per-request deadline slack (cycles).
+    ServeSlackCycles,
 }
 
 /// Number of metrics in the catalog (= length of the registry's backing
 /// array).
-pub const METRIC_COUNT: usize = 43;
+pub const METRIC_COUNT: usize = 51;
 
 impl MetricId {
     /// Index of this metric in the registry's backing array.
@@ -445,6 +461,62 @@ pub const CATALOG: &[MetricDef] = &[
         kind: MetricKind::Histogram,
         unit: "cycles",
         help: "distribution of worst per-tenant queue waits",
+    },
+    MetricDef {
+        id: MetricId::AttrDataCycles,
+        name: "attr.data_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "attributed cycles: DATA bus carrying packets",
+    },
+    MetricDef {
+        id: MetricId::AttrRetryCycles,
+        name: "attr.retry_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "attributed cycles: fault recovery (injected stalls, NACK retries)",
+    },
+    MetricDef {
+        id: MetricId::AttrTurnaroundCycles,
+        name: "attr.turnaround_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "attributed cycles: write-to-read DATA-bus turnaround gaps",
+    },
+    MetricDef {
+        id: MetricId::AttrRowOverheadCycles,
+        name: "attr.row_overhead_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "attributed cycles: the next packet's bank activating/precharging",
+    },
+    MetricDef {
+        id: MetricId::AttrBankConflictCycles,
+        name: "attr.bank_conflict_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "attributed cycles: stalled behind another bank's activate/precharge",
+    },
+    MetricDef {
+        id: MetricId::AttrIdleCycles,
+        name: "attr.idle_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "attributed cycles: nothing happening on the interface",
+    },
+    MetricDef {
+        id: MetricId::ServeLatencyCycles,
+        name: "serve.latency_cycles",
+        kind: MetricKind::Histogram,
+        unit: "cycles",
+        help: "distribution of per-request serve latencies (submit to completion)",
+    },
+    MetricDef {
+        id: MetricId::ServeSlackCycles,
+        name: "serve.deadline_slack_cycles",
+        kind: MetricKind::Histogram,
+        unit: "cycles",
+        help: "distribution of per-request deadline slack at completion",
     },
 ];
 

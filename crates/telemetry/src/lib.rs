@@ -27,19 +27,28 @@
 //! * [`perfetto`] — exports a timeline as Chrome trace-event JSON loadable
 //!   in `ui.perfetto.dev`, one track per bank, bus, and FIFO, plus a
 //!   structural [`validate`](perfetto::validate) checker.
+//! * [`attribution`] — classifies every cycle of a run into exclusive cost
+//!   categories (data / retry / turnaround / row overhead / bank conflict
+//!   / idle), per bank and globally, with an exact-partition invariant and
+//!   a [`DeviceStats`](rdram::DeviceStats) cross-check.
+//! * [`exposition`] — Prometheus text-format rendering of the registry,
+//!   with a structural [`parse`](exposition::parse) validator for CI.
 //! * [`bench`] — host-side profiling: simulated-cycles-per-wall-second per
 //!   kernel, for the `BENCH_telemetry.json` perf-trajectory record.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod attribution;
 pub mod bench;
 pub mod catalog;
 pub mod event;
+pub mod exposition;
 pub mod perfetto;
 pub mod registry;
 pub mod timeline;
 
+pub use attribution::{CategoryTotals, CycleAttribution, CycleCategory};
 pub use bench::{BenchRecord, Profiler};
 pub use catalog::{MetricDef, MetricId, MetricKind, CATALOG};
 pub use event::{Event, EventLog, SharedTelemetry};

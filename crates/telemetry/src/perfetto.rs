@@ -27,6 +27,8 @@ use crate::timeline::{BusSpan, Timeline};
 pub const DEVICE_PID: u64 = 1;
 /// Process id used for controller-side tracks (FIFOs and incidents).
 pub const CONTROLLER_PID: u64 = 2;
+/// Process id used for serve-layer tracks (one thread per tenant).
+pub const SERVE_PID: u64 = 3;
 
 /// Thread id of the ROW-bus track.
 pub const ROW_BUS_TID: u64 = 1;
@@ -90,24 +92,35 @@ pub fn render(timeline: &Timeline, events: &[Event]) -> String {
     )
 }
 
-fn process_name(pid: u64, name: &str) -> String {
+/// `ph:"M"` metadata event naming a process track.
+pub fn process_name(pid: u64, name: &str) -> String {
     format!(
         "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
          \"args\":{{\"name\":\"{name}\"}}}}"
     )
 }
 
-fn thread_name(pid: u64, tid: u64, name: &str) -> String {
+/// `ph:"M"` metadata event naming a thread track.
+pub fn thread_name(pid: u64, tid: u64, name: &str) -> String {
     format!(
         "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
          \"args\":{{\"name\":\"{name}\"}}}}"
     )
 }
 
-fn complete(name: &str, ts: u64, dur: u64, pid: u64, tid: u64) -> String {
+/// `ph:"X"` complete event: a named span of `dur` cycles starting at `ts`.
+pub fn complete(name: &str, ts: u64, dur: u64, pid: u64, tid: u64) -> String {
     format!(
         "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
          \"pid\":{pid},\"tid\":{tid}}}"
+    )
+}
+
+/// `ph:"i"` thread-scoped instant on an arbitrary `(pid, tid)` track.
+pub fn instant_at(name: &str, ts: u64, pid: u64, tid: u64) -> String {
+    format!(
+        "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\
+         \"tid\":{tid},\"s\":\"t\"}}"
     )
 }
 

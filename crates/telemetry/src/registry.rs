@@ -84,6 +84,44 @@ impl Log2Histogram {
         self.buckets.get(b).copied().unwrap_or(0)
     }
 
+    /// Inclusive upper bound of bucket `b` (the largest value that bucket
+    /// can hold): 0 for the zero bucket, `2^b - 1` for interior buckets,
+    /// `u64::MAX` for the overflow bucket.
+    pub fn bucket_upper(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            1..=63 => (1u64 << b) - 1,
+            _ => u64::MAX,
+        }
+    }
+
+    /// Nearest-rank percentile query, in permille (`500` = p50, `990` =
+    /// p99, `1000` = max). Returns `None` when the histogram is empty.
+    ///
+    /// The answer is the inclusive upper bound of the bucket holding the
+    /// rank, clamped into `[min, max]` — so the result is *exact* whenever
+    /// the rank lands in the first or last non-empty bucket (in particular
+    /// for single-sample histograms and for p1000, which always returns
+    /// the true maximum), and otherwise overstates by less than the
+    /// bucket's width (a factor of two).
+    pub fn percentile(&self, permille: u64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let permille = permille.min(1000);
+        // Smallest 1-based rank covering the requested fraction.
+        let product = u128::from(permille) * u128::from(self.count);
+        let rank = (product.div_ceil(1000).max(1)) as u64;
+        let mut cum = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            cum = cum.saturating_add(c);
+            if cum >= rank {
+                return Some(Self::bucket_upper(b).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// `(bucket index, count)` for every non-empty bucket, in order.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
         self.buckets
@@ -291,6 +329,60 @@ mod tests {
         assert_eq!(h.bucket(4), 2); // both 8s
         assert_eq!(h.bucket(10), 1); // 1000 in [512, 1024)
         assert_eq!(h.nonzero_buckets().len(), 5);
+    }
+
+    #[test]
+    fn percentile_on_empty_histogram_is_none() {
+        let h = Log2Histogram::default();
+        for p in [0, 500, 950, 990, 1000] {
+            assert_eq!(h.percentile(p), None);
+        }
+    }
+
+    #[test]
+    fn percentile_on_single_sample_is_exact() {
+        let mut h = Log2Histogram::default();
+        h.observe(37);
+        for p in [0, 1, 500, 950, 990, 1000] {
+            assert_eq!(h.percentile(p), Some(37), "p{p}");
+        }
+    }
+
+    #[test]
+    fn percentile_in_saturating_bucket_returns_exact_max() {
+        let mut h = Log2Histogram::default();
+        h.observe(1);
+        h.observe(u64::MAX); // lands in the >= 2^63 overflow bucket
+        h.observe(u64::MAX - 5);
+        assert_eq!(h.percentile(1000), Some(u64::MAX));
+        // p667 rank = 2 of 3 -> overflow bucket, clamped to observed max.
+        assert_eq!(h.percentile(667), Some(u64::MAX));
+        assert_eq!(h.percentile(333), Some(1));
+    }
+
+    #[test]
+    fn percentile_walks_cumulative_counts() {
+        let mut h = Log2Histogram::default();
+        for v in [0, 0, 0, 0, 0, 0, 0, 0, 0, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(500), Some(0), "median of mostly zeros");
+        assert_eq!(h.percentile(900), Some(0), "rank 9 still in bucket 0");
+        assert_eq!(h.percentile(950), Some(100), "rank 10 is the outlier");
+        assert_eq!(h.percentile(1000), Some(100));
+        // Out-of-range permille clamps to 1000.
+        assert_eq!(h.percentile(5000), Some(100));
+    }
+
+    #[test]
+    fn bucket_upper_brackets_bucket_index() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, u64::MAX - 1, u64::MAX] {
+            let b = bucket_index(v);
+            assert!(Log2Histogram::bucket_upper(b) >= v);
+            if b > 0 {
+                assert!(Log2Histogram::bucket_upper(b - 1) < v);
+            }
+        }
     }
 
     #[test]

@@ -21,7 +21,12 @@
 //!   intra-request access ordering;
 //! - [`server`] — the deterministic virtual-time serve loop with
 //!   per-request deadlines, miss accounting, and a per-tenant
-//!   forward-progress watchdog emitting structured starvation reports.
+//!   forward-progress watchdog emitting structured starvation reports;
+//! - [`trace`] — request-lifecycle tracing: one integer-cycle span per
+//!   request (admit → queue → dispatch → execute → outcome) plus
+//!   starvation/executor-failure incidents, with exact nearest-rank
+//!   latency and deadline-slack percentile queries. Recording is opt-in
+//!   via [`server::serve_traced`] and provably inert when off.
 //!
 //! The crate is simulator-agnostic: the serve loop drives an
 //! [`server::Executor`] callback, and `sim::serve` binds that callback to
@@ -38,13 +43,17 @@ pub mod queue;
 pub mod regulator;
 pub mod server;
 pub mod tenant;
+pub mod trace;
 
 pub use arbiter::{policy_by_name, ArbitrationPolicy};
 pub use ladder::{DegradeLevel, LadderConfig};
 pub use queue::{Admission, Request};
 pub use regulator::{BucketConfig, RegulatorConfig};
 pub use server::{
-    serve, Executor, ServeConfig, ServeError, ServeReport, ServiceReport, StarvationReport,
-    TenantServeStats,
+    serve, serve_traced, Executor, ServeConfig, ServeError, ServeReport, ServiceReport,
+    StarvationReport, TenantServeStats,
 };
 pub use tenant::{Cycle, TenantClass, TenantMix, TenantSpec};
+pub use trace::{
+    IncidentKind, PercentileSummary, RequestOutcome, RequestSpan, ServeTrace, TraceIncident,
+};

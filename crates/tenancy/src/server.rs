@@ -26,6 +26,7 @@ use crate::ladder::{DegradeLevel, Ladder, LadderConfig, LadderTransition, Overlo
 use crate::queue::{Admission, Request, TenantQueue};
 use crate::regulator::{DispatchAudit, Regulator, RegulatorConfig};
 use crate::tenant::{Cycle, TenantClass, TenantMix, TenantSpec};
+use crate::trace::{IncidentKind, RequestOutcome, RequestSpan, ServeTrace, TraceIncident};
 
 /// What the executor reports back for one serviced request.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -280,6 +281,19 @@ pub fn serve(
     cfg: &ServeConfig,
     exec: &dyn Executor,
 ) -> Result<ServeReport, ServeError> {
+    serve_traced(mix, cfg, exec, None)
+}
+
+/// [`serve`], optionally recording every request lifecycle and incident
+/// into `trace`. Passing `None` does zero tracing work and is exactly
+/// `serve` — the report is identical either way, so tracing can never
+/// perturb an existing golden.
+pub fn serve_traced(
+    mix: &TenantMix,
+    cfg: &ServeConfig,
+    exec: &dyn Executor,
+    mut trace: Option<&mut ServeTrace>,
+) -> Result<ServeReport, ServeError> {
     cfg.regulator.validate().map_err(ServeError::Config)?;
     if mix.is_empty() {
         return Err(ServeError::Config("tenant mix is empty".to_string()));
@@ -344,20 +358,47 @@ pub fn serve(
                 states[t].next_seq += 1;
                 stats[t].submitted += 1;
                 let at = arrival(t, seq);
+                let deadline_at = at.saturating_add(spec.deadline);
                 if level_now.sheds(spec.class) {
                     stats[t].shed += 1;
                     note_shed(spec.class, now, &mut first_bh_shed, &mut first_ls_shed);
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.record_span(RequestSpan {
+                            tenant: t,
+                            seq,
+                            submitted_at: at,
+                            dispatched_at: None,
+                            resolved_at: now.max(at),
+                            deadline_at,
+                            outcome: RequestOutcome::ShedAtArrival,
+                            deadline_missed: false,
+                        });
+                    }
                     continue;
                 }
                 let req = Request {
                     tenant: t,
                     seq,
                     submitted_at: at,
-                    deadline_at: at.saturating_add(spec.deadline),
+                    deadline_at,
                 };
                 match queues[t].offer(req, spec.period.max(1)) {
                     Admission::Admitted { .. } => stats[t].admitted += 1,
-                    Admission::Rejected { .. } => stats[t].rejected += 1,
+                    Admission::Rejected { .. } => {
+                        stats[t].rejected += 1;
+                        if let Some(tr) = trace.as_deref_mut() {
+                            tr.record_span(RequestSpan {
+                                tenant: t,
+                                seq,
+                                submitted_at: at,
+                                dispatched_at: None,
+                                resolved_at: now.max(at),
+                                deadline_at,
+                                outcome: RequestOutcome::Rejected,
+                                deadline_missed: false,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -388,6 +429,20 @@ pub fn serve(
                             &mut first_bh_shed,
                             &mut first_ls_shed,
                         );
+                        if let Some(tr) = trace.as_deref_mut() {
+                            for req in &dropped {
+                                tr.record_span(RequestSpan {
+                                    tenant: t,
+                                    seq: req.seq,
+                                    submitted_at: req.submitted_at,
+                                    dispatched_at: None,
+                                    resolved_at: now,
+                                    deadline_at: req.deadline_at,
+                                    outcome: RequestOutcome::ShedQueued,
+                                    deadline_missed: false,
+                                });
+                            }
+                        }
                     }
                 }
             }
@@ -428,6 +483,7 @@ pub fn serve(
                 continue;
             };
             regulator.note_dispatch(now, t);
+            let dispatched_at = now;
             let wait = now.saturating_sub(req.submitted_at);
             stats[t].max_wait = stats[t].max_wait.max(wait);
             dispatches += 1;
@@ -447,13 +503,43 @@ pub fn serve(
                     fault_active = report.fault_events > 0;
                     last_bank = report.bank_packets.first().map(|&(b, _)| b);
                     regulator.charge(t, report.cycles, &report.bank_packets);
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.record_span(RequestSpan {
+                            tenant: t,
+                            seq: req.seq,
+                            submitted_at: req.submitted_at,
+                            dispatched_at: Some(dispatched_at),
+                            resolved_at: now,
+                            deadline_at: req.deadline_at,
+                            outcome: RequestOutcome::Completed,
+                            deadline_missed: now > req.deadline_at,
+                        });
+                    }
                 }
-                Err(_) => {
+                Err(reason) => {
                     now = now.saturating_add(cfg.failure_penalty.max(1));
                     stats[t].failed += 1;
                     miss_streak += 1;
                     fault_active = true;
                     regulator.charge(t, cfg.failure_penalty, &[]);
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.record_span(RequestSpan {
+                            tenant: t,
+                            seq: req.seq,
+                            submitted_at: req.submitted_at,
+                            dispatched_at: Some(dispatched_at),
+                            resolved_at: now,
+                            deadline_at: req.deadline_at,
+                            outcome: RequestOutcome::Failed,
+                            deadline_missed: now > req.deadline_at,
+                        });
+                        tr.record_incident(TraceIncident {
+                            cycle: dispatched_at,
+                            tenant: t,
+                            kind: IncidentKind::ExecutorFailure,
+                            detail: reason,
+                        });
+                    }
                 }
             }
             last_served = Some(t);
@@ -480,13 +566,26 @@ pub fn serve(
                 let baseline = states[t].last_progress.max(head.submitted_at);
                 let waited = now.saturating_sub(baseline);
                 if waited > cfg.progress_deadline {
+                    let queue_len = queues[t].len();
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.record_incident(TraceIncident {
+                            cycle: now,
+                            tenant: t,
+                            kind: IncidentKind::Starvation,
+                            detail: format!(
+                                "{} waited {waited} cycles (queue {queue_len}, level {:?})",
+                                mix.tenants[t].name,
+                                ladder.level()
+                            ),
+                        });
+                    }
                     starvation.push(StarvationReport {
                         tenant: t,
                         name: mix.tenants[t].name.clone(),
                         class: mix.tenants[t].class,
                         now,
                         waited,
-                        queue_len: queues[t].len(),
+                        queue_len,
                         level: ladder.level(),
                     });
                     states[t].last_progress = now; // one report per incident
@@ -703,6 +802,100 @@ mod tests {
             assert_eq!(completed + failed + shed + rejected, submitted, "{policy}");
             assert_eq!(report.budget_violations, 0, "{policy}");
             report.check_conservation().unwrap();
+        }
+    }
+
+    #[test]
+    fn tracing_never_perturbs_the_report() {
+        let m = mix("ls:2:daxpy:64+bh:3:copy:128");
+        let exec = Fixed {
+            cycles: 700,
+            words: 64,
+        };
+        let untraced = serve(&m, &cfg(), &exec).unwrap();
+        let mut trace = ServeTrace::new();
+        let traced = serve_traced(&m, &cfg(), &exec, Some(&mut trace)).unwrap();
+        assert_eq!(traced, untraced, "tracing must be observationally inert");
+        assert!(!trace.spans().is_empty());
+    }
+
+    #[test]
+    fn trace_spans_conserve_the_report_totals() {
+        // Overloaded mix: rejections and sheds occur alongside completions.
+        let m = mix("ls:1:copy:64+bh:4:copy:64");
+        let exec = |_t: &TenantSpec, req: &Request| -> Result<ServiceReport, String> {
+            if req.seq % 7 == 3 {
+                Err("injected livelock".to_string())
+            } else {
+                Ok(ServiceReport {
+                    cycles: 9_000,
+                    useful_words: 16,
+                    bank_packets: Vec::new(),
+                    fault_events: u64::from(req.seq % 5 == 0),
+                })
+            }
+        };
+        let mut trace = ServeTrace::new();
+        let report = serve_traced(&m, &cfg(), &exec, Some(&mut trace)).unwrap();
+        let (submitted, completed, failed, shed, rejected, _miss, _w) = report.totals();
+        assert_eq!(
+            trace.spans().len() as u64,
+            submitted,
+            "every submitted request leaves exactly one span"
+        );
+        assert_eq!(
+            trace.outcome_totals(),
+            (completed, failed, shed, rejected),
+            "span outcomes match the report's books"
+        );
+        // Executor failures surface as incidents carrying the error text.
+        let failures = trace
+            .incidents()
+            .iter()
+            .filter(|i| i.kind == IncidentKind::ExecutorFailure)
+            .count() as u64;
+        assert_eq!(failures, failed);
+        assert!(trace
+            .incidents()
+            .iter()
+            .filter(|i| i.kind == IncidentKind::ExecutorFailure)
+            .all(|i| i.detail == "injected livelock"));
+        // Span ordering invariants: dispatch never precedes submission,
+        // resolution never precedes dispatch.
+        for s in trace.spans() {
+            if let Some(d) = s.dispatched_at {
+                assert!(d >= s.submitted_at);
+                assert!(s.resolved_at >= d);
+            }
+        }
+    }
+
+    #[test]
+    fn starvation_incidents_mirror_the_reports() {
+        let m = mix("ls:1:copy:64+bh:1:copy:64");
+        let mut c = cfg();
+        c.progress_deadline = 50;
+        let exec = Fixed {
+            cycles: 5_000,
+            words: 8,
+        };
+        let mut trace = ServeTrace::new();
+        let report = serve_traced(&m, &c, &exec, Some(&mut trace)).unwrap();
+        let starved = trace
+            .incidents()
+            .iter()
+            .filter(|i| i.kind == IncidentKind::Starvation)
+            .count();
+        assert_eq!(starved, report.starvation.len());
+        for (incident, sr) in trace
+            .incidents()
+            .iter()
+            .filter(|i| i.kind == IncidentKind::Starvation)
+            .zip(&report.starvation)
+        {
+            assert_eq!(incident.cycle, sr.now);
+            assert_eq!(incident.tenant, sr.tenant);
+            assert!(incident.detail.contains("waited"));
         }
     }
 

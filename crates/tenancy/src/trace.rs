@@ -1,0 +1,344 @@
+//! Request-lifecycle tracing for the serving loop.
+//!
+//! Every request offered to [`serve_traced`](crate::server::serve_traced)
+//! leaves exactly one [`RequestSpan`] recording its integer-cycle
+//! lifecycle — admit, queue, dispatch, execute — and how it left the
+//! system ([`RequestOutcome`]). Starvation-watchdog trips and executor
+//! failures (the stringified livelock reports the server absorbs) are
+//! recorded as [`TraceIncident`]s on the same clock, so the render layers
+//! can place them on the timeline next to the spans they interrupted.
+//!
+//! The trace is pure data: this crate stays dependency-free, and the
+//! Perfetto / JSONL renderers live in the simulator binary. What belongs
+//! here is the exact math: [`ServeTrace::latency_percentiles`] and
+//! [`ServeTrace::slack_percentiles`] answer nearest-rank p50/p95/p99/max
+//! queries from the recorded samples themselves — exact, unlike the log2
+//! histogram approximations in the metrics registry.
+
+use crate::tenant::Cycle;
+
+/// How a request left the serving loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Executed successfully.
+    Completed,
+    /// The executor failed it (absorbed livelock, retry exhaustion).
+    Failed,
+    /// Shed by the degradation ladder at arrival, before queueing.
+    ShedAtArrival,
+    /// Admitted, then dropped from the queue by a critical-level drain.
+    ShedQueued,
+    /// Rejected with backpressure: the admission queue was full.
+    Rejected,
+}
+
+impl RequestOutcome {
+    /// Stable label used in JSONL trace streams and span names.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestOutcome::Completed => "completed",
+            RequestOutcome::Failed => "failed",
+            RequestOutcome::ShedAtArrival => "shed_at_arrival",
+            RequestOutcome::ShedQueued => "shed_queued",
+            RequestOutcome::Rejected => "rejected",
+        }
+    }
+}
+
+/// The full lifecycle of one request, in virtual cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestSpan {
+    /// Tenant id the request belonged to.
+    pub tenant: usize,
+    /// Per-tenant request sequence number.
+    pub seq: u64,
+    /// Arrival (submission) cycle.
+    pub submitted_at: Cycle,
+    /// Cycle the arbiter granted dispatch, when one was granted.
+    pub dispatched_at: Option<Cycle>,
+    /// Cycle the outcome was decided (completion, failure, shed, reject).
+    pub resolved_at: Cycle,
+    /// The request's deadline.
+    pub deadline_at: Cycle,
+    /// How the request left the system.
+    pub outcome: RequestOutcome,
+    /// Whether a completed request resolved after its deadline.
+    pub deadline_missed: bool,
+}
+
+impl RequestSpan {
+    /// Submission-to-resolution latency.
+    pub fn latency(&self) -> Cycle {
+        self.resolved_at.saturating_sub(self.submitted_at)
+    }
+
+    /// Cycles spent queued before dispatch, when the request was
+    /// dispatched at all.
+    pub fn queue_wait(&self) -> Option<Cycle> {
+        self.dispatched_at
+            .map(|d| d.saturating_sub(self.submitted_at))
+    }
+
+    /// Cycles spent executing, when the request was dispatched at all.
+    pub fn execute_cycles(&self) -> Option<Cycle> {
+        self.dispatched_at
+            .map(|d| self.resolved_at.saturating_sub(d))
+    }
+
+    /// Deadline slack at resolution: cycles to spare, zero when the
+    /// deadline was missed.
+    pub fn slack(&self) -> Cycle {
+        self.deadline_at.saturating_sub(self.resolved_at)
+    }
+}
+
+/// What kind of incident interrupted normal service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// A tenant waited past its forward-progress deadline
+    /// ([`StarvationReport`](crate::server::StarvationReport)).
+    Starvation,
+    /// The executor failed a request — for the simulator executor this is
+    /// a stringified livelock report or retry exhaustion.
+    ExecutorFailure,
+}
+
+impl IncidentKind {
+    /// Stable label used in JSONL trace streams and instant names.
+    pub fn label(self) -> &'static str {
+        match self {
+            IncidentKind::Starvation => "starvation",
+            IncidentKind::ExecutorFailure => "executor_failure",
+        }
+    }
+}
+
+/// One incident on the serve clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceIncident {
+    /// Cycle the incident was observed.
+    pub cycle: Cycle,
+    /// Tenant involved.
+    pub tenant: usize,
+    /// What happened.
+    pub kind: IncidentKind,
+    /// Human-readable detail (watchdog numbers, executor error text).
+    pub detail: String,
+}
+
+/// Exact nearest-rank percentile answers over one sample population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PercentileSummary {
+    /// Samples the summary covers.
+    pub count: u64,
+    /// Median (nearest rank).
+    pub p50: Cycle,
+    /// 95th percentile (nearest rank).
+    pub p95: Cycle,
+    /// 99th percentile (nearest rank).
+    pub p99: Cycle,
+    /// Largest sample.
+    pub max: Cycle,
+}
+
+/// Nearest-rank percentile of `sorted` (ascending) in permille; `None`
+/// when empty.
+fn nearest_rank(sorted: &[Cycle], permille: u64) -> Option<Cycle> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len() as u64;
+    let product = u128::from(permille.min(1000)) * u128::from(n);
+    let rank = (product.div_ceil(1000).max(1)) as usize;
+    sorted.get(rank - 1).or(sorted.last()).copied()
+}
+
+/// Summarize one sample population exactly; `None` when empty.
+pub fn summarize(samples: &[Cycle]) -> Option<PercentileSummary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    Some(PercentileSummary {
+        count: sorted.len() as u64,
+        p50: nearest_rank(&sorted, 500)?,
+        p95: nearest_rank(&sorted, 950)?,
+        p99: nearest_rank(&sorted, 990)?,
+        max: *sorted.last()?,
+    })
+}
+
+/// The recorded lifecycle trace of one serve run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeTrace {
+    spans: Vec<RequestSpan>,
+    incidents: Vec<TraceIncident>,
+}
+
+impl ServeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one resolved request lifecycle.
+    pub fn record_span(&mut self, span: RequestSpan) {
+        self.spans.push(span);
+    }
+
+    /// Record one incident.
+    pub fn record_incident(&mut self, incident: TraceIncident) {
+        self.incidents.push(incident);
+    }
+
+    /// All spans, in resolution order.
+    pub fn spans(&self) -> &[RequestSpan] {
+        &self.spans
+    }
+
+    /// All incidents, in recording order.
+    pub fn incidents(&self) -> &[TraceIncident] {
+        &self.incidents
+    }
+
+    /// Number of tenant tracks the trace touches (highest id + 1).
+    pub fn tenant_count(&self) -> usize {
+        let spans = self.spans.iter().map(|s| s.tenant);
+        let incidents = self.incidents.iter().map(|i| i.tenant);
+        spans.chain(incidents).map(|t| t + 1).max().unwrap_or(0)
+    }
+
+    /// Completed-request latencies for `tenant`.
+    fn latencies_of(&self, tenant: usize) -> Vec<Cycle> {
+        self.spans
+            .iter()
+            .filter(|s| s.tenant == tenant && s.outcome == RequestOutcome::Completed)
+            .map(RequestSpan::latency)
+            .collect()
+    }
+
+    /// Exact latency percentiles for `tenant` over its completed
+    /// requests; `None` when it completed nothing.
+    pub fn latency_percentiles(&self, tenant: usize) -> Option<PercentileSummary> {
+        summarize(&self.latencies_of(tenant))
+    }
+
+    /// Exact deadline-slack percentiles for `tenant` over its completed
+    /// requests; `None` when it completed nothing.
+    pub fn slack_percentiles(&self, tenant: usize) -> Option<PercentileSummary> {
+        let slacks: Vec<Cycle> = self
+            .spans
+            .iter()
+            .filter(|s| s.tenant == tenant && s.outcome == RequestOutcome::Completed)
+            .map(RequestSpan::slack)
+            .collect();
+        summarize(&slacks)
+    }
+
+    /// Spans per outcome: `(completed, failed, shed, rejected)`, with both
+    /// shed variants folded together — the same buckets the serve report's
+    /// per-tenant stats use, so the two accountings can be cross-checked.
+    pub fn outcome_totals(&self) -> (u64, u64, u64, u64) {
+        let mut t = (0, 0, 0, 0);
+        for span in &self.spans {
+            match span.outcome {
+                RequestOutcome::Completed => t.0 += 1,
+                RequestOutcome::Failed => t.1 += 1,
+                RequestOutcome::ShedAtArrival | RequestOutcome::ShedQueued => t.2 += 1,
+                RequestOutcome::Rejected => t.3 += 1,
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(tenant: usize, seq: u64, latency: Cycle, outcome: RequestOutcome) -> RequestSpan {
+        RequestSpan {
+            tenant,
+            seq,
+            submitted_at: 100,
+            dispatched_at: Some(100 + latency / 2),
+            resolved_at: 100 + latency,
+            deadline_at: 100 + 5_000,
+            outcome,
+            deadline_missed: false,
+        }
+    }
+
+    #[test]
+    fn span_arithmetic_is_saturating_and_exact() {
+        let s = span(0, 0, 400, RequestOutcome::Completed);
+        assert_eq!(s.latency(), 400);
+        assert_eq!(s.queue_wait(), Some(200));
+        assert_eq!(s.execute_cycles(), Some(200));
+        assert_eq!(s.slack(), 4_600);
+        let shed = RequestSpan {
+            dispatched_at: None,
+            resolved_at: 50, // resolved before its nominal submission
+            submitted_at: 100,
+            ..s
+        };
+        assert_eq!(shed.latency(), 0);
+        assert_eq!(shed.queue_wait(), None);
+        assert_eq!(shed.execute_cycles(), None);
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let samples: Vec<Cycle> = (1..=100).collect();
+        let p = summarize(&samples).unwrap();
+        assert_eq!(p.count, 100);
+        assert_eq!(p.p50, 50);
+        assert_eq!(p.p95, 95);
+        assert_eq!(p.p99, 99);
+        assert_eq!(p.max, 100);
+        assert_eq!(summarize(&[]), None);
+        let single = summarize(&[42]).unwrap();
+        assert_eq!((single.p50, single.p99, single.max), (42, 42, 42));
+    }
+
+    #[test]
+    fn per_tenant_queries_filter_to_completions() {
+        let mut tr = ServeTrace::new();
+        for latency in [100, 200, 300] {
+            tr.record_span(span(0, latency, latency, RequestOutcome::Completed));
+        }
+        tr.record_span(span(0, 9, 9_999, RequestOutcome::Failed));
+        tr.record_span(span(1, 0, 5, RequestOutcome::Completed));
+        let p = tr.latency_percentiles(0).unwrap();
+        assert_eq!(p.count, 3, "the failure is excluded");
+        assert_eq!(p.p50, 200);
+        assert_eq!(p.max, 300);
+        assert_eq!(tr.latency_percentiles(1).unwrap().max, 5);
+        assert_eq!(tr.latency_percentiles(7), None);
+        let slack = tr.slack_percentiles(0).unwrap();
+        assert_eq!(slack.max, 5_000 - 100);
+        assert_eq!(tr.tenant_count(), 2);
+        assert_eq!(tr.outcome_totals(), (4, 1, 0, 0));
+    }
+
+    #[test]
+    fn incidents_accumulate_in_order() {
+        let mut tr = ServeTrace::new();
+        tr.record_incident(TraceIncident {
+            cycle: 10,
+            tenant: 2,
+            kind: IncidentKind::Starvation,
+            detail: "waited 51".to_string(),
+        });
+        tr.record_incident(TraceIncident {
+            cycle: 20,
+            tenant: 0,
+            kind: IncidentKind::ExecutorFailure,
+            detail: "livelock".to_string(),
+        });
+        assert_eq!(tr.incidents().len(), 2);
+        assert_eq!(tr.incidents()[0].kind.label(), "starvation");
+        assert_eq!(tr.tenant_count(), 3, "incident tenants count too");
+    }
+}

@@ -109,7 +109,7 @@ fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
     ];
     pats.iter()
         .enumerate()
-        .all(|(k, p)| tokens.get(i + k).is_some_and(|t| p(t)))
+        .all(|(k, p)| tokens.get(i + k).is_some_and(p))
 }
 
 /// Skip a balanced `#[…]` attribute starting at `i` (which must point at
