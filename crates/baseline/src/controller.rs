@@ -5,7 +5,8 @@ use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
 
 use faults::FaultInjector;
-use rdram::{AddressMap, Command, Cycle, Location, Rdram, SharedSink, PACKET_BYTES};
+use memsys::{MemorySystem, SystemMap};
+use rdram::{Command, Cycle, Location, SharedSink, PACKET_BYTES};
 use smc::{LivelockReport, SmcError, StreamDescriptor, StreamKind, DEFAULT_WATCHDOG_CYCLES};
 use telemetry::{Event, SharedTelemetry};
 
@@ -88,7 +89,7 @@ pub struct BaselineResult {
 #[derive(Debug)]
 pub struct BaselineController {
     streams: Vec<StreamDescriptor>,
-    map: AddressMap,
+    map: SystemMap,
     policy: LinePolicy,
     line_bytes: u64,
     queue: VecDeque<LineOp>,
@@ -127,7 +128,7 @@ impl BaselineController {
     /// a positive multiple of the 16-byte packet.
     pub fn new(
         streams: Vec<StreamDescriptor>,
-        map: AddressMap,
+        map: SystemMap,
         policy: LinePolicy,
         line_bytes: u64,
     ) -> Self {
@@ -464,7 +465,7 @@ impl BaselineController {
     /// fault plan's retry budget, or [`SmcError::Livelock`] when the
     /// forward-progress watchdog sees no command issued for the watchdog
     /// threshold.
-    pub fn tick(&mut self, now: Cycle, dev: &mut Rdram) -> Result<(), SmcError> {
+    pub fn tick(&mut self, now: Cycle, dev: &mut MemorySystem) -> Result<(), SmcError> {
         if let Some(sink) = &self.trace_sink {
             if !dev.has_cmd_sink() {
                 dev.set_cmd_sink(sink.clone());
@@ -510,7 +511,7 @@ impl BaselineController {
     }
 
     /// Hash of everything that changes when the schedule makes progress.
-    fn fingerprint(&self, dev: &Rdram) -> u64 {
+    fn fingerprint(&self, dev: &MemorySystem) -> u64 {
         let s = dev.stats();
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mix = |h: &mut u64, v: u64| {
@@ -532,8 +533,8 @@ impl BaselineController {
         h
     }
 
-    fn livelock_report(&self, now: Cycle, dev: &Rdram) -> LivelockReport {
-        let banks = dev.config().total_banks();
+    fn livelock_report(&self, now: Cycle, dev: &MemorySystem) -> LivelockReport {
+        let banks = dev.total_banks();
         let (last_command, last_command_cycle) = match self.last_issued {
             Some((c, t)) => (Some(format!("{c:?}")), t),
             None => (None, 0),
@@ -554,7 +555,7 @@ impl BaselineController {
 
     /// One scheduling step: admit ready transfers and issue at most one
     /// command packet.
-    fn step(&mut self, now: Cycle, dev: &mut Rdram) -> Result<(), SmcError> {
+    fn step(&mut self, now: Cycle, dev: &mut MemorySystem) -> Result<(), SmcError> {
         self.try_admit(now);
         // Find the oldest in-flight op whose next command can start now.
         for k in 0..self.in_flight.len() {
@@ -619,7 +620,7 @@ impl BaselineController {
         k: usize,
         cmd: Command,
         now: Cycle,
-        dev: &mut Rdram,
+        dev: &mut MemorySystem,
     ) -> Result<(), SmcError> {
         let stage = self.in_flight[k].stage;
         // Label the op's ROW ACT (or first COL on a page hit) for the
@@ -716,7 +717,10 @@ impl BaselineController {
     /// Propagates the first [`SmcError`] a tick reports — under fault
     /// injection that can be a livelock or an exhausted retry budget; on a
     /// fault-free run any error is an internal bug.
-    pub fn run_to_completion(&mut self, dev: &mut Rdram) -> Result<BaselineResult, SmcError> {
+    pub fn run_to_completion(
+        &mut self,
+        dev: &mut MemorySystem,
+    ) -> Result<BaselineResult, SmcError> {
         let mut now = 0;
         while !self.done() {
             self.tick(now, dev)?;
@@ -739,18 +743,18 @@ impl BaselineController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rdram::{DeviceConfig, Interleave};
+    use rdram::{AddressMap, DeviceConfig, Interleave};
 
-    fn cli() -> (Rdram, AddressMap) {
+    fn cli() -> (MemorySystem, SystemMap) {
         let cfg = DeviceConfig::default();
         let map = AddressMap::new(Interleave::Cacheline { line_bytes: 32 }, &cfg).unwrap();
-        (Rdram::new(cfg), map)
+        (MemorySystem::single(cfg), SystemMap::single(map))
     }
 
-    fn pi() -> (Rdram, AddressMap) {
+    fn pi() -> (MemorySystem, SystemMap) {
         let cfg = DeviceConfig::default();
         let map = AddressMap::new(Interleave::Page, &cfg).unwrap();
-        (Rdram::new(cfg), map)
+        (MemorySystem::single(cfg), SystemMap::single(map))
     }
 
     /// Vector bases staggered by `unit` bytes so successive vectors map to
@@ -785,7 +789,7 @@ mod tests {
     #[test]
     fn pi_open_page_beats_cli_closed_page_for_streams() {
         let n = 1024;
-        let run = |(mut dev, map): (Rdram, AddressMap), pol, unit| {
+        let run = |(mut dev, map): (MemorySystem, SystemMap), pol, unit| {
             let mut ctl = BaselineController::new(three_stream(n, unit), map, pol, 32);
             ctl.run_to_completion(&mut dev)
                 .expect("fault-free run")

@@ -23,12 +23,15 @@
 //!
 //! ```
 //! use baseline::BaselineController;
-//! use rdram::{AddressMap, DeviceConfig, Interleave, Rdram};
+//! use memsys::{MemorySystem, SystemMap};
+//! use rdram::{AddressMap, DeviceConfig, Interleave};
 //! use smc::StreamDescriptor;
 //!
 //! let cfg = DeviceConfig::default();
-//! let map = AddressMap::new(Interleave::Cacheline { line_bytes: 32 }, &cfg).unwrap();
-//! let mut dev = Rdram::new(cfg);
+//! let map = SystemMap::single(
+//!     AddressMap::new(Interleave::Cacheline { line_bytes: 32 }, &cfg).unwrap(),
+//! );
+//! let mut dev = MemorySystem::single(cfg);
 //! let streams = vec![
 //!     StreamDescriptor::read("x", 0, 1, 128),
 //!     StreamDescriptor::write("y", 1 << 20, 1, 128),

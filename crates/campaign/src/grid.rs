@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::spec::{CampaignSpec, Order, RunPoint};
+use crate::spec::{CampaignSpec, Order, RunPoint, DEFAULT_PLACEMENT};
 
 /// FNV-1a 64-bit hash — the basis of deterministic run IDs. Chosen over
 /// `DefaultHasher` because the standard library's hasher is explicitly
@@ -21,20 +21,23 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// Expand `spec` into its run points.
 ///
 /// The nesting order (kernel → memory → order → alignment → n → stride →
-/// faults → fault seed → tenants → budget → attribution) is part of the
-/// store format: it fixes the record order of every campaign, independent
-/// of worker count. Four collapses keep the grid free of synonymous
-/// points before dedup even runs: natural-order points ignore the `fifo`
-/// axis (one point per family, not one per depth), a clean run
-/// (`faults == ""`) pins `fault_seed` to 0 because the seed is inert
-/// without a plan, a single-tenant run (`tenants == ""`) pins
-/// `budget_permille` to 0 because the regulator budget is inert without
-/// tenants, and a multi-tenant run pins `attribution` to 0 because the
-/// serve loop owns the clock there. Points matching any exclusion clause
-/// are dropped, and exact duplicates (e.g. a repeated axis value) are
-/// collapsed to their first occurrence.
+/// faults → fault seed → tenants → budget → attribution → channels →
+/// devices per channel → placement) is part of the store format: it fixes
+/// the record order of every campaign, independent of worker count. Five
+/// collapses keep the grid free of synonymous points before dedup even
+/// runs: natural-order points ignore the `fifo` axis (one point per
+/// family, not one per depth), a clean run (`faults == ""`) pins
+/// `fault_seed` to 0 because the seed is inert without a plan, a
+/// single-tenant run (`tenants == ""`) pins `budget_permille` to 0
+/// because the regulator budget is inert without tenants, a multi-tenant
+/// run pins `attribution` to 0 because the serve loop owns the clock
+/// there, and a single-channel run (`channels == 1`) pins `placement` to
+/// [`DEFAULT_PLACEMENT`] because placement is inert with one channel.
+/// Points matching any exclusion clause are dropped, and exact duplicates
+/// (e.g. a repeated axis value) are collapsed to their first occurrence.
 pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
     let axes = &spec.axes;
+    let default_placement = [DEFAULT_PLACEMENT.to_string()];
     let mut seen = BTreeSet::new();
     let mut points = Vec::new();
     for kernel in &axes.kernels {
@@ -69,28 +72,45 @@ pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
                                                     &[0]
                                                 };
                                                 for &attribution in attrs {
-                                                    let point = RunPoint {
-                                                        kernel: kernel.clone(),
-                                                        order,
-                                                        memory: memory.clone(),
-                                                        alignment: alignment.clone(),
-                                                        n,
-                                                        stride,
-                                                        faults: faults.clone(),
-                                                        fault_seed,
-                                                        tenants: tenants.clone(),
-                                                        budget_permille,
-                                                        attribution,
-                                                    };
-                                                    if spec
-                                                        .exclude
-                                                        .iter()
-                                                        .any(|x| x.matches(&point))
-                                                    {
-                                                        continue;
-                                                    }
-                                                    if seen.insert(point.key()) {
-                                                        points.push(point);
+                                                    for &channels in &axes.channel_counts {
+                                                        for &devices_per_channel in
+                                                            &axes.devices_per_channel
+                                                        {
+                                                            let placements: &[String] =
+                                                                if channels <= 1 {
+                                                                    &default_placement
+                                                                } else {
+                                                                    &axes.placements
+                                                                };
+                                                            for placement in placements {
+                                                                let point = RunPoint {
+                                                                    kernel: kernel.clone(),
+                                                                    order,
+                                                                    memory: memory.clone(),
+                                                                    alignment: alignment.clone(),
+                                                                    n,
+                                                                    stride,
+                                                                    faults: faults.clone(),
+                                                                    fault_seed,
+                                                                    tenants: tenants.clone(),
+                                                                    budget_permille,
+                                                                    attribution,
+                                                                    channels,
+                                                                    devices_per_channel,
+                                                                    placement: placement.clone(),
+                                                                };
+                                                                if spec
+                                                                    .exclude
+                                                                    .iter()
+                                                                    .any(|x| x.matches(&point))
+                                                                {
+                                                                    continue;
+                                                                }
+                                                                if seen.insert(point.key()) {
+                                                                    points.push(point);
+                                                                }
+                                                            }
+                                                        }
                                                     }
                                                 }
                                             }
@@ -204,6 +224,27 @@ mod tests {
         assert!(points[1].tenants.is_empty());
         assert_eq!(points[2].tenants, "ls:1:daxpy:64");
         assert_eq!(points[2].attribution, 0);
+    }
+
+    #[test]
+    fn single_channel_runs_collapse_the_placement_axis() {
+        let mut spec = CampaignSpec::named("t");
+        spec.axes.channel_counts = vec![1, 2];
+        spec.axes.placements = vec!["interleaved".into(), "sequential".into(), "numa:0".into()];
+        let points = expand(&spec);
+        // 1 single-channel point (placement pinned) + 3 placed 2-channel
+        // points.
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].channels, 1);
+        assert_eq!(points[0].placement, "interleaved");
+        assert!(points[1..].iter().all(|p| p.channels == 2));
+        assert_eq!(
+            points[1..]
+                .iter()
+                .map(|p| p.placement.as_str())
+                .collect::<Vec<_>>(),
+            ["interleaved", "sequential", "numa:0"]
+        );
     }
 
     #[test]

@@ -12,6 +12,11 @@ use serde_json::Value;
 
 use crate::grid::fnv1a64;
 
+/// The default cross-channel placement spec. Single-channel points pin
+/// `placement` to this value (where it is inert), and points carrying it
+/// at one channel serialize without any topology fields at all.
+pub const DEFAULT_PLACEMENT: &str = "interleaved";
+
 /// Access ordering of one run point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Order {
@@ -89,6 +94,19 @@ pub struct RunPoint {
     /// the key and the record form, so pre-attribution campaigns and their
     /// goldens are byte-identical to builds that predate the profiler.
     pub attribution: u64,
+    /// Independent memory channels (`channels` axis). When 1 — the paper's
+    /// single-channel system — the topology fields are inert: they are
+    /// omitted from the key and the record form, so single-channel
+    /// campaigns (and their goldens) are byte-identical to builds that
+    /// predate the multi-channel memory system.
+    pub channels: u64,
+    /// RDRAM devices ganged on each channel (`devices_per_channel` axis).
+    pub devices_per_channel: u64,
+    /// Cross-channel placement spec (`interleaved[:bytes]`, `sequential`,
+    /// or `numa[:home]` — validated by the runner). Forced to
+    /// [`DEFAULT_PLACEMENT`] when `channels` is 1, where placement is
+    /// inert.
+    pub placement: String,
 }
 
 impl RunPoint {
@@ -117,6 +135,12 @@ impl RunPoint {
         if self.attribution != 0 {
             key.push_str("|attr=1");
         }
+        if self.channels > 1 || self.devices_per_channel > 1 {
+            key.push_str(&format!(
+                "|channels={}|devices={}|placement={}",
+                self.channels, self.devices_per_channel, self.placement
+            ));
+        }
         key
     }
 
@@ -142,6 +166,9 @@ impl RunPoint {
             tenants: String::new(),
             budget_permille: 0,
             attribution: 0,
+            channels: 1,
+            devices_per_channel: 1,
+            placement: DEFAULT_PLACEMENT.to_string(),
         }
     }
 }
@@ -181,6 +208,13 @@ pub struct Axes {
     /// Cycle-attribution switches, each 0 (off) or 1 (on)
     /// (`attribution`). Default: `[0]`.
     pub attributions: Vec<u64>,
+    /// Channel counts (`channels`). Default: `[1]`.
+    pub channel_counts: Vec<u64>,
+    /// Devices per channel (`devices_per_channel`). Default: `[1]`.
+    pub devices_per_channel: Vec<u64>,
+    /// Cross-channel placement specs (`placement`). Default:
+    /// `["interleaved"]`.
+    pub placements: Vec<String>,
 }
 
 impl Default for Axes {
@@ -198,6 +232,9 @@ impl Default for Axes {
             tenant_mixes: vec![String::new()],
             budgets: vec![0],
             attributions: vec![0],
+            channel_counts: vec![1],
+            devices_per_channel: vec![1],
+            placements: vec![DEFAULT_PLACEMENT.to_string()],
         }
     }
 }
@@ -230,6 +267,12 @@ pub struct Exclude {
     pub budget_permille: Option<u64>,
     /// Match on the attribution switch (0 or 1).
     pub attribution: Option<u64>,
+    /// Match on the channel count.
+    pub channels: Option<u64>,
+    /// Match on the devices-per-channel count.
+    pub devices_per_channel: Option<u64>,
+    /// Match on the placement spec string.
+    pub placement: Option<String>,
 }
 
 impl Exclude {
@@ -254,6 +297,9 @@ impl Exclude {
             && eq_s(&self.tenants, &point.tenants)
             && eq_u(&self.budget_permille, point.budget_permille)
             && eq_u(&self.attribution, point.attribution)
+            && eq_u(&self.channels, point.channels)
+            && eq_u(&self.devices_per_channel, point.devices_per_channel)
+            && eq_s(&self.placement, &point.placement)
     }
 }
 
@@ -370,13 +416,16 @@ fn parse_axes(v: &Value, path: &str) -> Result<Axes, SpecError> {
                 }
                 axes.attributions = switches;
             }
+            "channels" => axes.channel_counts = u64_list(value, &p, 1)?,
+            "devices_per_channel" => axes.devices_per_channel = u64_list(value, &p, 1)?,
+            "placement" => axes.placements = string_list(value, &p, None)?,
             other => {
                 return Err(err(
                     path,
                     format!(
                         "unknown axis `{other}` (known: kernel, order, memory, fifo, n, \
                          stride, alignment, faults, fault_seed, tenants, budget_permille, \
-                         attribution)"
+                         attribution, channels, devices_per_channel, placement)"
                     ),
                 ));
             }
@@ -416,6 +465,9 @@ fn parse_exclude(v: &Value, path: &str) -> Result<Exclude, SpecError> {
             "fault_seed" => clause.fault_seed = Some(want_u64(value, &p)?),
             "budget_permille" => clause.budget_permille = Some(want_u64(value, &p)?),
             "attribution" => clause.attribution = Some(want_u64(value, &p)?),
+            "channels" => clause.channels = Some(want_u64(value, &p)?),
+            "devices_per_channel" => clause.devices_per_channel = Some(want_u64(value, &p)?),
+            "placement" => clause.placement = Some(want_str(value, &p)?),
             other => return Err(err(path, format!("unknown exclude field `{other}`"))),
         }
     }
@@ -637,6 +689,63 @@ mod tests {
         };
         assert!(clause.matches(&hit));
         assert!(!clause.matches(&RunPoint::smoke("daxpy", 64)));
+    }
+
+    #[test]
+    fn topology_extends_the_key_only_when_non_default() {
+        let single = RunPoint::smoke("copy", 64);
+        // Single-channel single-device keys are byte-identical to the
+        // pre-memsys format.
+        assert!(!single.key().contains("channels"));
+        assert!(!single.key().contains("placement"));
+        let multi = RunPoint {
+            channels: 2,
+            placement: "numa:0".into(),
+            ..single.clone()
+        };
+        assert_eq!(
+            multi.key(),
+            format!("{}|channels=2|devices=1|placement=numa:0", single.key())
+        );
+        assert_ne!(multi.run_id(), single.run_id());
+        // Extra devices on one channel also move the key.
+        let fat = RunPoint {
+            devices_per_channel: 4,
+            ..single.clone()
+        };
+        assert_eq!(
+            fat.key(),
+            format!(
+                "{}|channels=1|devices=4|placement=interleaved",
+                single.key()
+            )
+        );
+    }
+
+    #[test]
+    fn topology_axes_parse_and_exclude() {
+        let text = concat!(
+            r#"{"schema": 1, "name": "mc", "#,
+            r#""axes": {"channels": [1, 2], "devices_per_channel": [1, 2], "#,
+            r#""placement": ["interleaved", "numa:0"]}, "#,
+            r#""exclude": [{"channels": 2, "placement": "numa:0"}]}"#
+        );
+        let spec = CampaignSpec::from_json(text).unwrap();
+        assert_eq!(spec.axes.channel_counts, [1, 2]);
+        assert_eq!(spec.axes.devices_per_channel, [1, 2]);
+        assert_eq!(spec.axes.placements, ["interleaved", "numa:0"]);
+        let clause = &spec.exclude[0];
+        let hit = RunPoint {
+            channels: 2,
+            placement: "numa:0".into(),
+            ..RunPoint::smoke("daxpy", 64)
+        };
+        assert!(clause.matches(&hit));
+        assert!(!clause.matches(&RunPoint::smoke("daxpy", 64)));
+        // Zero channels or devices are rejected at parse time.
+        let e = CampaignSpec::from_json(r#"{"schema": 1, "name": "t", "axes": {"channels": [0]}}"#)
+            .unwrap_err();
+        assert!(e.message.contains(">= 1"), "{e}");
     }
 
     #[test]

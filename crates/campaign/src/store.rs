@@ -247,6 +247,14 @@ impl RunRecord {
         if p.attribution != 0 {
             fields.push(("attribution".into(), Value::UInt(p.attribution)));
         }
+        if p.channels > 1 || p.devices_per_channel > 1 {
+            fields.push(("channels".into(), Value::UInt(p.channels)));
+            fields.push((
+                "devices_per_channel".into(),
+                Value::UInt(p.devices_per_channel),
+            ));
+            fields.push(("placement".into(), Value::String(p.placement.clone())));
+        }
         match &self.outcome {
             Outcome::Ok(stats) => {
                 fields.push(("status".into(), Value::String("ok".into())));
@@ -311,6 +319,19 @@ impl RunRecord {
         // Like the tenant fields, `attribution` is optional: absent means
         // off, so pre-profiler stores parse unchanged.
         let attribution = v.get("attribution").and_then(Value::as_u64).unwrap_or(0);
+        // Topology fields are optional too: absent means the paper's
+        // single-channel, single-device system, so pre-memsys stores parse
+        // unchanged.
+        let channels = v.get("channels").and_then(Value::as_u64).unwrap_or(1);
+        let devices_per_channel = v
+            .get("devices_per_channel")
+            .and_then(Value::as_u64)
+            .unwrap_or(1);
+        let placement = v
+            .get("placement")
+            .and_then(Value::as_str)
+            .unwrap_or(crate::spec::DEFAULT_PLACEMENT)
+            .to_string();
         let point = RunPoint {
             kernel: str_field("kernel")?,
             order,
@@ -323,6 +344,9 @@ impl RunRecord {
             tenants,
             budget_permille,
             attribution,
+            channels,
+            devices_per_channel,
+            placement,
         };
         let outcome = match str_field("status")?.as_str() {
             "ok" => {
@@ -657,6 +681,44 @@ mod tests {
         let text = store.to_jsonl();
         assert!(text.contains("\"attribution\":1"), "{text}");
         assert!(text.contains("\"attr_data_cycles\":700"), "{text}");
+        let back = ResultsStore::from_jsonl(&text).unwrap();
+        assert_eq!(back, store);
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn topology_records_round_trip_and_single_channel_stays_inert() {
+        // Single-channel single-device lines never mention topology at all.
+        let plain = sample_store();
+        for record in &plain.records {
+            let line = record.to_json_line();
+            assert!(!line.contains("channels"), "{line}");
+            assert!(!line.contains("placement"), "{line}");
+        }
+        // Multi-channel records carry the topology and survive the JSONL
+        // round trip.
+        let point = RunPoint {
+            channels: 4,
+            devices_per_channel: 2,
+            placement: "numa:1".into(),
+            ..RunPoint::smoke("copy", 64)
+        };
+        let store = ResultsStore {
+            campaign: "mc".into(),
+            records: vec![RunRecord {
+                run_id: point.run_id(),
+                point,
+                outcome: Outcome::Ok(RunStats {
+                    cycles: 4321,
+                    useful_words: 1024,
+                    ..RunStats::default()
+                }),
+            }],
+        };
+        let text = store.to_jsonl();
+        assert!(text.contains("\"channels\":4"), "{text}");
+        assert!(text.contains("\"devices_per_channel\":2"), "{text}");
+        assert!(text.contains("\"placement\":\"numa:1\""), "{text}");
         let back = ResultsStore::from_jsonl(&text).unwrap();
         assert_eq!(back, store);
         assert_eq!(back.to_jsonl(), text);

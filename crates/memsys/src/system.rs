@@ -1,0 +1,638 @@
+//! The multi-channel memory system: command routing and aggregation.
+
+use std::sync::Arc;
+
+use rdram::{
+    AccessPlan, ChannelFaults, ColOp, Command, CommandPort, CommandRecord, Cycle, DeviceConfig,
+    DeviceStats, Location, Outcome, ProtocolError, Rdram, RowOp, SharedSink, Timing,
+};
+
+use crate::Topology;
+
+/// Re-target `cmd` at channel-local bank `bank`, preserving everything
+/// else.
+fn rebase(cmd: &Command, bank: usize) -> Command {
+    match cmd {
+        Command::Row(RowOp::Activate { row, .. }) => Command::activate(bank, *row),
+        Command::Row(RowOp::Precharge { .. }) => Command::precharge(bank),
+        Command::Col { op, auto_precharge } => {
+            let base = match op {
+                ColOp::Read { col, .. } => Command::read(bank, *col),
+                ColOp::Write { col, .. } => Command::write(bank, *col),
+            };
+            if *auto_precharge {
+                base.with_auto_precharge()
+            } else {
+                base
+            }
+        }
+    }
+}
+
+/// Split a globally-banked command stream into per-channel, channel-local
+/// streams.
+///
+/// Index `i` of the result holds channel `i`'s commands, re-targeted at
+/// channel-local banks and keeping their recorded cycles, in the order
+/// they appear in `records`. Records whose bank lies beyond the last
+/// channel are dropped (the device would have rejected them). Replaying
+/// each returned stream against the *per-channel* device configuration is
+/// the correct way to audit a multi-channel trace: every channel has its
+/// own bus triple, so a flattened replay would merge independent buses.
+pub fn split_by_channel(
+    records: &[CommandRecord],
+    channels: usize,
+    banks_per_channel: usize,
+) -> Vec<Vec<CommandRecord>> {
+    let mut out = vec![Vec::new(); channels.max(1)];
+    if banks_per_channel == 0 {
+        return out;
+    }
+    for rec in records {
+        let ch = rec.cmd.bank() / banks_per_channel;
+        if ch >= out.len() {
+            continue;
+        }
+        let local = rec.cmd.bank() % banks_per_channel;
+        out[ch].push(CommandRecord {
+            cycle: rec.cycle,
+            cmd: rebase(&rec.cmd, local),
+        });
+    }
+    out
+}
+
+/// Maps a channel's local bank indices onto the global fault timeline, so
+/// one injector (speaking global banks) drives every channel's device.
+#[derive(Debug)]
+struct OffsetFaults {
+    base: usize,
+    inner: Arc<dyn ChannelFaults>,
+}
+
+impl ChannelFaults for OffsetFaults {
+    fn free_at(&self, bank: usize, t: Cycle) -> Cycle {
+        self.inner.free_at(self.base.saturating_add(bank), t)
+    }
+}
+
+/// N independent Direct Rambus channels behind one command interface.
+///
+/// Commands carry *global* bank indices (see [`SystemMap`](crate::SystemMap));
+/// the system routes each to the owning channel's [`Rdram`] after
+/// re-targeting it at the channel-local bank. A single-channel system is a
+/// transparent passthrough — identical cycle-for-cycle and byte-for-byte
+/// to driving the device directly.
+///
+/// NUMA-style asymmetry: a channel with a nonzero
+/// [`Topology::remote_penalty`] entry receives ROW commands late — a
+/// command launched at `t` reaches the device at `t + penalty`, so the
+/// activate/precharge work it starts is delayed by the penalty while
+/// COL/DATA scheduling is untouched. [`earliest`](MemorySystem::earliest)
+/// folds the shift in, so the usual earliest-then-issue discipline stays
+/// valid.
+#[derive(Debug)]
+pub struct MemorySystem {
+    topo: Topology,
+    channels: Vec<Rdram>,
+    banks_per_channel: usize,
+    /// DATA-bus cycles charged to each global bank, the measured currency
+    /// the tenancy regulator's per-bank budgets are denominated in.
+    bank_data_cycles: Vec<Cycle>,
+    /// Multi-channel command observer; records globally-banked commands.
+    /// Single-channel systems install the sink on the device instead.
+    sink: Option<SharedSink>,
+    /// Label awaiting the next issued command (multi-channel tracing).
+    pending_label: Option<String>,
+}
+
+impl MemorySystem {
+    /// Build `topo.channels` channels, each a device shaped like `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is invalid or disagrees with `cfg.devices`
+    /// (the per-channel device count lives in both, and they must match),
+    /// or if `cfg` itself is invalid. System construction happens once at
+    /// simulation setup, where an invalid configuration is unrecoverable.
+    pub fn new(cfg: DeviceConfig, topo: Topology) -> Self {
+        let validity = topo.validate();
+        assert!(validity.is_ok(), "invalid topology: {validity:?}");
+        assert!(
+            cfg.devices == topo.devices_per_channel,
+            "cfg.devices ({}) must equal topo.devices_per_channel ({})",
+            cfg.devices,
+            topo.devices_per_channel
+        );
+        let banks_per_channel = cfg.total_banks();
+        let channels: Vec<Rdram> = (0..topo.channels)
+            .map(|_| Rdram::new(cfg.clone()))
+            .collect();
+        MemorySystem {
+            bank_data_cycles: vec![0; banks_per_channel * topo.channels],
+            channels,
+            banks_per_channel,
+            topo,
+            sink: None,
+            pending_label: None,
+        }
+    }
+
+    /// The paper's memory system: one channel of one device.
+    pub fn single(cfg: DeviceConfig) -> Self {
+        let topo = Topology {
+            devices_per_channel: cfg.devices,
+            ..Topology::single()
+        };
+        MemorySystem::new(cfg, topo)
+    }
+
+    /// The topology this system was built with.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Banks across the whole system.
+    pub fn total_banks(&self) -> usize {
+        self.banks_per_channel * self.channels.len()
+    }
+
+    /// Banks on each channel.
+    pub fn banks_per_channel(&self) -> usize {
+        self.banks_per_channel
+    }
+
+    /// Which channel owns global bank `bank`.
+    pub fn channel_of_bank(&self, bank: usize) -> usize {
+        bank / self.banks_per_channel
+    }
+
+    /// Channel `ch`'s device, for per-channel inspection (stats, buses,
+    /// traces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is out of range.
+    pub fn device(&self, ch: usize) -> &Rdram {
+        &self.channels[ch]
+    }
+
+    /// Mutable access to channel `ch`'s device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is out of range.
+    pub fn device_mut(&mut self, ch: usize) -> &mut Rdram {
+        &mut self.channels[ch]
+    }
+
+    /// The timing parameters every channel runs under.
+    pub fn timing(&self) -> &Timing {
+        self.channels[0].timing()
+    }
+
+    /// The per-channel device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        self.channels[0].config()
+    }
+
+    /// Statistics summed over every channel, field by field. With one
+    /// channel this equals the device's own counters exactly; with N it
+    /// is the whole system's traffic (the per-channel breakdown stays
+    /// available through [`channel_stats`](MemorySystem::channel_stats)).
+    pub fn stats(&self) -> DeviceStats {
+        let mut acc = DeviceStats::default();
+        for dev in &self.channels {
+            let s = dev.stats();
+            acc.activates += s.activates;
+            acc.precharges += s.precharges;
+            acc.auto_precharges += s.auto_precharges;
+            acc.read_hits += s.read_hits;
+            acc.write_hits += s.write_hits;
+            acc.read_packets += s.read_packets;
+            acc.write_packets += s.write_packets;
+            acc.turnarounds += s.turnarounds;
+            acc.data_busy_cycles += s.data_busy_cycles;
+        }
+        acc
+    }
+
+    /// Channel `ch`'s own statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is out of range.
+    pub fn channel_stats(&self, ch: usize) -> &DeviceStats {
+        self.channels[ch].stats()
+    }
+
+    /// DATA-bus cycles charged to each global bank so far — the measured
+    /// per-channel/per-bank traffic the tenancy regulator budgets against.
+    pub fn bank_data_cycles(&self) -> &[Cycle] {
+        &self.bank_data_cycles
+    }
+
+    /// Attach a command sink. On a single channel the sink goes straight
+    /// onto the device (bit-identical to the single-device model); on a
+    /// multi-channel system the router records each accepted command with
+    /// its global bank.
+    pub fn set_cmd_sink(&mut self, sink: SharedSink) {
+        if self.channels.len() == 1 {
+            self.channels[0].set_cmd_sink(sink);
+        } else {
+            self.sink = Some(sink);
+        }
+    }
+
+    /// Whether a command sink is attached.
+    pub fn has_cmd_sink(&self) -> bool {
+        self.sink.is_some() || self.channels[0].has_cmd_sink()
+    }
+
+    /// Detach the command sink, if any.
+    pub fn clear_cmd_sink(&mut self) {
+        self.sink = None;
+        for dev in &mut self.channels {
+            dev.clear_cmd_sink();
+        }
+    }
+
+    /// Attach an injected-fault model speaking *global* bank indices.
+    /// Each channel's device sees the same timeline through a local→global
+    /// bank offset, so controller and devices agree on busy windows.
+    pub fn set_faults(&mut self, faults: Arc<dyn ChannelFaults>) {
+        if self.channels.len() == 1 {
+            self.channels[0].set_faults(faults);
+            return;
+        }
+        for (ch, dev) in self.channels.iter_mut().enumerate() {
+            dev.set_faults(Arc::new(OffsetFaults {
+                base: ch * self.banks_per_channel,
+                inner: Arc::clone(&faults),
+            }));
+        }
+    }
+
+    /// Attach a label to the events of the next issued command (see
+    /// [`Rdram::set_label`]); the router forwards it to whichever channel
+    /// that command lands on.
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        if self.channels.len() == 1 {
+            self.channels[0].set_label(label);
+        } else {
+            self.pending_label = Some(label.into());
+        }
+    }
+
+    /// Take ownership of channel 0's recorded packet trace, if tracing is
+    /// enabled (the paper's timing-diagram figures run single-channel;
+    /// other channels' traces are reachable via
+    /// [`device_mut`](MemorySystem::device_mut)).
+    pub fn take_trace(&mut self) -> Option<rdram::trace::Trace> {
+        self.channels[0].take_trace()
+    }
+
+    /// Extra delivery delay `cmd` pays to reach channel `ch`: the
+    /// topology's ROW penalty for row commands, zero for column traffic.
+    fn shift_of(&self, ch: usize, cmd: &Command) -> Cycle {
+        match cmd {
+            Command::Row(RowOp::Activate { .. }) | Command::Row(RowOp::Precharge { .. }) => {
+                self.topo.penalty_of(ch)
+            }
+            Command::Col { .. } => 0,
+        }
+    }
+
+    /// What ROW work is needed before a COL access can reach `loc`
+    /// (global bank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location's bank is out of range.
+    pub fn plan(&self, loc: Location) -> AccessPlan {
+        let ch = self.channel_of_bank(loc.bank);
+        self.channels[ch].plan(Location {
+            bank: loc.bank % self.banks_per_channel,
+            row: loc.row,
+            col: loc.col,
+        })
+    }
+
+    /// The row currently open in global bank `bank`, if any.
+    pub fn open_row(&self, bank: usize) -> Option<u64> {
+        let ch = self.channel_of_bank(bank);
+        self.channels
+            .get(ch)
+            .and_then(|dev| dev.open_row(bank % self.banks_per_channel))
+    }
+
+    /// Earliest cycle `>= now` at which `cmd` (global bank) may start,
+    /// from the controller's point of view: for a penalized ROW command
+    /// this is the launch cycle whose delayed delivery the channel
+    /// accepts.
+    pub fn earliest(&self, cmd: &Command, now: Cycle) -> Cycle {
+        let bank = cmd.bank();
+        let ch = self.channel_of_bank(bank);
+        let Some(dev) = self.channels.get(ch) else {
+            return now;
+        };
+        let local = rebase(cmd, bank % self.banks_per_channel);
+        let shift = self.shift_of(ch, cmd);
+        if shift == 0 {
+            return dev.earliest(&local, now);
+        }
+        // The device must accept the command at launch + shift; the
+        // launch cycle is its acceptance cycle pulled back by the shift
+        // (never before `now`, since device earliest never precedes its
+        // own `now` argument).
+        dev.earliest(&local, now.saturating_add(shift))
+            .saturating_sub(shift)
+    }
+
+    /// Issue `cmd` (global bank) with its packet launched at `start`.
+    ///
+    /// # Errors
+    ///
+    /// The owning channel's [`ProtocolError`] (bank indices in errors are
+    /// channel-local), or [`ProtocolError::NoSuchBank`] with the global
+    /// bank when no channel owns it.
+    pub fn issue_at(&mut self, cmd: &Command, start: Cycle) -> Result<Outcome, ProtocolError> {
+        let bank = cmd.bank();
+        let ch = self.channel_of_bank(bank);
+        if ch >= self.channels.len() {
+            return Err(ProtocolError::NoSuchBank {
+                bank,
+                banks: self.total_banks(),
+            });
+        }
+        let local = rebase(cmd, bank % self.banks_per_channel);
+        let shift = self.shift_of(ch, cmd);
+        let arrival = start.saturating_add(shift);
+        if let Some(label) = self.pending_label.take() {
+            self.channels[ch].set_label(label);
+        }
+        let outcome = self.channels[ch].issue_at(&local, arrival)?;
+        if let Some(data) = outcome.data {
+            self.bank_data_cycles[bank] = self.bank_data_cycles[bank].saturating_add(data.len());
+        }
+        if let Some(sink) = &self.sink {
+            sink.record_command(CommandRecord {
+                cycle: arrival,
+                cmd: *cmd,
+            });
+        }
+        Ok(outcome)
+    }
+}
+
+impl CommandPort for MemorySystem {
+    fn earliest(&self, cmd: &Command, now: Cycle) -> Cycle {
+        MemorySystem::earliest(self, cmd, now)
+    }
+
+    fn issue_at(&mut self, cmd: &Command, start: Cycle) -> Result<Outcome, ProtocolError> {
+        MemorySystem::issue_at(self, cmd, start)
+    }
+
+    fn open_row(&self, bank: usize) -> Option<u64> {
+        MemorySystem::open_row(self, bank)
+    }
+
+    fn timing(&self) -> &Timing {
+        MemorySystem::timing(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_channel() -> MemorySystem {
+        MemorySystem::new(
+            DeviceConfig::default(),
+            Topology {
+                channels: 2,
+                ..Topology::single()
+            },
+        )
+    }
+
+    #[test]
+    fn single_channel_matches_the_bare_device_cycle_for_cycle() {
+        let cfg = DeviceConfig::default();
+        let mut dev = Rdram::new(cfg.clone());
+        let mut sys = MemorySystem::single(cfg);
+        for cmd in [
+            Command::activate(0, 0),
+            Command::read(0, 0),
+            Command::read(0, 16),
+            Command::activate(3, 7),
+            Command::write(3, 0),
+            Command::precharge(0),
+        ] {
+            let td = dev.earliest(&cmd, 0);
+            let ts = MemorySystem::earliest(&sys, &cmd, 0);
+            assert_eq!(td, ts, "{cmd:?}");
+            let od = dev.issue_at(&cmd, td).unwrap();
+            let os = MemorySystem::issue_at(&mut sys, &cmd, ts).unwrap();
+            assert_eq!(od, os, "{cmd:?}");
+        }
+        assert_eq!(sys.stats(), *dev.stats());
+    }
+
+    #[test]
+    fn channels_have_independent_buses() {
+        let mut sys = two_channel();
+        // Banks 0 and 8 live on different channels: both ACTs start at 0
+        // (one shared ROW bus would serialize them by tPACK).
+        let a = Command::activate(0, 0);
+        let b = Command::activate(8, 0);
+        assert_eq!(MemorySystem::earliest(&sys, &a, 0), 0);
+        MemorySystem::issue_at(&mut sys, &a, 0).unwrap();
+        assert_eq!(MemorySystem::earliest(&sys, &b, 0), 0);
+        MemorySystem::issue_at(&mut sys, &b, 0).unwrap();
+        assert_eq!(sys.channel_stats(0).activates, 1);
+        assert_eq!(sys.channel_stats(1).activates, 1);
+        assert_eq!(sys.stats().activates, 2);
+    }
+
+    #[test]
+    fn same_channel_banks_still_share_buses() {
+        let mut sys = two_channel();
+        let a = Command::activate(0, 0);
+        let b = Command::activate(1, 0);
+        MemorySystem::issue_at(&mut sys, &a, 0).unwrap();
+        // tRR applies within the channel's single device.
+        assert_eq!(MemorySystem::earliest(&sys, &b, 0), sys.timing().t_rr,);
+    }
+
+    #[test]
+    fn row_penalty_delays_delivery_not_launch() {
+        let mut sys = MemorySystem::new(
+            DeviceConfig::default(),
+            Topology {
+                channels: 2,
+                devices_per_channel: 1,
+                remote_penalty: vec![0, 20],
+            },
+        );
+        let act = Command::activate(8, 0); // channel 1, penalized
+        let launch = MemorySystem::earliest(&sys, &act, 0);
+        assert_eq!(launch, 0, "launch is immediate; delivery is late");
+        MemorySystem::issue_at(&mut sys, &act, launch).unwrap();
+        // The device saw the ACT at cycle 20: a COL is gated by tRCD
+        // measured from delivery.
+        let col = Command::read(8, 0);
+        let t = MemorySystem::earliest(&sys, &col, 0);
+        assert_eq!(t, 20 + sys.timing().t_rcd + 1);
+    }
+
+    #[test]
+    fn local_channel_pays_no_penalty() {
+        let sys = MemorySystem::new(
+            DeviceConfig::default(),
+            Topology {
+                channels: 2,
+                devices_per_channel: 1,
+                remote_penalty: vec![0, 20],
+            },
+        );
+        let act = Command::activate(0, 0);
+        assert_eq!(MemorySystem::earliest(&sys, &act, 0), 0);
+    }
+
+    #[test]
+    fn data_cycles_accumulate_per_global_bank() {
+        let mut sys = two_channel();
+        for (bank, row) in [(0usize, 0u64), (9, 0)] {
+            let act = Command::activate(bank, row);
+            let t = MemorySystem::earliest(&sys, &act, 0);
+            MemorySystem::issue_at(&mut sys, &act, t).unwrap();
+            let col = Command::read(bank, 0);
+            let t = MemorySystem::earliest(&sys, &col, 0);
+            MemorySystem::issue_at(&mut sys, &col, t).unwrap();
+        }
+        let per_bank = sys.bank_data_cycles();
+        assert_eq!(per_bank.len(), 16);
+        assert_eq!(per_bank[0], sys.timing().t_pack);
+        assert_eq!(per_bank[9], sys.timing().t_pack);
+        assert_eq!(per_bank[1], 0);
+    }
+
+    #[test]
+    fn multi_channel_sink_records_global_banks() {
+        use std::sync::{Arc, Mutex};
+        let trace = Arc::new(Mutex::new(rdram::CommandTrace::new()));
+        let mut sys = two_channel();
+        sys.set_cmd_sink(SharedSink::from_trace(Arc::clone(&trace)));
+        let act = Command::activate(8, 3);
+        MemorySystem::issue_at(&mut sys, &act, 0).unwrap();
+        let recs = rdram::sink::drain_trace(&trace);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].cmd.bank(), 8, "sink sees the global bank");
+    }
+
+    #[test]
+    fn refresh_timer_walks_the_global_bank_space() {
+        use rdram::refresh::RefreshTimer;
+        let mut sys = two_channel();
+        // A timer over the flattened 16-bank geometry.
+        let flat = DeviceConfig {
+            devices: 2,
+            ..DeviceConfig::default()
+        };
+        let mut timer = RefreshTimer::new(&flat);
+        let mut now = timer.interval();
+        for _ in 0..16 {
+            let done = timer.refresh_now(&mut sys, now).unwrap();
+            now = done.max(now) + timer.interval();
+        }
+        // Banks rotate fastest: 16 refreshes touch every bank once, 8 on
+        // each channel.
+        assert_eq!(sys.channel_stats(0).activates, 8);
+        assert_eq!(sys.channel_stats(1).activates, 8);
+    }
+
+    #[test]
+    fn global_faults_reach_channel_local_devices() {
+        #[derive(Debug)]
+        struct Busy0To100;
+        impl ChannelFaults for Busy0To100 {
+            fn free_at(&self, bank: usize, t: Cycle) -> Cycle {
+                // Global bank 8 (channel 1, local 0) busy until 100.
+                if bank == 8 && t < 100 {
+                    100
+                } else {
+                    t
+                }
+            }
+        }
+        let mut sys = two_channel();
+        sys.set_faults(Arc::new(Busy0To100));
+        let blocked = Command::activate(8, 0);
+        assert_eq!(MemorySystem::earliest(&sys, &blocked, 0), 100);
+        let clear = Command::activate(0, 0);
+        assert_eq!(MemorySystem::earliest(&sys, &clear, 0), 0);
+    }
+
+    #[test]
+    fn out_of_range_bank_is_rejected_globally() {
+        let mut sys = two_channel();
+        let err = MemorySystem::issue_at(&mut sys, &Command::activate(16, 0), 0).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::NoSuchBank {
+                bank: 16,
+                banks: 16
+            }
+        ));
+    }
+
+    #[test]
+    fn split_by_channel_localizes_banks_and_keeps_order() {
+        let records = [
+            CommandRecord {
+                cycle: 0,
+                cmd: Command::activate(9, 3),
+            },
+            CommandRecord {
+                cycle: 4,
+                cmd: Command::activate(0, 1),
+            },
+            CommandRecord {
+                cycle: 12,
+                cmd: Command::read(9, 16).with_auto_precharge(),
+            },
+            CommandRecord {
+                cycle: 20,
+                cmd: Command::precharge(17), // beyond channel 1: dropped
+            },
+        ];
+        let split = split_by_channel(&records, 2, 8);
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[0].len(), 1);
+        assert_eq!(split[0][0].cmd, Command::activate(0, 1));
+        assert_eq!(split[1].len(), 2);
+        assert_eq!(split[1][0].cycle, 0);
+        assert_eq!(split[1][0].cmd, Command::activate(1, 3));
+        assert_eq!(split[1][1].cmd, Command::read(1, 16).with_auto_precharge());
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal")]
+    fn device_count_mismatch_is_rejected() {
+        let _ = MemorySystem::new(
+            DeviceConfig::default(),
+            Topology {
+                channels: 2,
+                devices_per_channel: 4,
+                remote_penalty: Vec::new(),
+            },
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Channel/device topology configuration.
+
+use rdram::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Shape of the memory system: how many independent Direct Rambus
+/// channels, how many ganged devices on each, and an optional per-channel
+/// ROW-latency offset modelling NUMA-style asymmetry.
+///
+/// Devices on one channel share that channel's ROW/COL/DATA buses (the
+/// per-channel [`rdram::Rdram`] already models ganged devices and their
+/// per-device `tRR` row concurrency); separate channels are fully
+/// independent — their buses never contend with each other.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    /// Independent channels, each with its own bus triple and bank array.
+    pub channels: usize,
+    /// RDRAM devices ganged on each channel (the `devices` knob of the
+    /// per-channel [`rdram::DeviceConfig`]).
+    pub devices_per_channel: usize,
+    /// Extra interface-clock cycles a ROW command (ACT/PRER) takes to
+    /// reach channel `i` — the command is delivered `remote_penalty[i]`
+    /// cycles after the controller launches it. Channels beyond the end
+    /// of the vector pay no penalty; an empty vector is a symmetric
+    /// system. COL/DATA traffic is not penalized: the asymmetry models
+    /// remote *row* latency, which an access-ordering scheduler can hide
+    /// by overlapping it with other channels' data transfers.
+    pub remote_penalty: Vec<Cycle>,
+}
+
+impl Topology {
+    /// The paper's topology: one channel, one device, no asymmetry.
+    pub fn single() -> Self {
+        Topology {
+            channels: 1,
+            devices_per_channel: 1,
+            remote_penalty: Vec::new(),
+        }
+    }
+
+    /// Whether this is the degenerate single-channel topology (the
+    /// penalty is irrelevant with one channel: there is no "remote").
+    pub fn is_single(&self) -> bool {
+        self.channels == 1
+    }
+
+    /// ROW-delivery penalty for channel `ch` (zero when unspecified or
+    /// when the system has a single channel).
+    pub fn penalty_of(&self, ch: usize) -> Cycle {
+        if self.channels <= 1 {
+            return 0;
+        }
+        self.remote_penalty.get(ch).copied().unwrap_or_default()
+    }
+
+    /// Check internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: at least
+    /// one channel and one device per channel, and no penalty entries for
+    /// channels that do not exist.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 {
+            return Err("the system needs at least one channel".into());
+        }
+        if self.devices_per_channel == 0 {
+            return Err("each channel needs at least one device".into());
+        }
+        if self.remote_penalty.len() > self.channels {
+            return Err(format!(
+                "remote_penalty has {} entries for {} channels",
+                self.remote_penalty.len(),
+                self.channels
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::single()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_is_the_papers_topology() {
+        let t = Topology::single();
+        t.validate().unwrap();
+        assert!(t.is_single());
+        assert_eq!(t.penalty_of(0), 0);
+    }
+
+    #[test]
+    fn penalty_defaults_to_zero_beyond_the_vector() {
+        let t = Topology {
+            channels: 4,
+            devices_per_channel: 1,
+            remote_penalty: vec![0, 12],
+        };
+        t.validate().unwrap();
+        assert_eq!(t.penalty_of(0), 0);
+        assert_eq!(t.penalty_of(1), 12);
+        assert_eq!(t.penalty_of(2), 0);
+        assert_eq!(t.penalty_of(3), 0);
+    }
+
+    #[test]
+    fn single_channel_never_pays_a_penalty() {
+        let t = Topology {
+            remote_penalty: vec![40],
+            ..Topology::single()
+        };
+        assert_eq!(t.penalty_of(0), 0);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_shapes() {
+        let no_ch = Topology {
+            channels: 0,
+            ..Topology::single()
+        };
+        assert!(no_ch.validate().unwrap_err().contains("channel"));
+        let no_dev = Topology {
+            devices_per_channel: 0,
+            ..Topology::single()
+        };
+        assert!(no_dev.validate().unwrap_err().contains("device"));
+        let extra = Topology {
+            remote_penalty: vec![1, 2, 3],
+            ..Topology::single()
+        };
+        assert!(extra.validate().unwrap_err().contains("entries"));
+    }
+}

@@ -35,6 +35,52 @@ impl AccessPlan {
     }
 }
 
+/// The two-phase command interface shared by a single device and any
+/// aggregate that routes commands to devices (the `memsys` crate's
+/// multi-channel `MemorySystem`): ask [`earliest`](CommandPort::earliest)
+/// when a command could legally start, commit it with
+/// [`issue_at`](CommandPort::issue_at), and query row state and timing.
+///
+/// Scheduler-side helpers that drive "a memory" without caring whether it
+/// is one chip or N channels — the refresh timer, most prominently — are
+/// generic over this trait.
+pub trait CommandPort {
+    /// Earliest cycle `>= now` at which `cmd` may start.
+    fn earliest(&self, cmd: &Command, now: Cycle) -> Cycle;
+
+    /// Issue `cmd` with its packet starting at cycle `start`.
+    ///
+    /// # Errors
+    ///
+    /// A [`ProtocolError`] when `start` is illegal or the bank state does
+    /// not admit the command.
+    fn issue_at(&mut self, cmd: &Command, start: Cycle) -> Result<Outcome, ProtocolError>;
+
+    /// The row currently open in `bank`, if any.
+    fn open_row(&self, bank: usize) -> Option<u64>;
+
+    /// The timing parameters commands are scheduled under.
+    fn timing(&self) -> &Timing;
+}
+
+impl CommandPort for Rdram {
+    fn earliest(&self, cmd: &Command, now: Cycle) -> Cycle {
+        Rdram::earliest(self, cmd, now)
+    }
+
+    fn issue_at(&mut self, cmd: &Command, start: Cycle) -> Result<Outcome, ProtocolError> {
+        Rdram::issue_at(self, cmd, start)
+    }
+
+    fn open_row(&self, bank: usize) -> Option<u64> {
+        Rdram::open_row(self, bank)
+    }
+
+    fn timing(&self) -> &Timing {
+        Rdram::timing(self)
+    }
+}
+
 /// A single Direct RDRAM device.
 ///
 /// The device exposes a two-phase protocol to its (single) memory

@@ -75,7 +75,7 @@ pub use address::{AddressMap, Interleave, Location};
 pub use bank::{Bank, SenseAmps};
 pub use bus::{Bus, DataBus};
 pub use config::DeviceConfig;
-pub use device::{AccessPlan, Outcome, Rdram};
+pub use device::{AccessPlan, CommandPort, Outcome, Rdram};
 pub use error::ProtocolError;
 pub use faults::ChannelFaults;
 pub use packet::{ColOp, Command, Dir, Interval, RowOp};

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Command, Cycle, DeviceConfig, ProtocolError, Rdram, SenseAmps};
+use crate::{Command, CommandPort, Cycle, DeviceConfig, ProtocolError};
 
 /// Tracks when rows fall due for refresh and walks banks/rows round-robin.
 ///
@@ -111,13 +111,21 @@ impl RefreshTimer {
     /// again. The bank must be closed (the controller precharges it first
     /// if its page is open).
     ///
+    /// `dev` is anything implementing [`CommandPort`] — a single
+    /// [`Rdram`](crate::Rdram) device or a multi-channel aggregate whose
+    /// bank space this timer was built over.
+    ///
     /// # Errors
     ///
     /// Propagates the device's [`ProtocolError`] if the bank is busy in a
     /// way that makes the ACT illegal (e.g. open sense amps).
-    pub fn refresh_now(&mut self, dev: &mut Rdram, now: Cycle) -> Result<Cycle, ProtocolError> {
+    pub fn refresh_now<D: CommandPort>(
+        &mut self,
+        dev: &mut D,
+        now: Cycle,
+    ) -> Result<Cycle, ProtocolError> {
         let (bank, row) = self.take(now);
-        if let SenseAmps::Open { .. } = dev.bank(bank).amps() {
+        if dev.open_row(bank).is_some() {
             let pre = Command::precharge(bank);
             let t = dev.earliest(&pre, now);
             dev.issue_at(&pre, t)?;
@@ -135,6 +143,7 @@ impl RefreshTimer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Rdram;
 
     #[test]
     fn interval_spreads_retention_over_all_rows() {

@@ -85,6 +85,8 @@ usage: smcsim [OPTIONS]
                                  with --baseline, fail if any kernel's rate
                                  drops below P/1000 of the committed profile
        smcsim serve --tenants MIX [--arb POLICY] [--memory ORG] [--fifo D]
+                                 [--channels C] [--placement P]
+                                 [--remote-penalty L]
                                  [--queue-cap N] [--budget-permille P]
                                  [--faults SPEC] [--fault-seed S]
                                  [--metrics-out F] [--trace-out F]
@@ -115,6 +117,12 @@ usage: smcsim [OPTIONS]
   --fifo DEPTH      SMC FIFO depth in elements                    [64]
   --policy P        rr|bank-aware                                 [rr]
   --devices D       RDRAM devices on the channel                  [1]
+  --channels C      independent memory channels                   [1]
+  --placement P     cross-channel address placement:
+                      interleaved[:bytes] | sequential | numa[:home]
+                                                                  [interleaved]
+  --remote-penalty L  comma-separated per-channel ROW-delivery
+                    penalties in cycles (NUMA asymmetry), e.g. 0,40
   --cpu-cycles C    CPU cycles per stream access                  [2]
   --aligned         place all vectors in the same bank
   --spec            speculative page activation
@@ -199,6 +207,27 @@ pub fn parse(args: &[String]) -> Result<Job, String> {
                 job.config.device.devices = value(args, &mut i, "--devices")?
                     .parse()
                     .map_err(|e| format!("--devices: {e}"))?;
+            }
+            "--channels" => {
+                job.config.channels = value(args, &mut i, "--channels")?
+                    .parse()
+                    .map_err(|e| format!("--channels: {e}"))?;
+            }
+            "--placement" => {
+                let spec = value(args, &mut i, "--placement")?;
+                job.config.placement =
+                    memsys::Placement::parse(&spec).map_err(|e| format!("--placement: {e}"))?;
+            }
+            "--remote-penalty" => {
+                let spec = value(args, &mut i, "--remote-penalty")?;
+                job.config.remote_penalty = spec
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|e| format!("--remote-penalty: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
             }
             "--cpu-cycles" => {
                 job.config.cpu_access_cycles = value(args, &mut i, "--cpu-cycles")?
@@ -592,6 +621,9 @@ pub fn run_serve_cmd(args: &[String]) -> Result<String, String> {
     let mut mix_spec: Option<String> = None;
     let mut memory = MemorySystem::CacheLineInterleaved;
     let mut fifo = 64usize;
+    let mut channels = 1usize;
+    let mut placement = memsys::Placement::default();
+    let mut remote_penalty: Vec<u64> = Vec::new();
     let mut arb = "fcfs".to_string();
     let mut queue_cap: Option<usize> = None;
     let mut budget_permille: u64 = 0;
@@ -622,6 +654,27 @@ pub fn run_serve_cmd(args: &[String]) -> Result<String, String> {
                 fifo = value(args, &mut i, "--fifo")?
                     .parse()
                     .map_err(|e| format!("--fifo: {e}"))?;
+            }
+            "--channels" => {
+                channels = value(args, &mut i, "--channels")?
+                    .parse()
+                    .map_err(|e| format!("--channels: {e}"))?;
+            }
+            "--placement" => {
+                let spec = value(args, &mut i, "--placement")?;
+                placement =
+                    memsys::Placement::parse(&spec).map_err(|e| format!("--placement: {e}"))?;
+            }
+            "--remote-penalty" => {
+                let spec = value(args, &mut i, "--remote-penalty")?;
+                remote_penalty = spec
+                    .split(',')
+                    .map(|part| {
+                        part.trim()
+                            .parse()
+                            .map_err(|e| format!("--remote-penalty: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
             }
             "--arb" => arb = value(args, &mut i, "--arb")?,
             "--queue-cap" => {
@@ -656,12 +709,15 @@ pub fn run_serve_cmd(args: &[String]) -> Result<String, String> {
         return Err("serve needs a non-empty tenant mix".to_string());
     }
     let mut base = SystemConfig::smc(memory, fifo);
+    base.channels = channels;
+    base.placement = placement;
+    base.remote_penalty = remote_penalty;
     if let Some(spec) = faults_spec {
         let plan = faults::FaultPlan::parse(&spec).map_err(|e| e.to_string())?;
         base = base.with_faults(plan, fault_seed);
     }
-    let banks = base.device.total_banks();
-    let mut cfg = crate::serve::serve_config_for(banks, budget_permille);
+    let banks = base.device.total_banks() * base.channels.max(1);
+    let mut cfg = crate::serve::serve_config_for(banks, budget_permille, base.device.timing.t_pack);
     cfg.policy = arb;
     if let Some(cap) = queue_cap {
         cfg.queue_capacity = cap;
@@ -1072,6 +1128,24 @@ mod tests {
     }
 
     #[test]
+    fn topology_flags_parse() {
+        let job = parse(&args(
+            "--channels 2 --placement numa:1 --remote-penalty 0,40",
+        ))
+        .unwrap();
+        assert_eq!(job.config.channels, 2);
+        assert_eq!(job.config.placement, memsys::Placement::Numa { home: 1 });
+        assert_eq!(job.config.remote_penalty, vec![0, 40]);
+        let job = parse(&args("--channels 4 --placement interleaved:1024")).unwrap();
+        assert_eq!(
+            job.config.placement,
+            memsys::Placement::ChannelInterleaved { block_bytes: 1024 }
+        );
+        assert!(parse(&args("--placement warp")).is_err());
+        assert!(parse(&args("--remote-penalty 0,x")).is_err());
+    }
+
+    #[test]
     fn defaults_parse() {
         let job = parse(&[]).unwrap();
         assert_eq!(job.kernel, Kernel::Daxpy);
@@ -1417,6 +1491,36 @@ mod tests {
         assert!(run_serve_cmd(&args("--tenants ls:1:copy:64 --frob"))
             .unwrap_err()
             .contains("unknown option"));
+    }
+
+    #[test]
+    fn serve_accepts_a_multi_channel_topology() {
+        let json = run_serve_cmd(&args(
+            "--tenants ls:1:daxpy:64+bh:2:copy:128 --fifo 16 --arb regulated \
+             --budget-permille 500 --channels 2 --placement interleaved:1024 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["kind"], "serve-report");
+        assert_eq!(v["budget_violations"].as_u64(), Some(0));
+        let completed: u64 = v["tenants"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|t| t["completed"].as_u64().unwrap())
+            .sum();
+        assert!(completed > 0, "{json}");
+
+        assert!(
+            run_serve_cmd(&args("--tenants ls:1:copy:64 --placement warp"))
+                .unwrap_err()
+                .contains("--placement")
+        );
+        assert!(
+            run_serve_cmd(&args("--tenants ls:1:copy:64 --remote-penalty 0,x"))
+                .unwrap_err()
+                .contains("--remote-penalty")
+        );
     }
 
     #[test]

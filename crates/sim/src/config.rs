@@ -5,8 +5,13 @@ use serde::{Deserialize, Serialize};
 
 use analytic::Organization;
 use baseline::LinePolicy;
-use rdram::{DeviceConfig, Interleave};
+use memsys::{Placement, Topology};
+use rdram::{Cycle, DeviceConfig, Interleave};
 use smc::{PagePolicy, Policy};
+
+fn default_channels() -> usize {
+    1
+}
 
 /// Default cacheline size: 32 bytes = 4 elements, as in the paper.
 pub const DEFAULT_LINE_BYTES: u64 = 32;
@@ -144,6 +149,19 @@ pub struct SystemConfig {
     /// exposed on [`RunResult::telemetry`](crate::RunResult). Implies
     /// command recording internally; cycle counts are unaffected.
     pub telemetry: bool,
+    /// Independent memory channels, each shaped like [`Self::device`]. The
+    /// paper's system is one channel; more channels multiply peak DATA
+    /// bandwidth and give the MSU cross-channel reordering room.
+    #[serde(default = "default_channels")]
+    pub channels: usize,
+    /// How addresses are placed across channels (ignored at one channel).
+    #[serde(default)]
+    pub placement: Placement,
+    /// Per-channel ROW-delivery penalty in interface-clock cycles
+    /// (NUMA-style asymmetry; see [`memsys::Topology::remote_penalty`]).
+    /// Empty means a symmetric system.
+    #[serde(default)]
+    pub remote_penalty: Vec<Cycle>,
 }
 
 impl SystemConfig {
@@ -177,6 +195,37 @@ impl SystemConfig {
             faults: None,
             fault_seed: 0,
             telemetry: false,
+            channels: default_channels(),
+            placement: Placement::default(),
+            remote_penalty: Vec::new(),
+        }
+    }
+
+    /// Replace the channel count (placement and penalties unchanged).
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Replace the cross-channel address placement.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Replace the per-channel ROW-delivery penalties.
+    pub fn with_remote_penalty(mut self, remote_penalty: Vec<Cycle>) -> Self {
+        self.remote_penalty = remote_penalty;
+        self
+    }
+
+    /// The channel/device topology this configuration describes: `channels`
+    /// channels of [`Self::device`]'s device count each.
+    pub fn topology(&self) -> Topology {
+        Topology {
+            channels: self.channels,
+            devices_per_channel: self.device.devices,
+            remote_penalty: self.remote_penalty.clone(),
         }
     }
 

@@ -177,13 +177,14 @@ impl StreamCpu {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rdram::{AddressMap, DeviceConfig, Interleave, MemoryImage, Rdram};
+    use memsys::SystemMap;
+    use rdram::{AddressMap, DeviceConfig, Interleave, MemoryImage};
     use smc::{MsuConfig, StreamDescriptor};
 
     fn drive(kernel: Kernel, n: u64) -> (StreamCpu, MemoryImage, Vec<StreamDescriptor>) {
         let cfg = DeviceConfig::default();
-        let map = AddressMap::new(Interleave::Page, &cfg).unwrap();
-        let mut dev = Rdram::new(cfg);
+        let map = SystemMap::single(AddressMap::new(Interleave::Page, &cfg).unwrap());
+        let mut dev = memsys::MemorySystem::single(cfg);
         let mut mem = MemoryImage::new();
         // Vectors one bank-rotation apart.
         let bases: Vec<u64> = (0..kernel.vectors() as u64)

@@ -2,7 +2,8 @@
 //! `{rd x[i]; rd y[i]; st z[i]}` under both memory organizations.
 
 use baseline::BaselineController;
-use rdram::{trace, AddressMap, Rdram};
+use memsys::SystemMap;
+use rdram::{trace, AddressMap};
 use smc::StreamDescriptor;
 
 use crate::{MemorySystem, SystemConfig};
@@ -13,9 +14,10 @@ fn render_for(memory: MemorySystem, title: &str) -> String {
     let cfg = SystemConfig::natural_order(memory);
     let mut device_cfg = cfg.device.clone();
     device_cfg.trace_enabled = true;
-    let map =
-        AddressMap::new(cfg.memory.interleave(cfg.line_bytes), &device_cfg).expect("valid map");
-    let mut dev = Rdram::new(device_cfg);
+    let map = SystemMap::single(
+        AddressMap::new(cfg.memory.interleave(cfg.line_bytes), &device_cfg).expect("valid map"),
+    );
+    let mut dev = memsys::MemorySystem::single(device_cfg);
     // Staggered bases: one interleaving unit apart so the three streams
     // start in different banks, as the paper's diagrams assume.
     let unit = match memory {

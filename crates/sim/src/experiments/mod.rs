@@ -15,11 +15,13 @@ pub mod fig8;
 pub mod fig9;
 pub mod grid;
 pub mod headline;
+pub mod numa;
 
-/// Names of all experiments, in paper order (`extra` is this reproduction's
-/// extension study; `headline` is appended by the `repro` binary).
-pub const ALL: [&str; 9] = [
-    "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "extra",
+/// Names of all experiments, in paper order (`extra` and `numa` are this
+/// reproduction's extension studies; `headline` is appended by the `repro`
+/// binary).
+pub const ALL: [&str; 10] = [
+    "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "extra", "numa",
 ];
 
 /// Render one experiment by name (`"headline"` for the Section 6 numbers).
@@ -38,8 +40,9 @@ pub fn render(name: &str) -> String {
         "fig8" => fig8::run().render(),
         "fig9" => fig9::run().render(),
         "extra" => extra::run().render(),
+        "numa" => numa::run().render(),
         "headline" => headline::run().render(),
-        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, headline"),
+        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, numa, headline"),
     }
 }
 
@@ -57,9 +60,10 @@ pub fn json(name: &str) -> Option<String> {
         "fig8" => Some(to(&fig8::run())),
         "fig9" => Some(to(&fig9::run())),
         "extra" => Some(to(&extra::run())),
+        "numa" => Some(to(&numa::run())),
         "headline" => Some(to(&headline::run())),
         "fig1" | "fig2" | "fig4" | "fig5" | "fig6" => None,
-        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, headline"),
+        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, numa, headline"),
     }
 }
 
@@ -74,8 +78,9 @@ pub fn csv(name: &str) -> Option<String> {
         "fig7" => Some(fig7::run().to_csv()),
         "fig8" => Some(fig8::run().to_csv()),
         "fig9" => Some(fig9::run().to_csv()),
+        "numa" => Some(numa::run().to_csv()),
         "fig1" | "fig2" | "fig4" | "fig5" | "fig6" | "extra" | "headline" => None,
-        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, headline"),
+        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, numa, headline"),
     }
 }
 
@@ -90,7 +95,7 @@ pub fn svgs(name: &str) -> Vec<(String, String)> {
         "fig7" => fig7::run().to_svgs(),
         "fig8" => vec![("fig8.svg".into(), fig8::run().to_svg())],
         "fig9" => vec![("fig9.svg".into(), fig9::run().to_svg())],
-        "fig1" | "fig2" | "fig4" | "fig5" | "fig6" | "extra" | "headline" => Vec::new(),
-        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, headline"),
+        "fig1" | "fig2" | "fig4" | "fig5" | "fig6" | "extra" | "numa" | "headline" => Vec::new(),
+        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, numa, headline"),
     }
 }

@@ -39,10 +39,16 @@ pub fn vector_bases(kernel: Kernel, n: u64, stride: u64, cfg: &SystemConfig) -> 
         .map(|v| v * (region + rotation) + v * stagger_unit)
         .collect();
     let top = bases.last().expect("at least one vector") + span;
+    // NUMA placement homes every address on one channel, so only one
+    // channel's capacity is addressable; the other placements expose the
+    // whole system.
+    let addressable = match cfg.placement {
+        memsys::Placement::Numa { .. } if cfg.channels > 1 => cfg.device.capacity_bytes(),
+        _ => cfg.device.capacity_bytes() * cfg.channels.max(1) as u64,
+    };
     assert!(
-        top <= cfg.device.capacity_bytes(),
-        "layout needs {top} bytes but the device holds {}",
-        cfg.device.capacity_bytes()
+        top <= addressable,
+        "layout needs {top} bytes but the device holds {addressable}"
     );
     bases
 }

@@ -10,7 +10,9 @@
 
 use rdram::DeviceConfig;
 use smc::SmcError;
-use telemetry::{BankState, CycleAttribution, Event, MetricId, MetricKind, Registry, Timeline};
+use telemetry::{
+    BankState, CycleAttribution, DerivedCounts, Event, MetricId, MetricKind, Registry, Timeline,
+};
 
 use crate::report::Table;
 use crate::{RunResult, SimError};
@@ -20,23 +22,44 @@ use crate::{RunResult, SimError};
 pub struct RunTelemetry {
     /// The populated metrics registry (every catalog metric, integer-only).
     pub registry: Registry,
-    /// Cycle-resolved bank/bus timelines replayed from the command stream.
-    pub timeline: Timeline,
+    /// Cycle-resolved bank/bus timelines replayed from the command stream,
+    /// one per channel (single-channel runs have exactly one). Each
+    /// channel replays against its own bus triple; flattening them would
+    /// merge buses that never contend.
+    pub timelines: Vec<Timeline>,
     /// Controller-side events (FIFO depth samples, scheduling decisions,
     /// fault recoveries) in cycle order.
     pub events: Vec<Event>,
     /// Exclusive per-cycle cost attribution of the run (data / retry /
     /// turnaround / row overhead / bank conflict / idle, per bank and
-    /// globally). Always sums exactly to `run.cycles`.
+    /// globally). Sums exactly to `run.cycles` per channel — a
+    /// `C`-channel run accounts for `C x cycles` interface cycles, with
+    /// per-bank totals indexed by global bank.
     pub attribution: CycleAttribution,
 }
 
 impl RunTelemetry {
     /// Assemble the telemetry for a completed run: replay the recorded
-    /// command stream into a [`Timeline`] and populate the full metric
-    /// catalog from the run's counters, the timeline, and `events`.
-    pub fn collect(device: &DeviceConfig, run: &RunResult, events: Vec<Event>) -> Self {
-        let timeline = Timeline::from_commands(device, &run.commands);
+    /// command stream into per-channel [`Timeline`]s and populate the full
+    /// metric catalog from the run's counters, the timelines, and
+    /// `events`. `device` describes one channel; `channels` scales the
+    /// system.
+    pub fn collect(
+        device: &DeviceConfig,
+        channels: usize,
+        run: &RunResult,
+        events: Vec<Event>,
+    ) -> Self {
+        let channels = channels.max(1);
+        let banks_per_channel = device.total_banks();
+        let timelines: Vec<Timeline> = if channels > 1 {
+            memsys::split_by_channel(&run.commands, channels, banks_per_channel)
+                .iter()
+                .map(|local| Timeline::from_commands(device, local))
+                .collect()
+        } else {
+            vec![Timeline::from_commands(device, &run.commands)]
+        };
         let mut registry = Registry::new();
 
         registry.add(MetricId::RunCycles, run.cycles);
@@ -53,18 +76,20 @@ impl RunTelemetry {
         registry.add(MetricId::Turnarounds, d.turnarounds);
         registry.add(MetricId::DataBusyCycles, d.data_busy_cycles);
 
-        registry.add(
-            MetricId::BankActivatingCycles,
-            timeline.residency(BankState::Activating),
-        );
-        registry.add(
-            MetricId::BankOpenCycles,
-            timeline.residency(BankState::Open),
-        );
-        registry.add(
-            MetricId::BankPrechargingCycles,
-            timeline.residency(BankState::Precharging),
-        );
+        for timeline in &timelines {
+            registry.add(
+                MetricId::BankActivatingCycles,
+                timeline.residency(BankState::Activating),
+            );
+            registry.add(
+                MetricId::BankOpenCycles,
+                timeline.residency(BankState::Open),
+            );
+            registry.add(
+                MetricId::BankPrechargingCycles,
+                timeline.residency(BankState::Precharging),
+            );
+        }
 
         if let Some(m) = &run.msu_stats {
             registry.add(MetricId::FifoSwitches, m.fifo_switches);
@@ -80,7 +105,7 @@ impl RunTelemetry {
             registry.add(MetricId::DataNacks, b.data_nacks);
             registry.add(MetricId::LineTransfers, b.line_transfers);
         }
-        registry.set(MetricId::BankCount, device.total_banks() as u64);
+        registry.set(MetricId::BankCount, (banks_per_channel * channels) as u64);
 
         for e in &events {
             match e {
@@ -92,14 +117,50 @@ impl RunTelemetry {
                 _ => {}
             }
         }
-        for len in timeline.open_span_lengths() {
-            registry.observe(MetricId::OpenSpanCycles, len);
-        }
-        for gap in timeline.data_gaps() {
-            registry.observe(MetricId::DataGapCycles, gap);
+        for timeline in &timelines {
+            for len in timeline.open_span_lengths() {
+                registry.observe(MetricId::OpenSpanCycles, len);
+            }
+            for gap in timeline.data_gaps() {
+                registry.observe(MetricId::DataGapCycles, gap);
+            }
         }
 
-        let attribution = CycleAttribution::from_run(device, &timeline, &events, run.cycles);
+        // Attribute each channel independently (its own DATA bus, its own
+        // turnaround gaps) against the full run span, then merge: per-bank
+        // totals concatenate into the global bank space and the merged
+        // total is `channels x cycles`. Fault incidents naming a bank are
+        // routed to its channel; incidents with no bank land on channel 0
+        // so they are counted exactly once.
+        let attribution = if channels > 1 {
+            let parts: Vec<CycleAttribution> = timelines
+                .iter()
+                .enumerate()
+                .map(|(ch, tl)| {
+                    let local_events: Vec<Event> = events
+                        .iter()
+                        .filter_map(|e| match *e {
+                            Event::InjectedStall { cycle } => {
+                                (ch == 0).then_some(Event::InjectedStall { cycle })
+                            }
+                            Event::DataNack { cycle, bank } => match bank {
+                                Some(b) if b / banks_per_channel == ch => Some(Event::DataNack {
+                                    cycle,
+                                    bank: Some(b % banks_per_channel),
+                                }),
+                                Some(_) => None,
+                                None => (ch == 0).then_some(Event::DataNack { cycle, bank: None }),
+                            },
+                            _ => None,
+                        })
+                        .collect();
+                    CycleAttribution::from_run(device, tl, &local_events, run.cycles)
+                })
+                .collect();
+            CycleAttribution::merge(&parts)
+        } else {
+            CycleAttribution::from_run(device, &timelines[0], &events, run.cycles)
+        };
         let g = attribution.global();
         registry.add(MetricId::AttrDataCycles, g.data);
         registry.add(MetricId::AttrRetryCycles, g.retry);
@@ -110,15 +171,32 @@ impl RunTelemetry {
 
         RunTelemetry {
             registry,
-            timeline,
+            timelines,
             events,
             attribution,
         }
     }
 
-    /// Render the Chrome trace-event / Perfetto JSON for this run.
+    /// The first channel's timeline — the whole run for single-channel
+    /// systems (backwards-compatible accessor for the common case).
+    pub fn timeline(&self) -> &Timeline {
+        &self.timelines[0]
+    }
+
+    /// Replay-derived counters summed across channels, field-for-field
+    /// comparable with the channel-aggregated [`rdram::DeviceStats`].
+    pub fn derived_counts(&self) -> DerivedCounts {
+        let mut counts = DerivedCounts::default();
+        for tl in &self.timelines {
+            counts.absorb(tl.counts());
+        }
+        counts
+    }
+
+    /// Render the Chrome trace-event / Perfetto JSON for this run
+    /// (channel 0's buses and banks on multi-channel systems).
     pub fn perfetto_json(&self) -> String {
-        telemetry::perfetto::render(&self.timeline, &self.events)
+        telemetry::perfetto::render(self.timeline(), &self.events)
     }
 }
 

@@ -404,7 +404,8 @@ mod tests {
     fn traced_run() -> ServeTrace {
         let mix = tenancy::TenantMix::parse("ls:1:daxpy:64+bh:2:copy:128").expect("valid mix");
         let base = SystemConfig::smc(MemorySystem::CacheLineInterleaved, 32);
-        let cfg = crate::serve::serve_config_for(base.device.total_banks(), 0);
+        let cfg =
+            crate::serve::serve_config_for(base.device.total_banks(), 0, base.device.timing.t_pack);
         let (_, trace) = crate::serve::run_serve_traced(&mix, &cfg, &base).expect("serve runs");
         trace
     }

@@ -7,9 +7,10 @@ use serde::Serialize;
 use baseline::{BaselineController, BaselineResult};
 use faults::FaultInjector;
 use kernels::{Coefficients, Kernel, ReferenceMachine};
+use memsys::SystemMap;
 use rdram::{
     sink::drain_trace, trace::Trace, AddressMap, CommandRecord, CommandTrace, Cycle, DeviceStats,
-    MemoryImage, Rdram, SharedSink, WORDS_PER_PACKET,
+    MemoryImage, SharedSink, WORDS_PER_PACKET,
 };
 use smc::{MsuConfig, MsuStats, SmcController};
 use telemetry::SharedTelemetry;
@@ -53,7 +54,22 @@ pub struct RunResult {
     /// set.
     #[serde(skip)]
     pub telemetry: Option<RunTelemetry>,
+    /// Measured DATA-bus cycles charged to each global bank by the memory
+    /// system — the currency the tenancy regulator's per-bank budgets are
+    /// denominated in. Indexed by global bank (channel-major), populated
+    /// on every run.
+    #[serde(skip)]
+    pub bank_data_cycles: Vec<Cycle>,
     t_pack: Cycle,
+}
+
+impl RunResult {
+    /// The device's DATA packet time in interface-clock cycles — the
+    /// exchange rate between DATA packets and measured DATA-bus cycles
+    /// (each COL command occupies the bus for exactly this long).
+    pub fn t_pack(&self) -> Cycle {
+        self.t_pack
+    }
 }
 
 /// Derived headline ratios for one run — the single place the CLI, the
@@ -153,14 +169,27 @@ pub fn run_kernel(
     cfg.device
         .validate()
         .map_err(|e| SimError::Config(format!("invalid device config: {e}")))?;
-    let map = AddressMap::new(cfg.memory.interleave(cfg.line_bytes), &cfg.device)
+    let inner_map = AddressMap::new(cfg.memory.interleave(cfg.line_bytes), &cfg.device)
         .map_err(|e| SimError::Config(format!("invalid address map: {e}")))?;
+    let topo = cfg.topology();
+    topo.validate()
+        .map_err(|e| SimError::Config(format!("invalid topology: {e}")))?;
+    let map = if topo.is_single() {
+        SystemMap::single(inner_map)
+    } else {
+        SystemMap::new(inner_map, &cfg.device, &topo, cfg.placement)
+            .map_err(|e| SimError::Config(format!("invalid placement: {e}")))?
+    };
     let bases = vector_bases(kernel, n, stride, cfg);
     let coeffs = Coefficients::default();
 
     let mut device_cfg = cfg.device.clone();
     device_cfg.trace_enabled = cfg.trace;
-    let mut dev = Rdram::new(device_cfg.clone());
+    let mut dev = if topo.is_single() {
+        memsys::MemorySystem::single(device_cfg.clone())
+    } else {
+        memsys::MemorySystem::new(device_cfg.clone(), topo)
+    };
     let mut mem = MemoryImage::new();
     seed(&mut mem, kernel, &bases, n, stride);
 
@@ -229,7 +258,11 @@ pub fn run_kernel(
             };
             let mut ctl = SmcController::new(streams, map, msu_cfg);
             if cfg.refresh {
-                ctl = ctl.with_refresh(rdram::refresh::RefreshTimer::new(&cfg.device));
+                // The timer walks the *global* bank space, one bank per
+                // interval, so every channel's rows meet their deadline.
+                let mut refresh_cfg = cfg.device.clone();
+                refresh_cfg.devices = cfg.device.devices * cfg.channels.max(1);
+                ctl = ctl.with_refresh(rdram::refresh::RefreshTimer::new(&refresh_cfg));
             }
             if let Some(inj) = &injector {
                 ctl.set_faults(inj.clone());
@@ -269,7 +302,18 @@ pub fn run_kernel(
 
     let commands = cmd_trace.as_ref().map(drain_trace).unwrap_or_default();
     if cfg.check_conformance {
-        let violations = checker::check(&device_cfg, &commands);
+        // Each channel has its own bus triple and bank array, so a
+        // multi-channel trace is audited channel by channel against the
+        // per-channel timing model; a flattened check would see phantom
+        // bus overlaps between independent channels.
+        let violations: Vec<checker::Violation> = if cfg.channels > 1 {
+            memsys::split_by_channel(&commands, cfg.channels, device_cfg.total_banks())
+                .iter()
+                .flat_map(|local| checker::check(&device_cfg, local))
+                .collect()
+        } else {
+            checker::check(&device_cfg, &commands)
+        };
         if let Some(first) = violations.first() {
             return Err(SimError::Conformance {
                 violations: violations.len(),
@@ -300,16 +344,17 @@ pub fn run_kernel(
         stride,
         cycles,
         useful_words,
-        device_stats: *dev.stats(),
+        device_stats: dev.stats(),
         msu_stats,
         baseline,
+        bank_data_cycles: dev.bank_data_cycles().to_vec(),
         trace: dev.take_trace(),
         commands,
         telemetry: None,
         t_pack: cfg.device.timing.t_pack,
     };
     if let Some(t) = tel {
-        let collected = RunTelemetry::collect(&device_cfg, &result, t.drain());
+        let collected = RunTelemetry::collect(&device_cfg, cfg.channels, &result, t.drain());
         // Debug builds cross-check the replayed timeline against the
         // device's own counters: both derive from the same command stream,
         // so any divergence is a bug in one of the two models. Faulty runs
@@ -323,7 +368,7 @@ pub fn run_kernel(
             assert!(exact.is_ok(), "cycle attribution lost cycles: {exact:?}");
             if injector.is_none() {
                 let mismatches =
-                    telemetry::reconcile(collected.timeline.counts(), &result.device_stats);
+                    telemetry::reconcile(&collected.derived_counts(), &result.device_stats);
                 assert!(
                     mismatches.is_empty(),
                     "telemetry replay diverged from device counters: {mismatches:?}"

@@ -38,6 +38,7 @@ fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
 /// Per-bank DATA-packet counts from a recorded command stream: every COL
 /// command carries exactly one DATA packet, so counting COLs per bank
 /// reconciles with [`rdram::DeviceStats::col_packets`] by construction.
+/// Banks are global (channel-major) on multi-channel runs.
 pub fn bank_packets_of(commands: &[rdram::CommandRecord]) -> Vec<(usize, u64)> {
     let mut counts: Vec<(usize, u64)> = Vec::new();
     for rec in commands {
@@ -51,6 +52,21 @@ pub fn bank_packets_of(commands: &[rdram::CommandRecord]) -> Vec<(usize, u64)> {
     }
     counts.sort_unstable();
     counts
+}
+
+/// The memory system's measured per-bank DATA-bus occupancy as sparse
+/// `(global bank, cycles)` pairs — the currency the tenancy regulator's
+/// per-bank budgets are charged in. Each COL occupies the bus for exactly
+/// `t_pack` cycles, so this reconciles with [`bank_packets_of`] scaled by
+/// the packet time (a property the test suite asserts).
+pub fn bank_data_cycles_of(result: &crate::RunResult) -> Vec<(usize, u64)> {
+    result
+        .bank_data_cycles
+        .iter()
+        .enumerate()
+        .filter(|&(_, &cycles)| cycles > 0)
+        .map(|(bank, &cycles)| (bank, cycles))
+        .collect()
 }
 
 /// The simulator-backed executor handed to [`tenancy::serve`].
@@ -102,7 +118,7 @@ impl SimExecutor {
         Ok(ServiceReport {
             cycles: result.cycles,
             useful_words: result.useful_words,
-            bank_packets: bank_packets_of(&result.commands),
+            bank_data_cycles: bank_data_cycles_of(&result),
             fault_events,
         })
     }
@@ -123,11 +139,17 @@ impl tenancy::Executor for SimExecutor {
     }
 }
 
-/// A [`ServeConfig`] sized for `banks` banks with the bandwidth-hungry
-/// budget scaled to `budget_permille` of its default (0 keeps the
-/// default). This is the one knob the campaign `budget` axis turns.
-pub fn serve_config_for(banks: usize, budget_permille: u64) -> ServeConfig {
+/// A [`ServeConfig`] sized for `banks` banks (global, across every
+/// channel) with the bandwidth-hungry budget scaled to `budget_permille`
+/// of its default (0 keeps the default) — the one knob the campaign
+/// `budget` axis turns. `t_pack` is the device's DATA packet time: the
+/// bank buckets are denominated in measured DATA-bus cycles, so their
+/// default sizing (in abstract transfer units) is rescaled by the packet
+/// time. The scaling is exactly linear, so every dispatch decision matches
+/// what the packet-denominated regulator made.
+pub fn serve_config_for(banks: usize, budget_permille: u64, t_pack: u64) -> ServeConfig {
     let mut cfg = ServeConfig::default_for(banks);
+    cfg.regulator.scale_bank_currency(t_pack);
     if budget_permille > 0 {
         let scale = |v: u64| (v.saturating_mul(budget_permille) / 1000).max(1);
         cfg.regulator.bh_bucket.capacity = scale(cfg.regulator.bh_bucket.capacity);
@@ -224,7 +246,10 @@ mod tests {
     }
 
     fn serve_cfg() -> ServeConfig {
-        ServeConfig::default_for(32)
+        let mut cfg = ServeConfig::default_for(32);
+        cfg.regulator
+            .scale_bank_currency(base().device.timing.t_pack);
+        cfg
     }
 
     #[test]
@@ -244,6 +269,73 @@ mod tests {
         let mut expect = sorted.clone();
         expect.sort_unstable();
         assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn measured_bank_cycles_are_packet_counts_times_the_packet_time() {
+        // The regulator's currency conversion (bank buckets scaled by
+        // t_pack) is exact because each COL occupies the DATA bus for
+        // exactly t_pack cycles — assert that equivalence on both a
+        // single-channel and a two-channel run.
+        for channels in [1usize, 2] {
+            let mut config = base().with_channels(channels);
+            config.record_commands = true;
+            let result = crate::run_kernel(Kernel::Daxpy, 128, 1, &config).unwrap();
+            let measured = bank_data_cycles_of(&result);
+            let expect: Vec<(usize, u64)> = bank_packets_of(&result.commands)
+                .into_iter()
+                .map(|(b, n)| (b, n * result.t_pack()))
+                .collect();
+            assert_eq!(measured, expect, "channels={channels}");
+            let total: u64 = measured.iter().map(|&(_, c)| c).sum();
+            assert_eq!(
+                total, result.device_stats.data_busy_cycles,
+                "channels={channels}: per-bank cycles partition the bus occupancy"
+            );
+        }
+    }
+
+    #[test]
+    fn two_channel_serve_stays_within_every_bank_budget() {
+        // The acceptance gate for the regulator wiring: a serve run over a
+        // two-channel system budgets every *global* bank in measured
+        // DATA-bus cycles and never grants a dispatch in debt.
+        let base = base()
+            .with_channels(2)
+            .with_placement(memsys::Placement::ChannelInterleaved { block_bytes: 1024 });
+        let banks = base.device.total_banks() * base.channels;
+        let mut cfg = serve_config_for(banks, 500, base.device.timing.t_pack);
+        cfg.policy = "regulated".to_string();
+        let mix = TenantMix::parse("ls:2:daxpy:128+bh:4:copy:256").unwrap();
+        let report = run_serve(&mix, &cfg, &base).unwrap();
+        assert_eq!(report.budget_violations, 0, "no dispatch granted in debt");
+        report.check_conservation().unwrap();
+        let (_s, completed, failed, ..) = report.totals();
+        assert!(completed > 0);
+        assert_eq!(failed, 0);
+        // The wiring is real: the executor reports traffic on banks owned
+        // by both channels, so channel 1's buckets are actually charged.
+        let exec = SimExecutor::new(base.clone());
+        let t = &mix.tenants[0];
+        let req = Request {
+            tenant: 0,
+            seq: 0,
+            submitted_at: 0,
+            deadline_at: 1 << 30,
+        };
+        let sr = exec.execute(t, &req).unwrap();
+        let per_channel_banks = base.device.total_banks();
+        assert!(
+            sr.bank_data_cycles
+                .iter()
+                .any(|&(b, _)| b < per_channel_banks)
+                && sr
+                    .bank_data_cycles
+                    .iter()
+                    .any(|&(b, _)| b >= per_channel_banks),
+            "interleaved placement charges banks on both channels: {:?}",
+            sr.bank_data_cycles
+        );
     }
 
     #[test]

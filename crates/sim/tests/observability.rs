@@ -112,7 +112,8 @@ fn traced_serve_is_inert_and_its_totals_cross_check() {
     // and the trace's own outcome accounting must agree with it.
     let mix = tenancy::TenantMix::parse("ls:2:daxpy:64+bh:3:copy:256").expect("valid mix");
     let base = SystemConfig::smc(CLI, 32);
-    let cfg = sim::serve::serve_config_for(base.device.total_banks(), 250);
+    let cfg =
+        sim::serve::serve_config_for(base.device.total_banks(), 250, base.device.timing.t_pack);
     let plain = sim::serve::run_serve(&mix, &cfg, &base).expect("serve runs");
     let (traced, trace) = sim::serve::run_serve_traced(&mix, &cfg, &base).expect("serve runs");
     assert_eq!(plain, traced, "tracing must not perturb the serve outcome");

@@ -28,7 +28,7 @@ fn timeline_replay_reconciles_across_the_paper_matrix() {
                 let cfg = cfg.with_telemetry();
                 let r = run_kernel(kernel, 128, 1, &cfg).expect("fault-free run");
                 let tel = r.telemetry.as_ref().expect("telemetry requested");
-                let mismatches = reconcile(tel.timeline.counts(), &r.device_stats);
+                let mismatches = reconcile(tel.timeline().counts(), &r.device_stats);
                 assert!(
                     mismatches.is_empty(),
                     "{kernel} {label} {mem:?}: {mismatches:?}"
@@ -116,7 +116,7 @@ fn metrics_jsonl_covers_the_catalog_and_matches_the_run() {
     // Timeline residency feeds the bank-state counters.
     assert_eq!(
         reg.value(MetricId::BankOpenCycles),
-        tel.timeline.residency(BankState::Open)
+        tel.timeline().residency(BankState::Open)
     );
     // And the round-trip into a report table works on real data.
     let table = metrics::table_from_jsonl(&dump).expect("dump parses back");
@@ -135,7 +135,7 @@ fn refresh_runs_surface_refresh_counts() {
     );
     // Reconciliation holds with refresh traffic included: the refresh
     // commands flow through the same sink as everything else.
-    let mismatches = reconcile(tel.timeline.counts(), &r.device_stats);
+    let mismatches = reconcile(tel.timeline().counts(), &r.device_stats);
     assert!(mismatches.is_empty(), "{mismatches:?}");
 }
 

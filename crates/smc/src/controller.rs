@@ -1,7 +1,8 @@
 //! The Stream Memory Controller facade: SBU + MSU behind one interface.
 
 use faults::FaultInjector;
-use rdram::{AddressMap, Cycle, MemoryImage, Rdram, SharedSink};
+use memsys::{MemorySystem, SystemMap};
+use rdram::{Cycle, MemoryImage, SharedSink};
 use telemetry::{Event, SharedTelemetry};
 
 use crate::{LivelockReport, Msu, MsuConfig, MsuStats, Sbu, SmcError, StreamDescriptor};
@@ -43,7 +44,7 @@ impl SmcController {
     ///
     /// Panics if `streams` is empty or the FIFO depth in `cfg` is smaller
     /// than one DATA packet (2 elements).
-    pub fn new(streams: Vec<StreamDescriptor>, map: AddressMap, cfg: MsuConfig) -> Self {
+    pub fn new(streams: Vec<StreamDescriptor>, map: SystemMap, cfg: MsuConfig) -> Self {
         SmcController {
             sbu: Sbu::new(streams, cfg.fifo_depth),
             msu: Msu::new(map, cfg),
@@ -138,7 +139,7 @@ impl SmcController {
     pub fn tick(
         &mut self,
         now: Cycle,
-        dev: &mut Rdram,
+        dev: &mut MemorySystem,
         mem: &mut MemoryImage,
     ) -> Result<(), SmcError> {
         if let Some(sink) = &self.trace_sink {
@@ -226,7 +227,7 @@ impl SmcController {
     /// device command counters plus per-FIFO element positions. The
     /// watchdog declares livelock when this stays constant too long while
     /// work remains.
-    fn fingerprint(&self, dev: &Rdram) -> u64 {
+    fn fingerprint(&self, dev: &MemorySystem) -> u64 {
         let s = dev.stats();
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mix = |h: &mut u64, v: u64| {
@@ -251,8 +252,8 @@ impl SmcController {
         h
     }
 
-    fn livelock_report(&self, now: Cycle, dev: &Rdram) -> LivelockReport {
-        let banks = dev.config().total_banks();
+    fn livelock_report(&self, now: Cycle, dev: &MemorySystem) -> LivelockReport {
+        let banks = dev.total_banks();
         let (last_command, last_command_cycle) = match self.msu.last_issued() {
             Some((c, t)) => (Some(format!("{c:?}")), t),
             None => (None, 0),
@@ -316,12 +317,12 @@ impl SmcController {
 mod tests {
     use super::*;
     use crate::{PagePolicy, Policy};
-    use rdram::{DeviceConfig, Interleave};
+    use rdram::{AddressMap, DeviceConfig, Interleave};
 
-    fn setup(kind: Interleave) -> (Rdram, MemoryImage, AddressMap) {
+    fn setup(kind: Interleave) -> (MemorySystem, MemoryImage, SystemMap) {
         let cfg = DeviceConfig::default();
-        let map = AddressMap::new(kind, &cfg).unwrap();
-        (Rdram::new(cfg), MemoryImage::new(), map)
+        let map = SystemMap::single(AddressMap::new(kind, &cfg).unwrap());
+        (MemorySystem::single(cfg), MemoryImage::new(), map)
     }
 
     #[test]

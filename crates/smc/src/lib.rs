@@ -30,12 +30,13 @@
 //! Stream 1024 doubles through the SMC:
 //!
 //! ```
-//! use rdram::{AddressMap, DeviceConfig, Interleave, MemoryImage, Rdram};
+//! use memsys::{MemorySystem, SystemMap};
+//! use rdram::{AddressMap, DeviceConfig, Interleave, MemoryImage};
 //! use smc::{MsuConfig, SmcController, StreamDescriptor};
 //!
 //! let cfg = DeviceConfig::default();
-//! let map = AddressMap::new(Interleave::Page, &cfg).unwrap();
-//! let mut dev = Rdram::new(cfg);
+//! let map = SystemMap::single(AddressMap::new(Interleave::Page, &cfg).unwrap());
+//! let mut dev = MemorySystem::single(cfg);
 //! let mut mem = MemoryImage::new();
 //! for i in 0..1024 {
 //!     mem.write_f64(i * 8, i as f64);

@@ -21,7 +21,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use serde::{Deserialize, Serialize};
 
 use faults::FaultInjector;
-use rdram::{AddressMap, Command, Cycle, Location, MemoryImage, Rdram};
+use memsys::{MemorySystem, SystemMap};
+use rdram::{Command, Cycle, Location, MemoryImage};
 
 use crate::scheduler::{FifoCandidate, ServiceView};
 use crate::{PacketAccess, Policy, Sbu, SchedulingPolicy, SmcError, StreamKind};
@@ -139,7 +140,7 @@ struct SpecTarget {
 #[derive(Debug)]
 pub struct Msu {
     cfg: MsuConfig,
-    map: AddressMap,
+    map: SystemMap,
     policy: Box<dyn SchedulingPolicy>,
     current: Option<usize>,
     slots: Vec<Slot>,
@@ -158,12 +159,12 @@ pub struct Msu {
 }
 
 impl Msu {
-    /// Create an MSU for the given address map and configuration.
+    /// Create an MSU for the given system address map and configuration.
     ///
     /// # Panics
     ///
     /// Panics if the in-flight window is zero.
-    pub fn new(map: AddressMap, cfg: MsuConfig) -> Self {
+    pub fn new(map: SystemMap, cfg: MsuConfig) -> Self {
         assert!(cfg.window >= 1, "the MSU needs at least one in-flight slot");
         Msu {
             policy: cfg.policy.build(),
@@ -253,7 +254,9 @@ impl Msu {
     }
 
     /// Advance one cycle: admit ready accesses into the window and issue at
-    /// most one command packet.
+    /// most one command packet per bus. Each memory channel has its own
+    /// ROW and COL buses, so an N-channel system can launch up to N ROW
+    /// and N COL packets in one cycle.
     ///
     /// # Errors
     ///
@@ -263,7 +266,7 @@ impl Msu {
     pub fn tick(
         &mut self,
         now: Cycle,
-        dev: &mut Rdram,
+        dev: &mut MemorySystem,
         mem: &mut MemoryImage,
         sbu: &mut Sbu,
     ) -> Result<(), SmcError> {
@@ -275,8 +278,9 @@ impl Msu {
         self.try_issue_spec(now, dev)?;
         self.admit(now, dev, sbu);
         self.resolve_stages(dev);
-        // The ROW and COL command channels are independent buses: the MSU
-        // may launch one packet on each per cycle.
+        // The ROW and COL command channels are independent buses (one pair
+        // per memory channel): the MSU may launch one packet on each per
+        // cycle.
         let col = self.issue_col(now, dev, mem, sbu)?;
         let row = self.issue_row(now, dev)?;
         if !(col || row || sbu.all_complete()) {
@@ -288,7 +292,7 @@ impl Msu {
     /// Perform a due refresh when its target bank is free of in-flight
     /// accesses, speculation, and injected busy windows; otherwise defer to
     /// a later cycle.
-    fn service_refresh(&mut self, now: Cycle, dev: &mut Rdram) -> Result<(), SmcError> {
+    fn service_refresh(&mut self, now: Cycle, dev: &mut MemorySystem) -> Result<(), SmcError> {
         let Some(timer) = &mut self.refresh else {
             return Ok(());
         };
@@ -308,7 +312,7 @@ impl Msu {
 
     /// Derive ROW requirements from live bank state for every slot whose
     /// bank has no older in-flight access.
-    fn resolve_stages(&mut self, dev: &Rdram) {
+    fn resolve_stages(&mut self, dev: &MemorySystem) {
         for k in 0..self.slots.len() {
             if self.slots[k].stage != Stage::Unresolved {
                 continue;
@@ -328,42 +332,70 @@ impl Msu {
         }
     }
 
-    /// Issue the oldest ready COL command, if any.
+    /// Issue the oldest ready COL command on each channel's COL bus, if
+    /// any. With one channel this issues at most one command; with N the
+    /// MSU reorders across channels, overlapping data transfers.
     fn issue_col(
         &mut self,
         now: Cycle,
-        dev: &mut Rdram,
+        dev: &mut MemorySystem,
         mem: &mut MemoryImage,
         sbu: &mut Sbu,
     ) -> Result<bool, SmcError> {
-        for k in 0..self.slots.len() {
+        let mut issued = vec![false; dev.channels()];
+        let mut any = false;
+        let mut k = 0;
+        while k < self.slots.len() {
             if self.slots[k].stage != Stage::Col {
+                k += 1;
+                continue;
+            }
+            // Each channel's COL bus carries one packet per cycle.
+            let ch = dev.channel_of_bank(self.slots[k].loc.bank);
+            if issued[ch] {
+                k += 1;
                 continue;
             }
             // A FIFO delivers elements in order: this slot's data transfer
             // must wait for earlier accesses of the same FIFO.
             let fifo = self.slots[k].fifo;
             if self.slots[..k].iter().any(|s| s.fifo == fifo) {
+                k += 1;
                 continue;
             }
             let cmd = self.command_for(k, sbu);
             if dev.earliest(&cmd, now) > now {
                 self.note_hold(cmd.bank(), now);
+                k += 1;
                 continue;
             }
+            let before = self.slots.len();
             self.execute(k, cmd, now, dev, mem, sbu)?;
-            return Ok(true);
+            issued[ch] = true;
+            any = true;
+            if self.slots.len() == before {
+                // An injected NACK kept the slot in place; move past it.
+                k += 1;
+            }
         }
-        Ok(false)
+        Ok(any)
     }
 
-    /// Issue the oldest ready PRER/ACT command, if any.
-    fn issue_row(&mut self, now: Cycle, dev: &mut Rdram) -> Result<bool, SmcError> {
+    /// Issue the oldest ready PRER/ACT command on each channel's ROW bus,
+    /// if any.
+    fn issue_row(&mut self, now: Cycle, dev: &mut MemorySystem) -> Result<bool, SmcError> {
+        let mut issued = vec![false; dev.channels()];
+        let mut any = false;
         for k in 0..self.slots.len() {
             if !matches!(self.slots[k].stage, Stage::Precharge | Stage::Activate) {
                 continue;
             }
             let bank = self.slots[k].loc.bank;
+            // Each channel's ROW bus carries one packet per cycle.
+            let ch = dev.channel_of_bank(bank);
+            if issued[ch] {
+                continue;
+            }
             if self.slots[..k].iter().any(|s| s.loc.bank == bank) {
                 continue;
             }
@@ -383,9 +415,10 @@ impl Msu {
                 Stage::Activate => Stage::Col,
                 _ => unreachable!("filtered above"),
             };
-            return Ok(true);
+            issued[ch] = true;
+            any = true;
         }
-        Ok(false)
+        Ok(any)
     }
 
     /// A ready command could not issue this cycle. When the hold is an
@@ -432,7 +465,7 @@ impl Msu {
 
     /// Bank/row state a new access will see once everything already in
     /// flight has executed.
-    fn effective_plan(&self, loc: Location, dev: &Rdram) -> rdram::AccessPlan {
+    fn effective_plan(&self, loc: Location, dev: &MemorySystem) -> rdram::AccessPlan {
         if let Some(s) = self.slots.iter().rev().find(|s| s.loc.bank == loc.bank) {
             let same_row = s.loc.row == loc.row;
             return match self.page_policy_for(loc.bank) {
@@ -451,8 +484,10 @@ impl Msu {
         dev.plan(loc)
     }
 
-    fn admit(&mut self, now: Cycle, dev: &Rdram, sbu: &mut Sbu) {
-        while self.slots.len() < self.cfg.window {
+    fn admit(&mut self, now: Cycle, dev: &MemorySystem, sbu: &mut Sbu) {
+        // The in-flight window is per channel: each channel pipelines up
+        // to `cfg.window` accesses of its own.
+        while self.slots.len() < self.cfg.window * dev.channels() {
             let candidates: Vec<FifoCandidate> = (0..sbu.len())
                 .map(|i| {
                     let f = sbu.fifo(i);
@@ -488,15 +523,25 @@ impl Msu {
                 return;
             };
             let loc = self.map.decode(pkt.packet_addr);
+            let ch = dev.channel_of_bank(loc.bank);
+            let in_channel = self
+                .slots
+                .iter()
+                .filter(|s| dev.channel_of_bank(s.loc.bank) == ch)
+                .count();
+            if in_channel >= self.cfg.window {
+                return;
+            }
             let plan = self.effective_plan(loc, dev);
             // Open-page systems expose row work: the paper's round-robin
             // MSU does not overlap a page crossing's precharge/activate
             // with other accesses, so such an access waits for an empty
-            // pipeline. Speculative activation (when enabled) opens the
-            // page ahead of time, making the access a hit here.
+            // pipeline — on its own channel; other channels keep streaming.
+            // Speculative activation (when enabled) opens the page ahead of
+            // time, making the access a hit here.
             if self.page_policy_for(loc.bank) == PagePolicy::OpenPage
                 && !plan.is_page_hit()
-                && !self.slots.is_empty()
+                && in_channel > 0
             {
                 return;
             }
@@ -575,7 +620,7 @@ impl Msu {
         k: usize,
         cmd: Command,
         now: Cycle,
-        dev: &mut Rdram,
+        dev: &mut MemorySystem,
         mem: &mut MemoryImage,
         sbu: &mut Sbu,
     ) -> Result<(), SmcError> {
@@ -636,7 +681,7 @@ impl Msu {
 
     /// If the current FIFO will cross into a new page within the lookahead
     /// window, queue a speculative precharge/activate for that page.
-    fn maybe_schedule_spec(&mut self, dev: &Rdram, sbu: &Sbu) {
+    fn maybe_schedule_spec(&mut self, dev: &MemorySystem, sbu: &Sbu) {
         if !self.cfg.speculative_activate || self.spec.is_some() {
             return;
         }
@@ -672,7 +717,7 @@ impl Msu {
         }
     }
 
-    fn try_issue_spec(&mut self, now: Cycle, dev: &mut Rdram) -> Result<(), SmcError> {
+    fn try_issue_spec(&mut self, now: Cycle, dev: &mut MemorySystem) -> Result<(), SmcError> {
         let Some(t) = self.spec else { return Ok(()) };
         // Never touch a bank with in-flight accesses.
         if self.slots.iter().any(|s| s.loc.bank == t.bank) {
@@ -703,28 +748,46 @@ impl Msu {
 mod tests {
     use super::*;
     use crate::StreamDescriptor;
-    use rdram::{DeviceConfig, Interleave};
+    use memsys::{Placement, Topology};
+    use rdram::{AddressMap, DeviceConfig, Interleave};
 
-    fn pi_map() -> AddressMap {
-        AddressMap::new(Interleave::Page, &DeviceConfig::default()).unwrap()
+    fn pi_map() -> SystemMap {
+        SystemMap::single(AddressMap::new(Interleave::Page, &DeviceConfig::default()).unwrap())
     }
 
-    fn cli_map() -> AddressMap {
-        AddressMap::new(
-            Interleave::Cacheline { line_bytes: 32 },
-            &DeviceConfig::default(),
+    fn cli_map() -> SystemMap {
+        SystemMap::single(
+            AddressMap::new(
+                Interleave::Cacheline { line_bytes: 32 },
+                &DeviceConfig::default(),
+            )
+            .unwrap(),
         )
-        .unwrap()
     }
 
     /// Run the MSU until the SBU reports completion, driving an infinitely
     /// fast CPU that immediately drains reads and pre-produces writes.
     fn run_to_completion(
         streams: Vec<StreamDescriptor>,
-        map: AddressMap,
+        map: SystemMap,
         cfg: MsuConfig,
     ) -> (MsuStats, MemoryImage, Cycle) {
-        let mut dev = Rdram::new(DeviceConfig::default());
+        let (stats, mem, end, _) = run_on_system(
+            streams,
+            map,
+            cfg,
+            MemorySystem::single(DeviceConfig::default()),
+        );
+        (stats, mem, end)
+    }
+
+    /// [`run_to_completion`] against a caller-built memory system.
+    fn run_on_system(
+        streams: Vec<StreamDescriptor>,
+        map: SystemMap,
+        cfg: MsuConfig,
+        mut dev: MemorySystem,
+    ) -> (MsuStats, MemoryImage, Cycle, MemorySystem) {
         let mut mem = MemoryImage::new();
         for s in &streams {
             if s.kind == StreamKind::Read {
@@ -761,7 +824,7 @@ mod tests {
             now += 1;
             assert!(now < 2_000_000, "MSU failed to make progress");
         }
-        (*msu.stats(), mem, now)
+        (*msu.stats(), mem, now, dev)
     }
 
     #[test]
@@ -916,9 +979,83 @@ mod tests {
         }
     }
 
+    fn two_channel_system(placement: Placement, penalty: Vec<Cycle>) -> (SystemMap, MemorySystem) {
+        let cfg = DeviceConfig::default();
+        let topo = Topology {
+            channels: 2,
+            devices_per_channel: 1,
+            remote_penalty: penalty,
+        };
+        let map = SystemMap::new(
+            AddressMap::new(Interleave::Page, &cfg).unwrap(),
+            &cfg,
+            &topo,
+            placement,
+        )
+        .unwrap();
+        (map, MemorySystem::new(cfg, topo))
+    }
+
+    #[test]
+    fn two_channel_interleaved_run_spreads_traffic_and_completes() {
+        let (map, sys) = two_channel_system(Placement::default(), Vec::new());
+        let streams = vec![
+            StreamDescriptor::read("x", 0, 1, 1024),
+            StreamDescriptor::write("z", 256 * 1024, 1, 1024),
+        ];
+        let (stats, mem, _, sys) = run_on_system(streams, map, MsuConfig::default(), sys);
+        assert_eq!(stats.packets_read, 512);
+        assert_eq!(stats.packets_written, 512);
+        for e in 0..1024 {
+            assert_eq!(mem.read_u64(256 * 1024 + e * 8), 2000 + e, "element {e}");
+        }
+        // 4 KiB blocks rotate across channels: both carried DATA traffic.
+        assert!(sys.channel_stats(0).data_busy_cycles > 0);
+        assert!(sys.channel_stats(1).data_busy_cycles > 0);
+    }
+
+    #[test]
+    fn two_channels_beat_one_on_parallel_streams() {
+        let streams = |tag: &str| {
+            vec![
+                StreamDescriptor::read(format!("{tag}x"), 0, 1, 1024),
+                StreamDescriptor::read(format!("{tag}y"), 256 * 1024, 1, 1024),
+            ]
+        };
+        let (one, _, _) = run_to_completion(streams("a"), pi_map(), MsuConfig::default());
+        let (map, sys) = two_channel_system(Placement::default(), Vec::new());
+        let (two, _, _, _) = run_on_system(streams("b"), map, MsuConfig::default(), sys);
+        assert_eq!(one.packets_read, two.packets_read);
+        assert!(
+            two.last_data_cycle < one.last_data_cycle,
+            "two channels not faster: {} !< {}",
+            two.last_data_cycle,
+            one.last_data_cycle
+        );
+    }
+
+    #[test]
+    fn remote_row_penalty_costs_bandwidth_on_numa_placement() {
+        // All traffic homed on the penalized channel 1 (NUMA) vs spread
+        // across both (interleaved): the remote ROW latency shows up as a
+        // longer run.
+        let streams = |tag: &str| vec![StreamDescriptor::read(format!("{tag}x"), 0, 1, 2048)];
+        let (map, sys) = two_channel_system(Placement::Numa { home: 1 }, vec![0, 64]);
+        let (numa, _, _, _) = run_on_system(streams("a"), map, MsuConfig::default(), sys);
+        let (map, sys) = two_channel_system(Placement::default(), vec![0, 64]);
+        let (ilv, _, _, _) = run_on_system(streams("b"), map, MsuConfig::default(), sys);
+        assert_eq!(numa.packets_read, ilv.packets_read);
+        assert!(
+            numa.last_data_cycle > ilv.last_data_cycle,
+            "remote homing not slower: {} !> {}",
+            numa.last_data_cycle,
+            ilv.last_data_cycle
+        );
+    }
+
     #[test]
     fn refresh_interleaves_with_streaming() {
-        let mut dev = Rdram::new(rdram::DeviceConfig::default());
+        let mut dev = MemorySystem::single(rdram::DeviceConfig::default());
         let mut mem = MemoryImage::new();
         for e in 0..1024u64 {
             mem.write_u64(e * 8, e);

@@ -91,6 +91,17 @@ pub struct CategoryTotals {
 }
 
 impl CategoryTotals {
+    /// Accumulate another accounting's cycles into this one (the
+    /// per-channel merge).
+    pub fn absorb(&mut self, other: &CategoryTotals) {
+        self.data = self.data.saturating_add(other.data);
+        self.retry = self.retry.saturating_add(other.retry);
+        self.turnaround = self.turnaround.saturating_add(other.turnaround);
+        self.row_overhead = self.row_overhead.saturating_add(other.row_overhead);
+        self.bank_conflict = self.bank_conflict.saturating_add(other.bank_conflict);
+        self.idle = self.idle.saturating_add(other.idle);
+    }
+
     /// Sum across all categories.
     pub fn sum(&self) -> u64 {
         self.data
@@ -297,6 +308,28 @@ impl CycleAttribution {
             banks,
             turnaround_gaps,
         }
+    }
+
+    /// Merge per-channel attributions into one system-wide accounting.
+    ///
+    /// Bank totals are concatenated in order, so with `parts[i]` covering
+    /// channel `i` the merged per-bank index is the *global* bank index
+    /// (`channel × banks_per_channel + local bank`). `total` and
+    /// `turnaround_gaps` sum across parts: every channel's interface runs
+    /// for the whole run, so a two-channel run of `T` cycles accounts for
+    /// `2 × T` interface cycles. [`check_exact`](Self::check_exact) holds
+    /// on the merge whenever it holds on every part, and
+    /// [`reconcile`](Self::reconcile) cross-checks against the
+    /// channel-aggregated device statistics.
+    pub fn merge(parts: &[CycleAttribution]) -> CycleAttribution {
+        let mut merged = CycleAttribution::default();
+        for p in parts {
+            merged.total = merged.total.saturating_add(p.total);
+            merged.turnaround_gaps = merged.turnaround_gaps.saturating_add(p.turnaround_gaps);
+            merged.global.absorb(&p.global);
+            merged.banks.extend(p.banks.iter().copied());
+        }
+        merged
     }
 
     /// The cycle count the attribution covers.

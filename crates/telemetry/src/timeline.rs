@@ -156,6 +156,24 @@ pub struct DerivedCounts {
     pub data_busy_cycles: u64,
 }
 
+impl DerivedCounts {
+    /// Accumulate another replay's counters into this one: the
+    /// multi-channel merge, where each channel's trace replays against its
+    /// own bus triple and the sums compare against the channel-aggregated
+    /// [`rdram::DeviceStats`].
+    pub fn absorb(&mut self, other: &DerivedCounts) {
+        self.activates = self.activates.saturating_add(other.activates);
+        self.precharges = self.precharges.saturating_add(other.precharges);
+        self.auto_precharges = self.auto_precharges.saturating_add(other.auto_precharges);
+        self.read_hits = self.read_hits.saturating_add(other.read_hits);
+        self.write_hits = self.write_hits.saturating_add(other.write_hits);
+        self.read_packets = self.read_packets.saturating_add(other.read_packets);
+        self.write_packets = self.write_packets.saturating_add(other.write_packets);
+        self.turnarounds = self.turnarounds.saturating_add(other.turnarounds);
+        self.data_busy_cycles = self.data_busy_cycles.saturating_add(other.data_busy_cycles);
+    }
+}
+
 /// Per-bank replay state mirroring [`rdram::Bank`]'s bookkeeping.
 #[derive(Debug, Clone, Copy, Default)]
 struct BankReplay {

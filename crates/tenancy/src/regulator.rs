@@ -19,8 +19,8 @@
 use crate::tenant::Cycle;
 
 /// Sizing of one token bucket. Tokens are abstract cost units; the serving
-/// layer charges device cycles for tenant buckets and DATA packets for
-/// bank buckets.
+/// layer charges device cycles for tenant buckets and measured DATA-bus
+/// cycles for bank buckets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BucketConfig {
     /// Maximum level the bucket can hold (burst allowance).
@@ -81,7 +81,10 @@ pub struct RegulatorConfig {
     pub ls_bucket: BucketConfig,
     /// Per-tenant bucket for bandwidth-hungry tenants.
     pub bh_bucket: BucketConfig,
-    /// Per-bank bucket (cost unit: DATA packets to that bank).
+    /// Per-bank bucket (cost unit: DATA-bus cycles to that bank, as
+    /// measured by the memory system — the serving layer sizes this for
+    /// the device's packet time via
+    /// [`scale_bank_currency`](RegulatorConfig::scale_bank_currency)).
     pub bank_bucket: BucketConfig,
     /// Banks on the channel.
     pub banks: usize,
@@ -108,6 +111,19 @@ impl RegulatorConfig {
             },
             banks: banks.max(1),
         }
+    }
+
+    /// Rescale the bank buckets by `factor` cost units per abstract token.
+    /// The defaults size bank budgets in abstract transfer units; a caller
+    /// charging measured DATA-bus cycles (`factor` = the device's packet
+    /// time) scales capacity and refill together, which preserves every
+    /// eligibility decision exactly: levels, charges, and refills all
+    /// multiply by the same positive factor, and `level > 0` is invariant
+    /// under positive scaling.
+    pub fn scale_bank_currency(&mut self, factor: u64) {
+        let factor = factor.max(1);
+        self.bank_bucket.capacity = self.bank_bucket.capacity.saturating_mul(factor);
+        self.bank_bucket.refill = self.bank_bucket.refill.saturating_mul(factor);
     }
 
     /// Validate the configuration: refills must be positive (a zero refill
@@ -246,14 +262,14 @@ impl Regulator {
     }
 
     /// Charge completed work: `cycles` against the tenant bucket and
-    /// per-bank DATA-packet counts against bank buckets.
-    pub fn charge(&mut self, tenant: usize, cycles: u64, bank_packets: &[(usize, u64)]) {
+    /// measured per-bank DATA-bus cycles against bank buckets.
+    pub fn charge(&mut self, tenant: usize, cycles: u64, bank_data_cycles: &[(usize, u64)]) {
         if let Some(b) = self.tenants.get_mut(tenant) {
             b.charge(cycles);
         }
-        for &(bank, packets) in bank_packets {
+        for &(bank, data_cycles) in bank_data_cycles {
             if let Some(b) = self.banks.get_mut(bank % self.cfg.banks.max(1)) {
-                b.charge(packets);
+                b.charge(data_cycles);
             }
         }
     }
@@ -351,6 +367,40 @@ mod tests {
         assert_eq!(r.audits().len(), 2);
         assert!(r.audits()[0].tenant_level > 0);
         assert!(r.audits()[1].tenant_level <= 0);
+    }
+
+    #[test]
+    fn bank_currency_scaling_preserves_every_eligibility_decision() {
+        // Charging k-times the cost against k-times the bucket must make
+        // exactly the same dispatch decisions: levels scale linearly and
+        // `level > 0` is invariant under positive scaling.
+        let k = 4u64;
+        let mut scaled_cfg = cfg();
+        scaled_cfg.scale_bank_currency(k);
+        assert_eq!(scaled_cfg.bank_bucket.capacity, 200);
+        assert_eq!(scaled_cfg.bank_bucket.refill, 100);
+        let mut plain = Regulator::new(cfg(), &[false]);
+        let mut scaled = Regulator::new(scaled_cfg, &[false]);
+        // A deterministic charge/refill schedule that crosses zero twice.
+        let charges = [(0usize, 30u64), (1, 60), (0, 25), (2, 1), (0, 49)];
+        for (step, &(bank, cost)) in charges.iter().enumerate() {
+            plain.charge(0, 0, &[(bank, cost)]);
+            scaled.charge(0, 0, &[(bank, cost * k)]);
+            assert_eq!(
+                plain.eligible(0),
+                scaled.eligible(0),
+                "step {step}: decisions diverged"
+            );
+            assert_eq!(plain.min_bank_level() * k as i64, scaled.min_bank_level());
+            let now = 100 * (step as u64 + 1);
+            plain.advance(now);
+            scaled.advance(now);
+            assert_eq!(
+                plain.eligible(0),
+                scaled.eligible(0),
+                "step {step} post-refill"
+            );
+        }
     }
 
     #[test]

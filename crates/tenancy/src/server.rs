@@ -35,8 +35,10 @@ pub struct ServiceReport {
     pub cycles: Cycle,
     /// 64-bit words of useful stream data the request moved.
     pub useful_words: u64,
-    /// DATA packets per bank touched, `(bank, packets)` pairs.
-    pub bank_packets: Vec<(usize, u64)>,
+    /// DATA-bus cycles per bank touched, `(bank, cycles)` pairs — the
+    /// memory system's measured per-bank occupancy, which the regulator
+    /// charges against its per-bank budgets.
+    pub bank_data_cycles: Vec<(usize, u64)>,
     /// Injected-fault events the request absorbed (NACKs, stall cycles);
     /// non-zero values tell the ladder a fault storm is active.
     pub fault_events: u64,
@@ -501,8 +503,8 @@ pub fn serve_traced(
                         miss_streak = 0;
                     }
                     fault_active = report.fault_events > 0;
-                    last_bank = report.bank_packets.first().map(|&(b, _)| b);
-                    regulator.charge(t, report.cycles, &report.bank_packets);
+                    last_bank = report.bank_data_cycles.first().map(|&(b, _)| b);
+                    regulator.charge(t, report.cycles, &report.bank_data_cycles);
                     if let Some(tr) = trace.as_deref_mut() {
                         tr.record_span(RequestSpan {
                             tenant: t,
@@ -649,7 +651,7 @@ mod tests {
             Ok(ServiceReport {
                 cycles: self.cycles,
                 useful_words: self.words,
-                bank_packets: vec![(req.seq as usize % 4, self.words / 4)],
+                bank_data_cycles: vec![(req.seq as usize % 4, self.words / 4)],
                 fault_events: 0,
             })
         }
@@ -721,7 +723,7 @@ mod tests {
                 Ok(ServiceReport {
                     cycles: 200,
                     useful_words: 32,
-                    bank_packets: Vec::new(),
+                    bank_data_cycles: Vec::new(),
                     fault_events: 1,
                 })
             }
@@ -830,7 +832,7 @@ mod tests {
                 Ok(ServiceReport {
                     cycles: 9_000,
                     useful_words: 16,
-                    bank_packets: Vec::new(),
+                    bank_data_cycles: Vec::new(),
                     fault_events: u64::from(req.seq % 5 == 0),
                 })
             }

@@ -48,6 +48,7 @@ pub const HOT_PATH_CRATES: &[&str] = &[
     "telemetry",
     "campaign",
     "tenancy",
+    "memsys",
 ];
 
 /// Extra files held to the no-panic standard with no allowlist escape
@@ -71,6 +72,8 @@ pub const CYCLE_HOT_FILES: &[&str] = &[
     "crates/smc/src/msu.rs",
     "crates/smc/src/controller.rs",
     "crates/baseline/src/controller.rs",
+    "crates/memsys/src/system.rs",
+    "crates/memsys/src/map.rs",
 ];
 
 /// Crates that must carry `#![deny(missing_docs)]`.
@@ -83,6 +86,7 @@ pub const STRICT_DOCS_CRATES: &[&str] = &[
     "telemetry",
     "campaign",
     "tenancy",
+    "memsys",
 ];
 
 /// Name of the checked-in allowlist at the repository root.

@@ -10,7 +10,8 @@
 //! cargo run --release --example fir_filter
 //! ```
 
-use rdram::{AddressMap, DeviceConfig, Interleave, MemoryImage, Rdram, ELEM_BYTES};
+use memsys::{MemorySystem, SystemMap};
+use rdram::{AddressMap, DeviceConfig, Interleave, MemoryImage, ELEM_BYTES};
 use smc::{MsuConfig, SmcController, StreamDescriptor};
 
 const TAPS: [f64; 5] = [0.1, 0.2, 0.4, 0.2, 0.1];
@@ -35,8 +36,8 @@ fn main() {
     let out_fifo = streams.len() - 1;
 
     let device_cfg = DeviceConfig::default();
-    let map = AddressMap::new(Interleave::Page, &device_cfg).expect("valid map");
-    let mut dev = Rdram::new(device_cfg);
+    let map = SystemMap::single(AddressMap::new(Interleave::Page, &device_cfg).expect("valid map"));
+    let mut dev = MemorySystem::single(device_cfg);
     let mut ctl = SmcController::new(
         streams,
         map,

@@ -6,7 +6,8 @@
 //! cargo run --release --example program_smc
 //! ```
 
-use rdram::{AddressMap, DeviceConfig, Interleave, MemoryImage, Rdram};
+use memsys::{MemorySystem, SystemMap};
+use rdram::{AddressMap, DeviceConfig, Interleave, MemoryImage};
 use smc::regs::{MmioWindow, MODE_GO, MODE_WRITE};
 use smc::{MsuConfig, SmcController};
 
@@ -50,8 +51,8 @@ fn main() {
 
     // Hardware side: PI organization, 64-deep FIFOs.
     let device_cfg = DeviceConfig::default();
-    let map = AddressMap::new(Interleave::Page, &device_cfg).expect("valid map");
-    let mut dev = Rdram::new(device_cfg);
+    let map = SystemMap::single(AddressMap::new(Interleave::Page, &device_cfg).expect("valid map"));
+    let mut dev = MemorySystem::single(device_cfg);
     let mut ctl = SmcController::new(
         streams,
         map,

@@ -132,6 +132,58 @@ fn single_tenant_path_is_inert() {
     assert!(!golden_text.contains("serve_"));
 }
 
+/// With one channel and one device per channel the topology axes are
+/// inert: keys, run IDs, and record bytes never mention the memory-system
+/// topology, so every pre-memsys golden in the repository still matches
+/// bit-for-bit.
+#[test]
+fn single_channel_path_is_inert() {
+    let spec = smoke_spec();
+    let store = sim::sweep::run_spec(&spec, 2, None);
+    for record in &store.records {
+        assert_eq!(record.point.channels, 1);
+        assert_eq!(record.point.devices_per_channel, 1);
+        assert_eq!(record.point.placement, "interleaved");
+        let line = record.to_json_line();
+        assert!(!line.contains("channels"), "{line}");
+        assert!(!line.contains("placement"), "{line}");
+        assert!(!record.point.key().contains("channels"), "keys unchanged");
+    }
+    // And neither committed golden mentions the topology at all.
+    for name in ["smoke.golden.jsonl", "tenancy-smoke.golden.jsonl"] {
+        let text = repo_file(name);
+        assert!(!text.contains("channels"), "{name}");
+        assert!(!text.contains("placement"), "{name}");
+    }
+}
+
+/// The multi-channel smoke campaign reproduces its committed golden
+/// bit-for-bit at the CI worker count, and its multi-channel records
+/// carry the topology fields.
+#[test]
+fn fresh_multichannel_run_matches_the_committed_golden() {
+    let spec = CampaignSpec::from_json(&repo_file("multichannel-smoke.json"))
+        .expect("committed spec parses");
+    let golden = ResultsStore::from_jsonl(&repo_file("multichannel-smoke.golden.jsonl"))
+        .expect("committed multichannel golden parses");
+    let store = sim::sweep::run_spec(&spec, 2, None);
+    let report = diff_stores(&golden, &store, Tolerance::default());
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(
+        store.to_jsonl(),
+        golden.to_jsonl(),
+        "regenerated multichannel store is byte-identical to the committed golden"
+    );
+    assert_eq!(golden.errored(), 0, "the multichannel campaign runs clean");
+    assert!(
+        golden
+            .records
+            .iter()
+            .any(|r| r.point.channels > 1 && r.to_json_line().contains("\"channels\":")),
+        "multi-channel records carry the topology fields"
+    );
+}
+
 /// The diff gate actually fires on a cycle regression in this store.
 #[test]
 fn gate_catches_an_injected_regression() {

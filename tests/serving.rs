@@ -61,7 +61,7 @@ impl Executor for SynthExecutor {
         Ok(ServiceReport {
             cycles,
             useful_words: 2 * tenant.n,
-            bank_packets: vec![((h as usize) % self.banks.max(1), packets)],
+            bank_data_cycles: vec![((h as usize) % self.banks.max(1), packets)],
             fault_events: if h.is_multiple_of(5) { 1 + h % 7 } else { 0 },
         })
     }
@@ -145,7 +145,7 @@ fn seeded_mixes_and_storms_hold_the_serving_invariants() {
             pressure_permille: pressure,
             banks,
         };
-        let mut cfg = sim::serve::serve_config_for(banks, 500);
+        let mut cfg = sim::serve::serve_config_for(banks, 500, 1);
         cfg.policy = "regulated".to_string();
         // Tight forward-progress deadline so storm-length waits trip the
         // watchdog (the production default of 1M cycles is sized for real
@@ -184,7 +184,7 @@ fn serving_runs_are_deterministic() {
             pressure_permille: 4000,
             banks: 16,
         };
-        let mut cfg = sim::serve::serve_config_for(16, 500);
+        let mut cfg = sim::serve::serve_config_for(16, 500, 1);
         cfg.policy = "regulated".to_string();
         let a = serve(&mix, &cfg, &exec).expect("terminates");
         let b = serve(&mix, &cfg, &exec).expect("terminates");
@@ -205,7 +205,7 @@ fn all_policies_hold_the_invariants_under_storm() {
                 pressure_permille: 5000,
                 banks: 16,
             };
-            let mut cfg = sim::serve::serve_config_for(16, 400);
+            let mut cfg = sim::serve::serve_config_for(16, 400, 1);
             cfg.policy = policy.to_string();
             let report =
                 serve(&mix, &cfg, &exec).unwrap_or_else(|e| panic!("{policy}/seed {seed}: {e}"));
@@ -226,7 +226,7 @@ fn sixty_four_tenant_soak_survives_a_fault_storm() {
     let plan = FaultPlan::parse("nack:100:4;busy:*:900:40").expect("storm spec parses");
     let base = SystemConfig::smc(MemorySystem::CacheLineInterleaved, 64).with_faults(plan, 11);
     let banks = 16;
-    let mut cfg = sim::serve::serve_config_for(banks, 400);
+    let mut cfg = sim::serve::serve_config_for(banks, 400, base.device.timing.t_pack);
     cfg.policy = "regulated".to_string();
     let report = sim::serve::run_serve(&mix, &cfg, &base).expect("soak terminates");
     check_invariants(11, &report);
