@@ -22,8 +22,9 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 ///
 /// The nesting order (kernel → memory → order → alignment → n → stride →
 /// faults → fault seed → tenants → budget → attribution → channels →
-/// devices per channel → placement) is part of the store format: it fixes
-/// the record order of every campaign, independent of worker count. Five
+/// devices per channel → placement → chaos → retry budget) is part of the
+/// store format: it fixes the record order of every campaign, independent
+/// of worker count. Five
 /// collapses keep the grid free of synonymous points before dedup even
 /// runs: natural-order points ignore the `fifo` axis (one point per
 /// family, not one per depth), a clean run (`faults == ""`) pins
@@ -31,8 +32,10 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// single-tenant run (`tenants == ""`) pins `budget_permille` to 0
 /// because the regulator budget is inert without tenants, a multi-tenant
 /// run pins `attribution` to 0 because the serve loop owns the clock
-/// there, and a single-channel run (`channels == 1`) pins `placement` to
-/// [`DEFAULT_PLACEMENT`] because placement is inert with one channel.
+/// there, a single-channel run (`channels == 1`) pins `placement` to
+/// [`DEFAULT_PLACEMENT`] because placement is inert with one channel,
+/// and a single-tenant run pins `retry_budget` to 0 because there is no
+/// admission queue to reject (and so nothing to retry) without tenants.
 /// Points matching any exclusion clause are dropped, and exact duplicates
 /// (e.g. a repeated axis value) are collapsed to their first occurrence.
 pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
@@ -83,31 +86,45 @@ pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
                                                                     &axes.placements
                                                                 };
                                                             for placement in placements {
-                                                                let point = RunPoint {
-                                                                    kernel: kernel.clone(),
-                                                                    order,
-                                                                    memory: memory.clone(),
-                                                                    alignment: alignment.clone(),
-                                                                    n,
-                                                                    stride,
-                                                                    faults: faults.clone(),
-                                                                    fault_seed,
-                                                                    tenants: tenants.clone(),
-                                                                    budget_permille,
-                                                                    attribution,
-                                                                    channels,
-                                                                    devices_per_channel,
-                                                                    placement: placement.clone(),
-                                                                };
-                                                                if spec
-                                                                    .exclude
-                                                                    .iter()
-                                                                    .any(|x| x.matches(&point))
-                                                                {
-                                                                    continue;
-                                                                }
-                                                                if seen.insert(point.key()) {
-                                                                    points.push(point);
+                                                                for chaos in &axes.chaos_plans {
+                                                                    let rbudgets: &[u64] =
+                                                                        if tenants.is_empty() {
+                                                                            &[0]
+                                                                        } else {
+                                                                            &axes.retry_budgets
+                                                                        };
+                                                                    for &retry_budget in rbudgets {
+                                                                        let point = RunPoint {
+                                                                            kernel: kernel.clone(),
+                                                                            order,
+                                                                            memory: memory.clone(),
+                                                                            alignment: alignment
+                                                                                .clone(),
+                                                                            n,
+                                                                            stride,
+                                                                            faults: faults.clone(),
+                                                                            fault_seed,
+                                                                            tenants: tenants
+                                                                                .clone(),
+                                                                            budget_permille,
+                                                                            attribution,
+                                                                            channels,
+                                                                            devices_per_channel,
+                                                                            placement: placement
+                                                                                .clone(),
+                                                                            chaos: chaos.clone(),
+                                                                            retry_budget,
+                                                                        };
+                                                                        if spec.exclude.iter().any(
+                                                                            |x| x.matches(&point),
+                                                                        ) {
+                                                                            continue;
+                                                                        }
+                                                                        if seen.insert(point.key())
+                                                                        {
+                                                                            points.push(point);
+                                                                        }
+                                                                    }
                                                                 }
                                                             }
                                                         }
@@ -245,6 +262,33 @@ mod tests {
                 .collect::<Vec<_>>(),
             ["interleaved", "sequential", "numa:0"]
         );
+    }
+
+    #[test]
+    fn single_tenant_runs_collapse_the_retry_axis() {
+        let mut spec = CampaignSpec::named("t");
+        spec.axes.tenant_mixes = vec![String::new(), "bh:2:copy:64".into()];
+        spec.axes.retry_budgets = vec![2, 4];
+        let points = expand(&spec);
+        // 1 single-tenant point (retry pinned to 0) + 2 budgeted mixes.
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].retry_budget, 0);
+        assert!(points[0].tenants.is_empty());
+        assert_eq!(
+            points[1..]
+                .iter()
+                .map(|p| p.retry_budget)
+                .collect::<Vec<_>>(),
+            [2, 4]
+        );
+        // The chaos axis applies to every point (single-kernel runs
+        // degrade too).
+        let mut spec = CampaignSpec::named("t");
+        spec.axes.chaos_plans = vec![String::new(), "outage:0:64:128".into()];
+        let points = expand(&spec);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].chaos, "");
+        assert_eq!(points[1].chaos, "outage:0:64:128");
     }
 
     #[test]

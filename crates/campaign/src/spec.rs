@@ -107,6 +107,18 @@ pub struct RunPoint {
     /// [`DEFAULT_PLACEMENT`] when `channels` is 1, where placement is
     /// inert.
     pub placement: String,
+    /// Channel-level chaos plan in fault-plan spec syntax
+    /// (`brownout:<ch>:<from>:<len>:<mult>`, `outage:<ch>:<from>:<len>`,
+    /// `devfail:<ch>:<dev>:<from>:<mult>`, `;`-separated — validated by
+    /// the runner); empty runs healthy. When empty *and* `retry_budget`
+    /// is 0, both chaos fields are omitted from the key and the record
+    /// form, so pre-chaos campaigns (and their goldens) are
+    /// byte-identical to builds that predate the fault-tolerance layer.
+    pub chaos: String,
+    /// Closed-loop client retry budget: resubmissions allowed per
+    /// rejected request (forced to 0 — retries disabled — when `tenants`
+    /// is empty, where no admission queue exists to reject anything).
+    pub retry_budget: u64,
 }
 
 impl RunPoint {
@@ -141,6 +153,12 @@ impl RunPoint {
                 self.channels, self.devices_per_channel, self.placement
             ));
         }
+        if !self.chaos.is_empty() || self.retry_budget != 0 {
+            key.push_str(&format!(
+                "|chaos={}|rbudget={}",
+                self.chaos, self.retry_budget
+            ));
+        }
         key
     }
 
@@ -169,6 +187,8 @@ impl RunPoint {
             channels: 1,
             devices_per_channel: 1,
             placement: DEFAULT_PLACEMENT.to_string(),
+            chaos: String::new(),
+            retry_budget: 0,
         }
     }
 }
@@ -215,6 +235,12 @@ pub struct Axes {
     /// Cross-channel placement specs (`placement`). Default:
     /// `["interleaved"]`.
     pub placements: Vec<String>,
+    /// Channel-level chaos plans in fault-plan spec syntax; `""` runs
+    /// healthy (`chaos`). Default: `[""]`.
+    pub chaos_plans: Vec<String>,
+    /// Closed-loop retry budgets per rejected request, 0 meaning retries
+    /// disabled (`retry_budget`). Default: `[0]`.
+    pub retry_budgets: Vec<u64>,
 }
 
 impl Default for Axes {
@@ -235,6 +261,8 @@ impl Default for Axes {
             channel_counts: vec![1],
             devices_per_channel: vec![1],
             placements: vec![DEFAULT_PLACEMENT.to_string()],
+            chaos_plans: vec![String::new()],
+            retry_budgets: vec![0],
         }
     }
 }
@@ -273,6 +301,10 @@ pub struct Exclude {
     pub devices_per_channel: Option<u64>,
     /// Match on the placement spec string.
     pub placement: Option<String>,
+    /// Match on the chaos-plan spec string.
+    pub chaos: Option<String>,
+    /// Match on the closed-loop retry budget.
+    pub retry_budget: Option<u64>,
 }
 
 impl Exclude {
@@ -300,6 +332,8 @@ impl Exclude {
             && eq_u(&self.channels, point.channels)
             && eq_u(&self.devices_per_channel, point.devices_per_channel)
             && eq_s(&self.placement, &point.placement)
+            && eq_s(&self.chaos, &point.chaos)
+            && eq_u(&self.retry_budget, point.retry_budget)
     }
 }
 
@@ -419,13 +453,16 @@ fn parse_axes(v: &Value, path: &str) -> Result<Axes, SpecError> {
             "channels" => axes.channel_counts = u64_list(value, &p, 1)?,
             "devices_per_channel" => axes.devices_per_channel = u64_list(value, &p, 1)?,
             "placement" => axes.placements = string_list(value, &p, None)?,
+            "chaos" => axes.chaos_plans = string_list(value, &p, None)?,
+            "retry_budget" => axes.retry_budgets = u64_list(value, &p, 0)?,
             other => {
                 return Err(err(
                     path,
                     format!(
                         "unknown axis `{other}` (known: kernel, order, memory, fifo, n, \
                          stride, alignment, faults, fault_seed, tenants, budget_permille, \
-                         attribution, channels, devices_per_channel, placement)"
+                         attribution, channels, devices_per_channel, placement, chaos, \
+                         retry_budget)"
                     ),
                 ));
             }
@@ -468,6 +505,8 @@ fn parse_exclude(v: &Value, path: &str) -> Result<Exclude, SpecError> {
             "channels" => clause.channels = Some(want_u64(value, &p)?),
             "devices_per_channel" => clause.devices_per_channel = Some(want_u64(value, &p)?),
             "placement" => clause.placement = Some(want_str(value, &p)?),
+            "chaos" => clause.chaos = Some(want_str(value, &p)?),
+            "retry_budget" => clause.retry_budget = Some(want_u64(value, &p)?),
             other => return Err(err(path, format!("unknown exclude field `{other}`"))),
         }
     }
@@ -746,6 +785,61 @@ mod tests {
         let e = CampaignSpec::from_json(r#"{"schema": 1, "name": "t", "axes": {"channels": [0]}}"#)
             .unwrap_err();
         assert!(e.message.contains(">= 1"), "{e}");
+    }
+
+    #[test]
+    fn chaos_fields_extend_the_key_only_when_non_default() {
+        let healthy = RunPoint::smoke("copy", 64);
+        // Healthy, retry-less keys are byte-identical to the pre-chaos
+        // format.
+        assert!(!healthy.key().contains("chaos"));
+        assert!(!healthy.key().contains("rbudget"));
+        let chaotic = RunPoint {
+            chaos: "brownout:0:100:500:4".into(),
+            ..healthy.clone()
+        };
+        assert_eq!(
+            chaotic.key(),
+            format!("{}|chaos=brownout:0:100:500:4|rbudget=0", healthy.key())
+        );
+        assert_ne!(chaotic.run_id(), healthy.run_id());
+        // A retry budget alone also moves the key (closed-loop clients
+        // reshape the arrival process even without injected chaos).
+        let retrying = RunPoint {
+            retry_budget: 3,
+            ..healthy.clone()
+        };
+        assert_eq!(
+            retrying.key(),
+            format!("{}|chaos=|rbudget=3", healthy.key())
+        );
+        assert_ne!(retrying.run_id(), healthy.run_id());
+    }
+
+    #[test]
+    fn chaos_axes_parse_and_exclude() {
+        let text = concat!(
+            r#"{"schema": 1, "name": "chaos", "#,
+            r#""axes": {"chaos": ["", "outage:0:100:200"], "retry_budget": [0, 3], "#,
+            r#""tenants": ["bh:2:copy:64"]}, "#,
+            r#""exclude": [{"chaos": "outage:0:100:200", "retry_budget": 3}]}"#
+        );
+        let spec = CampaignSpec::from_json(text).unwrap();
+        assert_eq!(spec.axes.chaos_plans, ["", "outage:0:100:200"]);
+        assert_eq!(spec.axes.retry_budgets, [0, 3]);
+        let clause = &spec.exclude[0];
+        let hit = RunPoint {
+            chaos: "outage:0:100:200".into(),
+            retry_budget: 3,
+            ..RunPoint::smoke("daxpy", 64)
+        };
+        assert!(clause.matches(&hit));
+        assert!(!clause.matches(&RunPoint::smoke("daxpy", 64)));
+        // Unknown-axis errors now name the chaos axes.
+        let e = CampaignSpec::from_json(r#"{"schema": 1, "name": "t", "axes": {"warp": [1]}}"#)
+            .unwrap_err();
+        assert!(e.message.contains("chaos, "), "{e}");
+        assert!(e.message.contains("retry_budget"), "{e}");
     }
 
     #[test]

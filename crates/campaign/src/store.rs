@@ -77,6 +77,26 @@ pub struct RunStats {
     pub attr_retry_cycles: u64,
     /// Attribution: cycles no component can claim.
     pub attr_idle_cycles: u64,
+    /// Closed-loop client resubmissions of rejected requests (chaos/retry
+    /// points only; stays 0 — and unserialized — at the defaults).
+    pub serve_retries: u64,
+    /// Rejections abandoned on an exhausted retry budget or passed
+    /// deadline.
+    pub serve_retry_exhausted: u64,
+    /// Deliveries stretched by a channel brownout or device failure.
+    pub chaos_degraded_commands: u64,
+    /// Deliveries deferred past a channel outage window.
+    pub chaos_deferred_commands: u64,
+    /// Cycles deliveries sat deferred behind channel outages.
+    pub chaos_deferred_cycles: u64,
+    /// Extra delivery cycles paid to brownout cost multipliers.
+    pub chaos_brownout_penalty_cycles: u64,
+    /// Extra delivery cycles paid to failed-device cost multipliers.
+    pub chaos_devfail_penalty_cycles: u64,
+    /// Channel outage windows observed end to end.
+    pub chaos_outages_observed: u64,
+    /// Summed first-deferral-to-recovery spans of observed outages.
+    pub chaos_mttr_cycles: u64,
 }
 
 /// One row of [`STAT_FIELDS`]: field name, getter, setter.
@@ -201,7 +221,69 @@ const ATTR_STAT_FIELDS: &[StatField] = &[
     ),
 ];
 
+/// Chaos / closed-loop-retry counters, serialized (and parsed) only for
+/// records whose point carries a chaos plan or a retry budget — points at
+/// the defaults never carry these fields, which keeps pre-chaos goldens
+/// byte-identical.
+const CHAOS_STAT_FIELDS: &[StatField] = &[
+    (
+        "serve_retries",
+        |s| s.serve_retries,
+        |s, v| s.serve_retries = v,
+    ),
+    (
+        "serve_retry_exhausted",
+        |s| s.serve_retry_exhausted,
+        |s, v| s.serve_retry_exhausted = v,
+    ),
+    (
+        "chaos_degraded_commands",
+        |s| s.chaos_degraded_commands,
+        |s, v| s.chaos_degraded_commands = v,
+    ),
+    (
+        "chaos_deferred_commands",
+        |s| s.chaos_deferred_commands,
+        |s, v| s.chaos_deferred_commands = v,
+    ),
+    (
+        "chaos_deferred_cycles",
+        |s| s.chaos_deferred_cycles,
+        |s, v| s.chaos_deferred_cycles = v,
+    ),
+    (
+        "chaos_brownout_penalty_cycles",
+        |s| s.chaos_brownout_penalty_cycles,
+        |s, v| s.chaos_brownout_penalty_cycles = v,
+    ),
+    (
+        "chaos_devfail_penalty_cycles",
+        |s| s.chaos_devfail_penalty_cycles,
+        |s, v| s.chaos_devfail_penalty_cycles = v,
+    ),
+    (
+        "chaos_outages_observed",
+        |s| s.chaos_outages_observed,
+        |s, v| s.chaos_outages_observed = v,
+    ),
+    (
+        "chaos_mttr_cycles",
+        |s| s.chaos_mttr_cycles,
+        |s, v| s.chaos_mttr_cycles = v,
+    ),
+];
+
+/// Whether `point` serializes the [`CHAOS_STAT_FIELDS`] block.
+fn chaos_fields_active(point: &RunPoint) -> bool {
+    !point.chaos.is_empty() || point.retry_budget != 0
+}
+
 /// How one run ended: statistics, or a structured error message.
+///
+/// The `Ok` variant inlines the full (and growing) stats block rather
+/// than boxing it: records live in a flat `Vec` that is written out and
+/// dropped, so the size asymmetry against `Error` never multiplies.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Outcome {
     /// The run completed; here are its numbers.
@@ -255,6 +337,10 @@ impl RunRecord {
             ));
             fields.push(("placement".into(), Value::String(p.placement.clone())));
         }
+        if chaos_fields_active(p) {
+            fields.push(("chaos".into(), Value::String(p.chaos.clone())));
+            fields.push(("retry_budget".into(), Value::UInt(p.retry_budget)));
+        }
         match &self.outcome {
             Outcome::Ok(stats) => {
                 fields.push(("status".into(), Value::String("ok".into())));
@@ -268,6 +354,11 @@ impl RunRecord {
                 }
                 if p.attribution != 0 {
                     for (name, get, _) in ATTR_STAT_FIELDS {
+                        fields.push(((*name).into(), Value::UInt(get(stats))));
+                    }
+                }
+                if chaos_fields_active(p) {
+                    for (name, get, _) in CHAOS_STAT_FIELDS {
                         fields.push(((*name).into(), Value::UInt(get(stats))));
                     }
                 }
@@ -332,6 +423,14 @@ impl RunRecord {
             .and_then(Value::as_str)
             .unwrap_or(crate::spec::DEFAULT_PLACEMENT)
             .to_string();
+        // Chaos fields are optional as well: absent means a fault-free,
+        // retry-free point, so pre-chaos stores parse unchanged.
+        let chaos = v
+            .get("chaos")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let retry_budget = v.get("retry_budget").and_then(Value::as_u64).unwrap_or(0);
         let point = RunPoint {
             kernel: str_field("kernel")?,
             order,
@@ -347,6 +446,8 @@ impl RunRecord {
             channels,
             devices_per_channel,
             placement,
+            chaos,
+            retry_budget,
         };
         let outcome = match str_field("status")?.as_str() {
             "ok" => {
@@ -361,6 +462,11 @@ impl RunRecord {
                 }
                 if point.attribution != 0 {
                     for (name, _, set) in ATTR_STAT_FIELDS {
+                        set(&mut stats, u64_field(name)?);
+                    }
+                }
+                if chaos_fields_active(&point) {
+                    for (name, _, set) in CHAOS_STAT_FIELDS {
                         set(&mut stats, u64_field(name)?);
                     }
                 }
@@ -719,6 +825,52 @@ mod tests {
         assert!(text.contains("\"channels\":4"), "{text}");
         assert!(text.contains("\"devices_per_channel\":2"), "{text}");
         assert!(text.contains("\"placement\":\"numa:1\""), "{text}");
+        let back = ResultsStore::from_jsonl(&text).unwrap();
+        assert_eq!(back, store);
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn chaos_records_round_trip_and_default_points_stay_inert() {
+        // Fault-free, retry-free lines never mention chaos at all, so the
+        // chaos axes cannot perturb committed goldens.
+        let plain = sample_store();
+        for record in &plain.records {
+            let line = record.to_json_line();
+            assert!(!line.contains("chaos"), "{line}");
+            assert!(!line.contains("retry_budget"), "{line}");
+        }
+        // Chaotic records carry the plan, the retry budget, and the
+        // degraded-mode counters, and survive the JSONL round trip.
+        let point = RunPoint {
+            chaos: "brownout:0:100:500:4".into(),
+            retry_budget: 3,
+            channels: 2,
+            ..RunPoint::smoke("copy", 64)
+        };
+        let store = ResultsStore {
+            campaign: "chaos".into(),
+            records: vec![RunRecord {
+                run_id: point.run_id(),
+                point,
+                outcome: Outcome::Ok(RunStats {
+                    cycles: 9876,
+                    useful_words: 1024,
+                    chaos_degraded_commands: 7,
+                    chaos_brownout_penalty_cycles: 341,
+                    chaos_outages_observed: 1,
+                    chaos_mttr_cycles: 500,
+                    ..RunStats::default()
+                }),
+            }],
+        };
+        let text = store.to_jsonl();
+        assert!(
+            text.contains("\"chaos\":\"brownout:0:100:500:4\""),
+            "{text}"
+        );
+        assert!(text.contains("\"retry_budget\":3"), "{text}");
+        assert!(text.contains("\"chaos_mttr_cycles\":500"), "{text}");
         let back = ResultsStore::from_jsonl(&text).unwrap();
         assert_eq!(back, store);
         assert_eq!(back.to_jsonl(), text);

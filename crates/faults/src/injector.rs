@@ -89,6 +89,73 @@ impl FaultInjector {
             .iter()
             .any(|c| busy_window_end(c, bank, t).is_some())
     }
+
+    /// Whether the injector carries any channel-scoped clause (the
+    /// memory-system chaos path is a no-op otherwise).
+    pub fn has_channel_faults(&self) -> bool {
+        self.clauses.iter().any(FaultClause::is_channel_scoped)
+    }
+
+    /// The outage window `(from, end)` covering `channel` at cycle `t`,
+    /// if any. A command launched at `t` inside the window is deferred to
+    /// `end`; overlapping outages report the furthest end.
+    pub fn outage_window(&self, channel: usize, t: Cycle) -> Option<(Cycle, Cycle)> {
+        let mut hit: Option<(Cycle, Cycle)> = None;
+        for c in &self.clauses {
+            if let FaultClause::ChannelOutage {
+                channel: ch,
+                from,
+                len,
+            } = *c
+            {
+                let end = from.saturating_add(len);
+                if ch == channel && (from..end).contains(&t) {
+                    hit = Some(match hit {
+                        Some((f, e)) => (f.min(from), e.max(end)),
+                        None => (from, end),
+                    });
+                }
+            }
+        }
+        hit
+    }
+
+    /// The brownout cycle-cost multiplier for `channel` at cycle `t`
+    /// (1 = healthy; overlapping brownouts report the worst).
+    pub fn channel_cost_mult(&self, channel: usize, t: Cycle) -> u64 {
+        self.clauses
+            .iter()
+            .filter_map(|c| match *c {
+                FaultClause::ChannelBrownout {
+                    channel: ch,
+                    from,
+                    len,
+                    mult,
+                } => ((ch == channel) && (from..from.saturating_add(len)).contains(&t))
+                    .then_some(mult),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// The degraded-mode cycle-cost multiplier for `device` on `channel`
+    /// at cycle `t` (1 = healthy; a failed device stays degraded forever).
+    pub fn device_cost_mult(&self, channel: usize, device: usize, t: Cycle) -> u64 {
+        self.clauses
+            .iter()
+            .filter_map(|c| match *c {
+                FaultClause::DeviceFail {
+                    channel: ch,
+                    device: dev,
+                    from,
+                    mult,
+                } => (ch == channel && dev == device && t >= from).then_some(mult),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(1)
+    }
 }
 
 impl ChannelFaults for FaultInjector {
@@ -130,7 +197,13 @@ fn busy_window_end(clause: &FaultClause, bank: usize, t: Cycle) -> Option<Cycle>
             (period, len)
         }
         FaultClause::RefreshStorm { period, len } => (period, len),
-        FaultClause::DataNack { .. } | FaultClause::Stall { .. } => return None,
+        // Channel-scoped clauses are interpreted by the memory-system
+        // router, not by per-device bank queries.
+        FaultClause::DataNack { .. }
+        | FaultClause::Stall { .. }
+        | FaultClause::ChannelBrownout { .. }
+        | FaultClause::ChannelOutage { .. }
+        | FaultClause::DeviceFail { .. } => return None,
     };
     if len >= period {
         // The busy window covers the whole period: permanently busy.
@@ -241,6 +314,50 @@ mod tests {
         assert_eq!(inj.nack_data(3, 400, 0), inj.nack_data(3, 400, 0));
         let varies = (0..100u32).any(|a| inj.nack_data(3, 400, a) != inj.nack_data(3, 400, 0));
         assert!(varies, "attempt number never changed the roll");
+    }
+
+    #[test]
+    fn channel_queries_follow_their_windows() {
+        let inj = injector("brownout:0:100:50:3;outage:1:40:20;devfail:0:2:80:4");
+        assert!(inj.has_channel_faults());
+        // Brownout multiplies only channel 0 inside [100, 150).
+        assert_eq!(inj.channel_cost_mult(0, 99), 1);
+        assert_eq!(inj.channel_cost_mult(0, 100), 3);
+        assert_eq!(inj.channel_cost_mult(0, 149), 3);
+        assert_eq!(inj.channel_cost_mult(0, 150), 1);
+        assert_eq!(inj.channel_cost_mult(1, 120), 1);
+        // Outage covers channel 1 over [40, 60) only.
+        assert_eq!(inj.outage_window(1, 39), None);
+        assert_eq!(inj.outage_window(1, 40), Some((40, 60)));
+        assert_eq!(inj.outage_window(1, 59), Some((40, 60)));
+        assert_eq!(inj.outage_window(1, 60), None);
+        assert_eq!(inj.outage_window(0, 50), None);
+        // Device 2 on channel 0 degrades permanently from cycle 80.
+        assert_eq!(inj.device_cost_mult(0, 2, 79), 1);
+        assert_eq!(inj.device_cost_mult(0, 2, 80), 4);
+        assert_eq!(inj.device_cost_mult(0, 2, 1 << 40), 4);
+        assert_eq!(inj.device_cost_mult(0, 1, 500), 1);
+        assert_eq!(inj.device_cost_mult(1, 2, 500), 1);
+        // Channel clauses never leak into per-device bank queries.
+        for bank in 0..8 {
+            for t in 0..200u64 {
+                assert!(!inj.bank_busy(bank, t));
+                assert_eq!(inj.free_at(bank, t), t);
+            }
+        }
+        assert!(!inj.stalled(120));
+    }
+
+    #[test]
+    fn overlapping_channel_windows_report_the_worst() {
+        let inj = injector("brownout:0:0:100:2;brownout:0:50:100:5;outage:0:10:20;outage:0:20:30");
+        assert_eq!(inj.channel_cost_mult(0, 25), 2);
+        assert_eq!(inj.channel_cost_mult(0, 75), 5);
+        assert_eq!(inj.channel_cost_mult(0, 120), 5);
+        // Overlapping outages merge to the widest covering span.
+        assert_eq!(inj.outage_window(0, 25), Some((10, 50)));
+        assert_eq!(inj.outage_window(0, 5), None);
+        assert!(!injector("busy:0:10:2").has_channel_faults());
     }
 
     #[test]

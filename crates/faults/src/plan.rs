@@ -43,6 +43,57 @@ pub enum FaultClause {
         /// Stalled cycles at the start of each window (>= 1).
         len: u64,
     },
+    /// Channel `channel` browns out over one absolute window: DATA
+    /// transfers launched during `[from, from + len)` cost `mult` times
+    /// their healthy cycle count. Interpreted by the memory-system layer;
+    /// per-device queries ignore it.
+    ChannelBrownout {
+        /// The afflicted channel.
+        channel: usize,
+        /// First cycle of the window.
+        from: u64,
+        /// Window length in cycles (>= 1).
+        len: u64,
+        /// Cycle-cost multiplier (>= 2).
+        mult: u64,
+    },
+    /// Channel `channel` is fully out over `[from, from + len)`: commands
+    /// launched inside the window are deferred to its end, and the
+    /// memory-system layer timestamps the recovery (MTTR accounting).
+    ChannelOutage {
+        /// The afflicted channel.
+        channel: usize,
+        /// First cycle of the window.
+        from: u64,
+        /// Window length in cycles (>= 1).
+        len: u64,
+    },
+    /// Device `device` on channel `channel` fails at cycle `from` and
+    /// stays failed: its banks run in degraded mode, paying a `mult`-times
+    /// DATA cycle cost from then on.
+    DeviceFail {
+        /// The channel holding the failed device.
+        channel: usize,
+        /// The failed device's index within the channel.
+        device: usize,
+        /// Cycle the device fails.
+        from: u64,
+        /// Degraded-mode cycle-cost multiplier (>= 2).
+        mult: u64,
+    },
+}
+
+impl FaultClause {
+    /// Whether the clause is channel-scoped (interpreted by the
+    /// memory-system router rather than by a single device).
+    pub fn is_channel_scoped(&self) -> bool {
+        matches!(
+            self,
+            FaultClause::ChannelBrownout { .. }
+                | FaultClause::ChannelOutage { .. }
+                | FaultClause::DeviceFail { .. }
+        )
+    }
 }
 
 impl fmt::Display for FaultClause {
@@ -58,6 +109,21 @@ impl fmt::Display for FaultClause {
             } => write!(f, "nack:{permille}:{max_retries}"),
             FaultClause::RefreshStorm { period, len } => write!(f, "storm:{period}:{len}"),
             FaultClause::Stall { period, len } => write!(f, "stall:{period}:{len}"),
+            FaultClause::ChannelBrownout {
+                channel,
+                from,
+                len,
+                mult,
+            } => write!(f, "brownout:{channel}:{from}:{len}:{mult}"),
+            FaultClause::ChannelOutage { channel, from, len } => {
+                write!(f, "outage:{channel}:{from}:{len}")
+            }
+            FaultClause::DeviceFail {
+                channel,
+                device,
+                from,
+                mult,
+            } => write!(f, "devfail:{channel}:{device}:{from}:{mult}"),
         }
     }
 }
@@ -170,6 +236,138 @@ impl FaultPlan {
         }
         FaultPlan { clauses }
     }
+
+    /// A pseudo-random channel-scoped chaos plan over `channels` channels:
+    /// one brownout, usually an outage, and occasionally a device failure,
+    /// with windows bounded well below the controllers' livelock watchdog
+    /// so closed-loop soaks always terminate.
+    pub fn chaos_from_seed(seed: u64, channels: usize) -> FaultPlan {
+        let mut h = Hasher::new(seed ^ 0x5bd1_e995_c2b2_ae35);
+        let channels = channels.max(1) as u64;
+        let mut clauses = vec![FaultClause::ChannelBrownout {
+            channel: h.range(channels) as usize,
+            from: 256 + h.range(2048),
+            len: 256 + h.range(2048),
+            mult: 2 + h.range(3),
+        }];
+        if !h.chance(3) {
+            clauses.push(FaultClause::ChannelOutage {
+                channel: h.range(channels) as usize,
+                from: 512 + h.range(4096),
+                len: 128 + h.range(1024),
+            });
+        }
+        if h.chance(4) {
+            clauses.push(FaultClause::DeviceFail {
+                channel: h.range(channels) as usize,
+                device: h.range(4) as usize,
+                from: 1024 + h.range(4096),
+                mult: 2 + h.range(2),
+            });
+        }
+        FaultPlan { clauses }
+    }
+
+    /// Whether the plan carries any channel-scoped clause (and so needs the
+    /// memory-system chaos path at all).
+    pub fn has_channel_faults(&self) -> bool {
+        self.clauses.iter().any(FaultClause::is_channel_scoped)
+    }
+
+    /// The plan as seen by a run that starts `origin` cycles into the
+    /// plan's absolute timeline: channel-scoped windows slide down by
+    /// `origin` (clamped at 0 when already underway) and fully expired
+    /// brownout/outage windows drop out; device failures persist; device-
+    /// local periodic clauses are phase-free and pass through unchanged.
+    pub fn shifted(&self, origin: u64) -> FaultPlan {
+        let clauses = self
+            .clauses
+            .iter()
+            .filter_map(|c| match *c {
+                FaultClause::ChannelBrownout {
+                    channel,
+                    from,
+                    len,
+                    mult,
+                } => {
+                    let end = from.saturating_add(len);
+                    (end > origin).then(|| FaultClause::ChannelBrownout {
+                        channel,
+                        from: from.saturating_sub(origin),
+                        len: end.saturating_sub(from.max(origin)),
+                        mult,
+                    })
+                }
+                FaultClause::ChannelOutage { channel, from, len } => {
+                    let end = from.saturating_add(len);
+                    (end > origin).then(|| FaultClause::ChannelOutage {
+                        channel,
+                        from: from.saturating_sub(origin),
+                        len: end.saturating_sub(from.max(origin)),
+                    })
+                }
+                FaultClause::DeviceFail {
+                    channel,
+                    device,
+                    from,
+                    mult,
+                } => Some(FaultClause::DeviceFail {
+                    channel,
+                    device,
+                    from: from.saturating_sub(origin),
+                    mult,
+                }),
+                other => Some(other),
+            })
+            .collect();
+        FaultPlan { clauses }
+    }
+
+    /// Worst-case budget bounds for the channel-scoped clauses:
+    /// `(max_mult, total_window_cycles)` — the largest cycle-cost
+    /// multiplier any clause can apply (>= 1) and the summed length of all
+    /// finite brownout/outage windows. Runners widen their livelock
+    /// budgets by these before executing a chaos plan.
+    pub fn chaos_bounds(&self) -> (u64, u64) {
+        let mut max_mult = 1u64;
+        let mut window_sum = 0u64;
+        for c in &self.clauses {
+            match *c {
+                FaultClause::ChannelBrownout { len, mult, .. } => {
+                    max_mult = max_mult.max(mult);
+                    window_sum = window_sum.saturating_add(len);
+                }
+                FaultClause::ChannelOutage { len, .. } => {
+                    window_sum = window_sum.saturating_add(len);
+                }
+                FaultClause::DeviceFail { mult, .. } => {
+                    max_mult = max_mult.max(mult);
+                }
+                FaultClause::BankBusy { .. }
+                | FaultClause::DataNack { .. }
+                | FaultClause::RefreshStorm { .. }
+                | FaultClause::Stall { .. } => {}
+            }
+        }
+        (max_mult, window_sum)
+    }
+
+    /// The absolute `[from, end)` outage windows declared for `channel`,
+    /// in clause order. MTTR reconciliation checks measured recovery
+    /// timestamps against exactly these windows.
+    pub fn outage_windows(&self, channel: usize) -> Vec<(u64, u64)> {
+        self.clauses
+            .iter()
+            .filter_map(|c| match *c {
+                FaultClause::ChannelOutage {
+                    channel: ch,
+                    from,
+                    len,
+                } => (ch == channel).then_some((from, from.saturating_add(len))),
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 fn parse_clause(raw: &str) -> Result<FaultClause, FaultSpecError> {
@@ -221,10 +419,54 @@ fn parse_clause(raw: &str) -> Result<FaultClause, FaultSpecError> {
             let (period, len) = window(p, l)?;
             Ok(FaultClause::Stall { period, len })
         }
+        ["brownout", ch, from, len, mult] => {
+            let channel = uint(ch, "channel")? as usize;
+            let from = uint(from, "from")?;
+            let len = uint(len, "len")?;
+            let mult = uint(mult, "mult")?;
+            if len == 0 {
+                return Err(err("len must be >= 1"));
+            }
+            if mult < 2 {
+                return Err(err("mult must be >= 2 (1 is healthy)"));
+            }
+            Ok(FaultClause::ChannelBrownout {
+                channel,
+                from,
+                len,
+                mult,
+            })
+        }
+        ["outage", ch, from, len] => {
+            let channel = uint(ch, "channel")? as usize;
+            let from = uint(from, "from")?;
+            let len = uint(len, "len")?;
+            if len == 0 {
+                return Err(err("len must be >= 1"));
+            }
+            Ok(FaultClause::ChannelOutage { channel, from, len })
+        }
+        ["devfail", ch, dev, from, mult] => {
+            let channel = uint(ch, "channel")? as usize;
+            let device = uint(dev, "device")? as usize;
+            let from = uint(from, "from")?;
+            let mult = uint(mult, "mult")?;
+            if mult < 2 {
+                return Err(err("mult must be >= 2 (1 is healthy)"));
+            }
+            Ok(FaultClause::DeviceFail {
+                channel,
+                device,
+                from,
+                mult,
+            })
+        }
         [kind, ..] => Err(err(&format!(
             "unknown or malformed clause kind '{kind}' \
              (expected busy:<bank|*>:<period>:<len>, nack:<permille>:<retries>, \
-             storm:<period>:<len>, or stall:<period>:<len>)"
+             storm:<period>:<len>, stall:<period>:<len>, \
+             brownout:<ch>:<from>:<len>:<mult>, outage:<ch>:<from>:<len>, \
+             or devfail:<ch>:<dev>:<from>:<mult>)"
         ))),
         [] => Err(err("empty clause")),
     }
@@ -332,9 +574,147 @@ mod tests {
                     } => {
                         assert!(permille <= 200 && max_retries >= 2);
                     }
+                    FaultClause::ChannelBrownout { .. }
+                    | FaultClause::ChannelOutage { .. }
+                    | FaultClause::DeviceFail { .. } => {
+                        unreachable!("from_seed emits no channel-scoped clauses: {c}")
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn channel_scoped_specs_round_trip() {
+        for spec in [
+            "brownout:0:100:200:3",
+            "outage:1:500:64",
+            "devfail:0:2:1000:2",
+            "brownout:1:0:1:2;outage:0:0:1;devfail:3:0:0:4",
+            "busy:*:64:8;brownout:0:100:50:2;nack:10:2",
+        ] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            assert_eq!(plan.to_spec(), spec, "round-trip failed for {spec}");
+            assert!(plan.has_channel_faults());
+            assert_eq!(FaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+        }
+        assert!(!FaultPlan::parse("busy:*:64:8")
+            .unwrap()
+            .has_channel_faults());
+    }
+
+    #[test]
+    fn bad_channel_specs_are_rejected() {
+        for bad in [
+            "brownout:0:100:0:3",  // zero-length window
+            "brownout:0:100:10:1", // mult 1 is healthy
+            "brownout:0:100:10",   // missing mult
+            "outage:0:100:0",      // zero-length window
+            "outage:0:100",        // missing len
+            "devfail:0:1:100:1",   // mult 1 is healthy
+            "devfail:0:1:100",     // missing mult
+            "devfail:x:1:100:2",   // non-integer channel
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted bad spec {bad}");
+        }
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        for spec in [
+            "busy:3:128:16;nack:50:4;storm:512:32;stall:256:16",
+            "brownout:0:100:200:3;outage:1:500:64;devfail:0:2:1000:2",
+            "busy:*:900:40;brownout:1:256:128:2",
+            "",
+        ] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            // Structural round trip: text -> Value matches direct to_value.
+            let json = serde_json::to_string(&plan).unwrap();
+            let parsed = serde_json::from_str(&json).unwrap();
+            assert_eq!(
+                parsed,
+                serde_json::to_value(&plan).unwrap(),
+                "JSON text round-trip changed the plan for {spec}"
+            );
+            // Campaign-spec round trip: plans are recorded as spec strings
+            // inside campaign JSON; extracting and re-parsing must replay
+            // the plan byte-identically.
+            let doc = serde_json::to_string(&serde_json::Value::String(plan.to_spec())).unwrap();
+            let recorded = match serde_json::from_str(&doc).unwrap() {
+                serde_json::Value::String(s) => s,
+                other => panic!("expected a JSON string, got {other:?}"),
+            };
+            let replayed = FaultPlan::parse(&recorded).unwrap();
+            assert_eq!(replayed, plan);
+            assert_eq!(replayed.to_spec(), plan.to_spec());
+        }
+    }
+
+    #[test]
+    fn shifted_slides_and_drops_channel_windows() {
+        let plan =
+            FaultPlan::parse("brownout:0:100:50:3;outage:1:40:20;devfail:0:1:80:2;storm:512:32")
+                .unwrap();
+        // Before anything starts: unchanged.
+        assert_eq!(plan.shifted(0), plan);
+        // Mid-brownout: window clamps to "now", remaining length only.
+        let mid = plan.shifted(120);
+        assert_eq!(
+            mid.to_spec(),
+            "brownout:0:0:30:3;devfail:0:1:0:2;storm:512:32"
+        );
+        // Past every window: only the persistent failure and the periodic
+        // storm survive.
+        let late = plan.shifted(10_000);
+        assert_eq!(late.to_spec(), "devfail:0:1:0:2;storm:512:32");
+        assert!(late.has_channel_faults());
+    }
+
+    #[test]
+    fn chaos_bounds_cover_the_worst_clause() {
+        let plan =
+            FaultPlan::parse("brownout:0:100:50:3;outage:1:40:20;devfail:0:1:80:5;storm:512:32")
+                .unwrap();
+        assert_eq!(plan.chaos_bounds(), (5, 70));
+        assert_eq!(FaultPlan::none().chaos_bounds(), (1, 0));
+        assert_eq!(plan.outage_windows(1), vec![(40, 60)]);
+        assert!(plan.outage_windows(0).is_empty());
+    }
+
+    #[test]
+    fn chaos_seeds_are_deterministic_and_bounded() {
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..128u64 {
+            let a = FaultPlan::chaos_from_seed(seed, 2);
+            assert_eq!(a, FaultPlan::chaos_from_seed(seed, 2));
+            assert!(a.has_channel_faults());
+            distinct.insert(a.to_spec());
+            let (mult, windows) = a.chaos_bounds();
+            assert!((2..=5).contains(&mult), "mult out of range: {mult}");
+            assert!(windows <= 2048 + 2048 + 1024 + 128, "windows = {windows}");
+            for c in &a.clauses {
+                match *c {
+                    FaultClause::ChannelBrownout { channel, from, .. }
+                    | FaultClause::ChannelOutage { channel, from, .. } => {
+                        assert!(channel < 2);
+                        // Every window ends well under the 50k-cycle
+                        // controller watchdog.
+                        assert!(from < 8192);
+                    }
+                    FaultClause::DeviceFail {
+                        channel, device, ..
+                    } => {
+                        assert!(channel < 2 && device < 4);
+                    }
+                    _ => unreachable!("chaos_from_seed emits only channel clauses"),
+                }
+            }
+        }
+        assert!(
+            distinct.len() > 64,
+            "only {} distinct plans",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -61,5 +61,5 @@ mod system;
 mod topology;
 
 pub use map::{Placement, SystemMap, DEFAULT_BLOCK_BYTES};
-pub use system::{split_by_channel, MemorySystem};
+pub use system::{split_by_channel, ChannelFaultStats, MemorySystem};
 pub use topology::Topology;

@@ -1,13 +1,106 @@
 //! The multi-channel memory system: command routing and aggregation.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use faults::FaultInjector;
 use rdram::{
     AccessPlan, ChannelFaults, ColOp, Command, CommandPort, CommandRecord, Cycle, DeviceConfig,
     DeviceStats, Location, Outcome, ProtocolError, Rdram, RowOp, SharedSink, Timing,
 };
+use serde::{Deserialize, Serialize};
 
 use crate::Topology;
+
+/// Iteration bound for the chaos-aware launch search in
+/// [`MemorySystem::earliest`]. Each iteration advances the candidate
+/// launch by at least one cycle toward the device's acceptance point;
+/// exhausting the bound means the channel never accepts (reported as
+/// "never", which the controllers' watchdogs turn into a structured
+/// livelock error).
+const CHAOS_EARLIEST_BOUND: u32 = 10_000;
+
+/// Per-channel chaos accounting: DATA-delivery cycles lost to degraded
+/// mode, commands deferred by outages, and recovery timestamps.
+///
+/// Every field is exact — the system-wide totals reported by
+/// [`MemorySystem::chaos_stats_total`] are the field-wise sum of the
+/// per-channel entries, and each observed outage window contributes its
+/// injected length to `mttr_cycles` exactly once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelFaultStats {
+    /// Commands whose DATA delivery paid a degraded-mode penalty.
+    pub degraded_commands: u64,
+    /// Commands whose delivery was deferred past an outage window.
+    pub deferred_commands: u64,
+    /// Total cycles of outage deferral those commands paid.
+    pub deferred_cycles: u64,
+    /// Extra delivery cycles charged by channel-brownout multipliers.
+    pub brownout_penalty_cycles: u64,
+    /// Extra delivery cycles charged by failed-device multipliers.
+    pub devfail_penalty_cycles: u64,
+    /// Outage windows observed (each window counts once, at its first
+    /// deferred command).
+    pub outages_observed: u64,
+    /// Summed repair time across observed outages: recovery cycle minus
+    /// window start, i.e. exactly the injected window length per outage.
+    pub mttr_cycles: u64,
+    /// Cycle the most recently observed outage ended, if any.
+    pub last_recovery_at: Option<Cycle>,
+}
+
+impl ChannelFaultStats {
+    /// Field-wise accumulate `other` into `self`; the recovery timestamp
+    /// keeps the latest of the two.
+    pub fn absorb(&mut self, other: &ChannelFaultStats) {
+        self.degraded_commands = self
+            .degraded_commands
+            .saturating_add(other.degraded_commands);
+        self.deferred_commands = self
+            .deferred_commands
+            .saturating_add(other.deferred_commands);
+        self.deferred_cycles = self.deferred_cycles.saturating_add(other.deferred_cycles);
+        self.brownout_penalty_cycles = self
+            .brownout_penalty_cycles
+            .saturating_add(other.brownout_penalty_cycles);
+        self.devfail_penalty_cycles = self
+            .devfail_penalty_cycles
+            .saturating_add(other.devfail_penalty_cycles);
+        self.outages_observed = self.outages_observed.saturating_add(other.outages_observed);
+        self.mttr_cycles = self.mttr_cycles.saturating_add(other.mttr_cycles);
+        self.last_recovery_at = match (self.last_recovery_at, other.last_recovery_at) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Total DATA-delivery cycles this channel lost to chaos: deferral
+    /// plus both degraded-mode penalties.
+    pub fn lost_cycles(&self) -> u64 {
+        self.deferred_cycles
+            .saturating_add(self.brownout_penalty_cycles)
+            .saturating_add(self.devfail_penalty_cycles)
+    }
+
+    /// Whether any chaos effect was observed at all.
+    pub fn is_clean(&self) -> bool {
+        *self == ChannelFaultStats::default()
+    }
+}
+
+/// How a command's delivery is shaped by the active chaos plan.
+struct ChaosDelivery {
+    /// Cycle the command actually reaches the device.
+    arrival: Cycle,
+    /// Degraded-mode penalty folded into the delivery (0 when healthy).
+    extra: Cycle,
+    /// Brownout multiplier that produced `extra` (1 = none).
+    channel_mult: u64,
+    /// Failed-device multiplier that produced `extra` (1 = none).
+    device_mult: u64,
+    /// The outage window `[from, end)` the delivery was deferred past.
+    outage: Option<(Cycle, Cycle)>,
+}
 
 /// Re-target `cmd` at channel-local bank `bank`, preserving everything
 /// else.
@@ -104,6 +197,15 @@ pub struct MemorySystem {
     sink: Option<SharedSink>,
     /// Label awaiting the next issued command (multi-channel tracing).
     pending_label: Option<String>,
+    /// Channel-scoped chaos injector, if a plan with channel clauses is
+    /// attached. `None` keeps the delivery path byte-identical to the
+    /// chaos-free build.
+    chaos: Option<FaultInjector>,
+    /// Per-channel chaos accounting (always `channels()` entries).
+    chaos_stats: Vec<ChannelFaultStats>,
+    /// Outage window starts already counted per channel, so each window
+    /// contributes to MTTR exactly once.
+    seen_outages: Vec<BTreeSet<Cycle>>,
 }
 
 impl MemorySystem {
@@ -130,11 +232,14 @@ impl MemorySystem {
             .collect();
         MemorySystem {
             bank_data_cycles: vec![0; banks_per_channel * topo.channels],
+            chaos_stats: vec![ChannelFaultStats::default(); topo.channels],
+            seen_outages: vec![BTreeSet::new(); topo.channels],
             channels,
             banks_per_channel,
             topo,
             sink: None,
             pending_label: None,
+            chaos: None,
         }
     }
 
@@ -278,6 +383,82 @@ impl MemorySystem {
         }
     }
 
+    /// Attach a channel-scoped chaos injector. Brownout and failed-device
+    /// clauses multiply the delivery cost of DATA traffic on the afflicted
+    /// channel; outage clauses defer every delivery inside their window to
+    /// the window's end, with recovery timestamped in
+    /// [`chaos_stats`](MemorySystem::chaos_stats). Injectors without any
+    /// channel clause are ignored, so ordinary fault plans never touch the
+    /// delivery path.
+    pub fn set_chaos(&mut self, chaos: FaultInjector) {
+        if chaos.has_channel_faults() {
+            self.chaos = Some(chaos);
+        }
+    }
+
+    /// Whether a chaos injector is active.
+    pub fn has_chaos(&self) -> bool {
+        self.chaos.is_some()
+    }
+
+    /// Per-channel chaos accounting, indexed by channel (all zeros when no
+    /// chaos is attached or none of its windows were hit).
+    pub fn chaos_stats(&self) -> &[ChannelFaultStats] {
+        &self.chaos_stats
+    }
+
+    /// System-wide chaos accounting: the exact field-wise sum of every
+    /// channel's [`ChannelFaultStats`].
+    pub fn chaos_stats_total(&self) -> ChannelFaultStats {
+        let mut acc = ChannelFaultStats::default();
+        for st in &self.chaos_stats {
+            acc.absorb(st);
+        }
+        acc
+    }
+
+    /// How the active chaos plan shapes a delivery launched at `launch`:
+    /// degraded-mode multipliers stretch DATA traffic (modelled as extra
+    /// delivery delay, `(mult - 1) * tPACK` per COL command), and outage
+    /// windows defer the (already penalized) delivery to their end.
+    fn chaos_delivery(&self, ch: usize, cmd: &Command, launch: Cycle) -> ChaosDelivery {
+        let shift = self.shift_of(ch, cmd);
+        let base = launch.saturating_add(shift);
+        let Some(chaos) = &self.chaos else {
+            return ChaosDelivery {
+                arrival: base,
+                extra: 0,
+                channel_mult: 1,
+                device_mult: 1,
+                outage: None,
+            };
+        };
+        let (channel_mult, device_mult) = match cmd {
+            Command::Col { .. } => {
+                let local = cmd.bank() % self.banks_per_channel.max(1);
+                let device = local / self.config().banks.max(1);
+                (
+                    chaos.channel_cost_mult(ch, launch),
+                    chaos.device_cost_mult(ch, device, launch),
+                )
+            }
+            Command::Row(RowOp::Activate { .. }) | Command::Row(RowOp::Precharge { .. }) => (1, 1),
+        };
+        let extra = channel_mult
+            .max(device_mult)
+            .saturating_sub(1)
+            .saturating_mul(self.timing().t_pack);
+        let penalized = base.saturating_add(extra);
+        let outage = chaos.outage_window(ch, penalized);
+        ChaosDelivery {
+            arrival: outage.map_or(penalized, |(_, end)| end),
+            extra,
+            channel_mult,
+            device_mult,
+            outage,
+        }
+    }
+
     /// Attach a label to the events of the next issued command (see
     /// [`Rdram::set_label`]); the router forwards it to whichever channel
     /// that command lands on.
@@ -343,15 +524,41 @@ impl MemorySystem {
         };
         let local = rebase(cmd, bank % self.banks_per_channel);
         let shift = self.shift_of(ch, cmd);
-        if shift == 0 {
-            return dev.earliest(&local, now);
+        if self.chaos.is_none() {
+            if shift == 0 {
+                return dev.earliest(&local, now);
+            }
+            // The device must accept the command at launch + shift; the
+            // launch cycle is its acceptance cycle pulled back by the shift
+            // (never before `now`, since device earliest never precedes its
+            // own `now` argument).
+            return dev
+                .earliest(&local, now.saturating_add(shift))
+                .saturating_sub(shift)
+                .max(now);
         }
-        // The device must accept the command at launch + shift; the
-        // launch cycle is its acceptance cycle pulled back by the shift
-        // (never before `now`, since device earliest never precedes its
-        // own `now` argument).
-        dev.earliest(&local, now.saturating_add(shift))
-            .saturating_sub(shift)
+        // Chaos path: the launch→arrival map is no longer a fixed shift
+        // (penalties depend on the launch cycle and outages flatten whole
+        // windows onto one arrival), so search forward for the first
+        // launch whose shaped delivery the device accepts. Each miss pulls
+        // the candidate toward the device's acceptance cycle and advances
+        // it by at least one, so the loop either converges or hits the
+        // bound (reported as "never"; the controllers' watchdogs turn that
+        // into a structured livelock).
+        let mut launch = now;
+        for _ in 0..CHAOS_EARLIEST_BOUND {
+            let arrival = self.chaos_delivery(ch, cmd, launch).arrival;
+            let accept = dev.earliest(&local, arrival);
+            if accept == arrival {
+                return launch;
+            }
+            if accept == Cycle::MAX {
+                return Cycle::MAX;
+            }
+            let lag = arrival.saturating_sub(launch);
+            launch = accept.saturating_sub(lag).max(launch.saturating_add(1));
+        }
+        Cycle::MAX
     }
 
     /// Issue `cmd` (global bank) with its packet launched at `start`.
@@ -371,12 +578,40 @@ impl MemorySystem {
             });
         }
         let local = rebase(cmd, bank % self.banks_per_channel);
-        let shift = self.shift_of(ch, cmd);
-        let arrival = start.saturating_add(shift);
+        let delivery = self.chaos_delivery(ch, cmd, start);
+        let arrival = delivery.arrival;
         if let Some(label) = self.pending_label.take() {
             self.channels[ch].set_label(label);
         }
         let outcome = self.channels[ch].issue_at(&local, arrival)?;
+        if self.chaos.is_some() {
+            let penalized = start
+                .saturating_add(self.shift_of(ch, cmd))
+                .saturating_add(delivery.extra);
+            let st = &mut self.chaos_stats[ch];
+            if delivery.extra > 0 {
+                st.degraded_commands = st.degraded_commands.saturating_add(1);
+                if delivery.channel_mult >= delivery.device_mult {
+                    st.brownout_penalty_cycles =
+                        st.brownout_penalty_cycles.saturating_add(delivery.extra);
+                } else {
+                    st.devfail_penalty_cycles =
+                        st.devfail_penalty_cycles.saturating_add(delivery.extra);
+                }
+            }
+            if let Some((from, end)) = delivery.outage {
+                st.deferred_commands = st.deferred_commands.saturating_add(1);
+                st.deferred_cycles = st
+                    .deferred_cycles
+                    .saturating_add(arrival.saturating_sub(penalized));
+                if self.seen_outages[ch].insert(from) {
+                    let st = &mut self.chaos_stats[ch];
+                    st.outages_observed = st.outages_observed.saturating_add(1);
+                    st.mttr_cycles = st.mttr_cycles.saturating_add(end.saturating_sub(from));
+                    st.last_recovery_at = Some(end);
+                }
+            }
+        }
         if let Some(data) = outcome.data {
             self.bank_data_cycles[bank] = self.bank_data_cycles[bank].saturating_add(data.len());
         }
@@ -621,6 +856,134 @@ mod tests {
         assert_eq!(split[1][0].cycle, 0);
         assert_eq!(split[1][0].cmd, Command::activate(1, 3));
         assert_eq!(split[1][1].cmd, Command::read(1, 16).with_auto_precharge());
+    }
+
+    fn chaos_system(spec: &str) -> MemorySystem {
+        let mut sys = two_channel();
+        sys.set_chaos(FaultInjector::new(
+            &faults::FaultPlan::parse(spec).unwrap(),
+            7,
+        ));
+        sys
+    }
+
+    /// Read one word from `bank` starting no earlier than `at`,
+    /// returning the launch cycle of the COL command.
+    fn read_once(sys: &mut MemorySystem, bank: usize, row: u64, at: Cycle) -> Cycle {
+        let act = Command::activate(bank, row);
+        let t = MemorySystem::earliest(sys, &act, at);
+        MemorySystem::issue_at(sys, &act, t).unwrap();
+        let col = Command::read(bank, 0);
+        let t = MemorySystem::earliest(sys, &col, at);
+        MemorySystem::issue_at(sys, &col, t).unwrap();
+        t
+    }
+
+    #[test]
+    fn chaosless_injector_is_ignored() {
+        let sys = chaos_system("busy:0:100:10");
+        assert!(!sys.has_chaos());
+        assert!(sys.chaos_stats_total().is_clean());
+    }
+
+    #[test]
+    fn brownout_penalizes_only_its_channel_and_window() {
+        // Channel 1 (banks 8..16) browns out over [0, 10_000) at 3x.
+        let mut sys = chaos_system("brownout:1:0:10000:3");
+        assert!(sys.has_chaos());
+        read_once(&mut sys, 0, 0, 0);
+        assert!(sys.chaos_stats()[0].is_clean(), "channel 0 is healthy");
+        read_once(&mut sys, 8, 0, 0);
+        let t_pack = sys.timing().t_pack;
+        let st = sys.chaos_stats()[1];
+        assert_eq!(st.degraded_commands, 1);
+        assert_eq!(st.brownout_penalty_cycles, 2 * t_pack);
+        assert_eq!(st.devfail_penalty_cycles, 0);
+        assert_eq!(st.outages_observed, 0);
+        // Totals are the exact per-channel sum.
+        assert_eq!(sys.chaos_stats_total().lost_cycles(), 2 * t_pack);
+        // After the window the channel is healthy again.
+        read_once(&mut sys, 9, 0, 20_000);
+        assert_eq!(sys.chaos_stats()[1].degraded_commands, 1);
+    }
+
+    #[test]
+    fn outage_defers_delivery_and_timestamps_recovery() {
+        // Channel 0 fully out over [0, 400).
+        let mut sys = chaos_system("outage:0:0:400");
+        let act = Command::activate(0, 0);
+        // Launch is immediate; delivery waits for recovery.
+        assert_eq!(MemorySystem::earliest(&sys, &act, 0), 0);
+        MemorySystem::issue_at(&mut sys, &act, 0).unwrap();
+        let st = sys.chaos_stats()[0];
+        assert_eq!(st.deferred_commands, 1);
+        assert_eq!(st.deferred_cycles, 400);
+        assert_eq!(st.outages_observed, 1);
+        assert_eq!(st.mttr_cycles, 400, "MTTR equals the injected window");
+        assert_eq!(st.last_recovery_at, Some(400));
+        // A COL against the opened row is gated by delivery at 400.
+        let col = Command::read(0, 0);
+        let t = MemorySystem::earliest(&sys, &col, 0);
+        MemorySystem::issue_at(&mut sys, &col, t).unwrap();
+        let st = sys.chaos_stats()[0];
+        // Second deferred command reuses the already-counted window.
+        assert!(st.deferred_commands >= 1);
+        assert_eq!(st.outages_observed, 1, "each window counts once");
+        // The other channel never saw it.
+        assert!(sys.chaos_stats()[1].is_clean());
+    }
+
+    #[test]
+    fn devfail_degrades_one_device_forever() {
+        // Two devices per channel: banks 0..8 device 0, 8..16 device 1,
+        // all on one channel.
+        let cfg = DeviceConfig {
+            devices: 2,
+            ..DeviceConfig::default()
+        };
+        let topo = Topology {
+            channels: 1,
+            devices_per_channel: 2,
+            remote_penalty: Vec::new(),
+        };
+        let mut sys = MemorySystem::new(cfg, topo);
+        sys.set_chaos(FaultInjector::new(
+            &faults::FaultPlan::parse("devfail:0:1:0:2").unwrap(),
+            7,
+        ));
+        let t_pack = sys.timing().t_pack;
+        read_once(&mut sys, 0, 0, 0);
+        assert_eq!(sys.chaos_stats()[0].devfail_penalty_cycles, 0);
+        read_once(&mut sys, 8, 0, 0);
+        let st = sys.chaos_stats()[0];
+        assert_eq!(st.devfail_penalty_cycles, t_pack);
+        assert_eq!(st.brownout_penalty_cycles, 0);
+        // Still degraded much later: the failure is permanent.
+        read_once(&mut sys, 9, 0, 1 << 20);
+        assert_eq!(sys.chaos_stats()[0].devfail_penalty_cycles, 2 * t_pack);
+    }
+
+    #[test]
+    fn chaos_earliest_agrees_with_issue_at() {
+        let mut sys = chaos_system("brownout:0:0:5000:4;outage:1:100:300");
+        for (bank, at) in [(0usize, 0u64), (1, 50), (8, 0), (9, 150), (2, 6000)] {
+            let act = Command::activate(bank, 0);
+            let t = MemorySystem::earliest(&sys, &act, at);
+            assert!(t >= at);
+            MemorySystem::issue_at(&mut sys, &act, t)
+                .unwrap_or_else(|e| panic!("bank {bank} at {at}: {e:?}"));
+            let col = Command::read(bank, 0);
+            let t = MemorySystem::earliest(&sys, &col, at);
+            MemorySystem::issue_at(&mut sys, &col, t)
+                .unwrap_or_else(|e| panic!("bank {bank} COL at {at}: {e:?}"));
+        }
+        // Both channels saw chaos; totals absorb both.
+        let total = sys.chaos_stats_total();
+        assert_eq!(
+            total.lost_cycles(),
+            sys.chaos_stats()[0].lost_cycles() + sys.chaos_stats()[1].lost_cycles()
+        );
+        assert_eq!(total.outages_observed, 1);
     }
 
     #[test]

@@ -12,10 +12,11 @@
 //!    one of each other; sequential placement keeps one extent on one
 //!    channel; NUMA placement homes everything.
 
+use faults::{FaultInjector, FaultPlan};
 use proptest::prelude::*;
 
-use memsys::{Placement, SystemMap, Topology};
-use rdram::{AddressMap, DeviceConfig, Interleave, PACKET_BYTES};
+use memsys::{MemorySystem, Placement, SystemMap, Topology};
+use rdram::{AddressMap, Command, DeviceConfig, Interleave, PACKET_BYTES};
 
 /// A generated system shape: topology, placement, and inner interleave.
 #[derive(Debug, Clone)]
@@ -201,6 +202,119 @@ proptest! {
             let (ch, _) = map.split(addr);
             prop_assert_eq!(ch, home, "NUMA home at {}", addr);
             prop_assert_eq!(map.channel_of_bank(map.decode(addr).bank), home);
+        }
+    }
+
+    /// Failed-channel topologies: with one channel declared down, the
+    /// address map stays a bijection over the *surviving* global bank
+    /// space — survivors round-trip exactly, never alias each other, and
+    /// never decode into the failed channel's bank range. (The map is
+    /// placement-only, so a chaos plan must not bend it; this pins that.)
+    #[test]
+    fn failed_channel_topologies_stay_bijective_on_survivors(
+        shape in shapes(),
+        failed_seed in any::<usize>(),
+        addr_seeds in prop::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let (map, cfg) = shape.build();
+        let failed = failed_seed % shape.channels;
+        let bpc = map.banks() / shape.channels;
+        let total = shape.total_bytes(&cfg);
+        let mut survivors: Vec<(u64, rdram::Location)> = Vec::new();
+        for seed in addr_seeds {
+            let addr = (seed % total) / PACKET_BYTES * PACKET_BYTES;
+            let (ch, _) = map.split(addr);
+            if ch == failed {
+                continue;
+            }
+            let loc = map.decode(addr);
+            // Survivors never land in the failed channel's bank range.
+            let owner = map.channel_of_bank(loc.bank);
+            prop_assert_ne!(owner, failed, "addr {} decoded into the failed channel", addr);
+            prop_assert!(
+                loc.bank < failed * bpc || loc.bank >= (failed + 1) * bpc,
+                "bank {} inside failed range [{}, {})", loc.bank, failed * bpc, (failed + 1) * bpc
+            );
+            prop_assert_eq!(map.encode(loc), addr, "survivor round trip at {}", addr);
+            survivors.push((addr, loc));
+        }
+        // No two surviving addresses alias one location.
+        for (i, (a, la)) in survivors.iter().enumerate() {
+            for (b, lb) in survivors.iter().skip(i + 1) {
+                if a != b {
+                    prop_assert!(
+                        la.bank != lb.bank || la.row != lb.row || la.col != lb.col,
+                        "survivors {} and {} alias to {:?}", a, b, la
+                    );
+                }
+            }
+        }
+    }
+
+    /// Degraded-mode accounting sums exactly: under seeded chaos plans,
+    /// the system-wide totals equal the field-wise per-channel sum, MTTR
+    /// reconciles against the injected outage windows, and healthy
+    /// channels stay clean.
+    #[test]
+    fn chaos_stats_sum_exactly_under_seeded_plans(
+        channels in 2usize..5,
+        chaos_seed in any::<u64>(),
+        bank_seeds in prop::collection::vec(any::<usize>(), 8..48),
+    ) {
+        let cfg = DeviceConfig::default();
+        let topo = Topology {
+            channels,
+            devices_per_channel: cfg.devices,
+            remote_penalty: Vec::new(),
+        };
+        let plan = FaultPlan::chaos_from_seed(chaos_seed, channels);
+        let mut sys = MemorySystem::new(cfg, topo);
+        sys.set_chaos(FaultInjector::new(&plan, chaos_seed));
+        let banks = sys.total_banks();
+        let mut now = 0u64;
+        for (i, seed) in bank_seeds.iter().enumerate() {
+            let bank = seed % banks;
+            let act = Command::activate(bank, (i % 4) as u64);
+            let t = sys.earliest(&act, now);
+            prop_assert!(t < u64::MAX, "chaos plan {} livelocked ACT", plan.to_spec());
+            sys.issue_at(&act, t).expect("earliest-then-issue holds under chaos");
+            let col = Command::read(bank, 0).with_auto_precharge();
+            let t = sys.earliest(&col, now);
+            sys.issue_at(&col, t).expect("COL issue holds under chaos");
+            now = now.saturating_add(97);
+        }
+        // Exact sum: totals are the field-wise sum of per-channel stats.
+        let mut manual = memsys::ChannelFaultStats::default();
+        for st in sys.chaos_stats() {
+            manual.absorb(st);
+        }
+        prop_assert_eq!(sys.chaos_stats_total(), manual);
+        for (ch, st) in sys.chaos_stats().iter().enumerate() {
+            let windows = plan.outage_windows(ch);
+            let injected: u64 = windows.iter().map(|(f, e)| e - f).sum();
+            prop_assert!(st.outages_observed as usize <= windows.len());
+            // Each observed window contributes its injected length once.
+            if st.outages_observed as usize == windows.len() {
+                prop_assert_eq!(st.mttr_cycles, injected, "channel {} MTTR", ch);
+            } else {
+                prop_assert!(st.mttr_cycles <= injected);
+            }
+            if let Some(at) = st.last_recovery_at {
+                prop_assert!(
+                    windows.iter().any(|&(_, e)| e == at),
+                    "recovery at {} matches no injected window end {:?}", at, windows
+                );
+            }
+            // A channel no clause touches must stay clean.
+            let touched = plan.clauses.iter().any(|c| match *c {
+                faults::FaultClause::ChannelBrownout { channel, .. }
+                | faults::FaultClause::ChannelOutage { channel, .. }
+                | faults::FaultClause::DeviceFail { channel, .. } => channel == ch,
+                _ => false,
+            });
+            if !touched {
+                prop_assert!(st.is_clean(), "untouched channel {} has stats {:?}", ch, st);
+            }
         }
     }
 

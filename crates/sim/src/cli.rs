@@ -89,13 +89,22 @@ usage: smcsim [OPTIONS]
                                  [--remote-penalty L]
                                  [--queue-cap N] [--budget-permille P]
                                  [--faults SPEC] [--fault-seed S]
+                                 [--chaos PLAN] [--chaos-seed S]
+                                 [--retry-budget N]
                                  [--metrics-out F] [--trace-out F]
                                  [--perfetto-out F] [--json]
                                  multiplex a multi-tenant mix onto the SMC:
                                  MIX is '+'-separated class:count:kernel:n[:stride]
                                  groups (class ls|bh), e.g.
                                  ls:2:daxpy:256+bh:6:copy:1024; POLICY is
-                                 fcfs|rr|bank-aware|regulated [fcfs]
+                                 fcfs|rr|bank-aware|regulated [fcfs]; PLAN is
+                                 ';'-separated channel-fault clauses from:
+                                   brownout:<ch>:<from>:<len>:<mult>
+                                   outage:<ch>:<from>:<len>
+                                   devfail:<ch>:<dev>:<from>:<mult>
+                                 windows slide to each request's submission;
+                                 --retry-budget N grants each rejected
+                                 request N seeded backoff resubmissions
        smcsim campaign run SPEC.json [--workers N] [--out FILE.jsonl]
                                  [--bench-out FILE.json] [--bench-baseline FILE]
                                  [--bench-floor-permille P] [--quiet]
@@ -629,6 +638,9 @@ pub fn run_serve_cmd(args: &[String]) -> Result<String, String> {
     let mut budget_permille: u64 = 0;
     let mut faults_spec: Option<String> = None;
     let mut fault_seed: u64 = 0;
+    let mut chaos_spec: Option<String> = None;
+    let mut chaos_seed: u64 = 0;
+    let mut retry_budget: u32 = 0;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut perfetto_out: Option<String> = None;
@@ -695,6 +707,17 @@ pub fn run_serve_cmd(args: &[String]) -> Result<String, String> {
                     .parse()
                     .map_err(|e| format!("--fault-seed: {e}"))?;
             }
+            "--chaos" => chaos_spec = Some(value(args, &mut i, "--chaos")?),
+            "--chaos-seed" => {
+                chaos_seed = value(args, &mut i, "--chaos-seed")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-seed: {e}"))?;
+            }
+            "--retry-budget" => {
+                retry_budget = value(args, &mut i, "--retry-budget")?
+                    .parse()
+                    .map_err(|e| format!("--retry-budget: {e}"))?;
+            }
             "--metrics-out" => metrics_out = Some(value(args, &mut i, "--metrics-out")?),
             "--trace-out" => trace_out = Some(value(args, &mut i, "--trace-out")?),
             "--perfetto-out" => perfetto_out = Some(value(args, &mut i, "--perfetto-out")?),
@@ -716,20 +739,34 @@ pub fn run_serve_cmd(args: &[String]) -> Result<String, String> {
         let plan = faults::FaultPlan::parse(&spec).map_err(|e| e.to_string())?;
         base = base.with_faults(plan, fault_seed);
     }
+    if let Some(spec) = chaos_spec {
+        let plan = faults::FaultPlan::parse(&spec).map_err(|e| format!("--chaos: {e}"))?;
+        base = base.with_chaos(plan, chaos_seed);
+    }
     let banks = base.device.total_banks() * base.channels.max(1);
     let mut cfg = crate::serve::serve_config_for(banks, budget_permille, base.device.timing.t_pack);
     cfg.policy = arb;
     if let Some(cap) = queue_cap {
         cfg.queue_capacity = cap;
     }
+    if retry_budget != 0 {
+        cfg.retry = tenancy::RetryPolicy::with_budget(retry_budget, chaos_seed);
+    }
     // Tracing is opt-in: the untraced path stays byte-identical to what it
-    // produced before the trace surfaces existed.
+    // produced before the trace surfaces existed. Chaos and closed-loop
+    // retries route through the chaos runner so the degraded-mode totals
+    // come back; a plain serve never touches that path, so its output is
+    // byte-identical to builds without the chaos layer.
     let tracing = trace_out.is_some() || perfetto_out.is_some();
-    let (report, trace) = if tracing {
+    let chaotic = base.chaos_active() || retry_budget != 0;
+    let (report, trace, chaos_total) = if chaotic {
+        let (report, trace, total) = crate::serve::run_serve_chaos(&mix, &cfg, &base)?;
+        (report, tracing.then_some(trace), Some(total))
+    } else if tracing {
         let (report, trace) = crate::serve::run_serve_traced(&mix, &cfg, &base)?;
-        (report, Some(trace))
+        (report, Some(trace), None)
     } else {
-        (crate::serve::run_serve(&mix, &cfg, &base)?, None)
+        (crate::serve::run_serve(&mix, &cfg, &base)?, None, None)
     };
     if let Some(trace) = &trace {
         if let Some(path) = &trace_out {
@@ -747,17 +784,25 @@ pub fn run_serve_cmd(args: &[String]) -> Result<String, String> {
         if let Some(trace) = &trace {
             crate::serve::record_trace_metrics(trace, &mut registry);
         }
+        if let Some(total) = &chaos_total {
+            crate::serve::record_chaos_metrics(total, &mut registry);
+        }
         std::fs::write(path, registry.to_jsonl())
             .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
     }
     if json {
-        return Ok(serve_report_json(&report));
+        return Ok(serve_report_json(&report, chaos_total.as_ref()));
     }
-    Ok(render_serve_report(&report))
+    Ok(render_serve_report(&report, chaos_total.as_ref()))
 }
 
-/// Render a serve report as the CLI's text summary.
-fn render_serve_report(report: &tenancy::ServeReport) -> String {
+/// Render a serve report as the CLI's text summary. The chaos block only
+/// exists when the run injected channel faults or armed the closed loop,
+/// so fault-free output is byte-identical to pre-chaos builds.
+fn render_serve_report(
+    report: &tenancy::ServeReport,
+    chaos: Option<&memsys::ChannelFaultStats>,
+) -> String {
     let (submitted, completed, failed, shed, rejected, misses, words) = report.totals();
     let mut out = format!(
         "serve: {} tenants, {} cycles, {} dispatches ({} policy)\n\
@@ -775,6 +820,23 @@ fn render_serve_report(report: &tenancy::ServeReport) -> String {
         out.push_str(&format!(
             "BUDGET VIOLATIONS: {} dispatches granted while over budget\n",
             report.budget_violations
+        ));
+    }
+    if let Some(total) = chaos {
+        let retries: u64 = report.tenants.iter().map(|t| t.retries).sum();
+        let exhausted: u64 = report.tenants.iter().map(|t| t.retry_exhausted).sum();
+        out.push_str(&format!(
+            "chaos: {} degraded commands, {} deferred ({} cycles); \
+             penalties {} brownout + {} devfail cycles\n\
+             recovery: {} outages observed, MTTR {} cycles\n\
+             retries: {retries} scheduled, {exhausted} exhausted\n",
+            total.degraded_commands,
+            total.deferred_commands,
+            total.deferred_cycles,
+            total.brownout_penalty_cycles,
+            total.devfail_penalty_cycles,
+            total.outages_observed,
+            total.mttr_cycles,
         ));
     }
     for s in &report.starvation {
@@ -811,8 +873,13 @@ fn render_serve_report(report: &tenancy::ServeReport) -> String {
     out
 }
 
-/// Hand-rolled JSON for a serve report (stable field order).
-fn serve_report_json(report: &tenancy::ServeReport) -> String {
+/// Hand-rolled JSON for a serve report (stable field order). The `chaos`
+/// object only appears when channel faults or the closed loop were armed,
+/// keeping fault-free output byte-identical to pre-chaos builds.
+fn serve_report_json(
+    report: &tenancy::ServeReport,
+    chaos: Option<&memsys::ChannelFaultStats>,
+) -> String {
     let tenants: Vec<String> = report
         .tenants
         .iter()
@@ -835,10 +902,28 @@ fn serve_report_json(report: &tenancy::ServeReport) -> String {
             )
         })
         .collect();
+    let chaos_section = chaos.map_or_else(String::new, |total| {
+        let retries: u64 = report.tenants.iter().map(|t| t.retries).sum();
+        let exhausted: u64 = report.tenants.iter().map(|t| t.retry_exhausted).sum();
+        format!(
+            "\"chaos\":{{\"degraded_commands\":{},\"deferred_commands\":{},\
+             \"deferred_cycles\":{},\"brownout_penalty_cycles\":{},\
+             \"devfail_penalty_cycles\":{},\"outages_observed\":{},\
+             \"mttr_cycles\":{},\"retries\":{retries},\
+             \"retry_exhausted\":{exhausted}}},",
+            total.degraded_commands,
+            total.deferred_commands,
+            total.deferred_cycles,
+            total.brownout_penalty_cycles,
+            total.devfail_penalty_cycles,
+            total.outages_observed,
+            total.mttr_cycles,
+        )
+    });
     format!(
         "{{\"kind\":\"serve-report\",\"cycles\":{},\"dispatches\":{},\"policy\":\"{}\",\
          \"fairness_milli\":{},\"peak_level\":\"{}\",\"budget_violations\":{},\
-         \"starvation_reports\":{},\"tenants\":[\n{}\n]}}\n",
+         \"starvation_reports\":{},{}\"tenants\":[\n{}\n]}}\n",
         report.cycles,
         report.dispatches,
         report.policy,
@@ -846,6 +931,7 @@ fn serve_report_json(report: &tenancy::ServeReport) -> String {
         report.peak_level.label(),
         report.budget_violations,
         report.starvation.len(),
+        chaos_section,
         tenants.join(",\n"),
     )
 }
@@ -1530,6 +1616,52 @@ mod tests {
         let a = run_serve_cmd(&args(cmd)).unwrap();
         let b = run_serve_cmd(&args(cmd)).unwrap();
         assert_eq!(a, b, "serve runs are bit-reproducible");
+    }
+
+    #[test]
+    fn serve_chaos_reports_degradation_and_stays_inert_when_absent() {
+        // No chaos flags: not a byte of chaos output anywhere.
+        let plain = run_serve_cmd(&args(
+            "--tenants ls:1:daxpy:64+bh:1:copy:64 --fifo 16 --json",
+        ))
+        .unwrap();
+        assert!(!plain.contains("chaos"), "{plain}");
+        // A channel brownout shows up in the JSON chaos block and in the
+        // fault/recovery metrics, deterministically.
+        let cmd = "--tenants ls:1:daxpy:64+bh:1:copy:64 --fifo 16 --channels 2 \
+                   --chaos brownout:0:0:4000:4;outage:1:500:900 --chaos-seed 3 --json";
+        let chaotic = run_serve_cmd(&args(cmd)).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&chaotic).unwrap();
+        assert!(
+            v["chaos"]["degraded_commands"].as_u64().unwrap() > 0,
+            "{chaotic}"
+        );
+        assert_eq!(
+            v["chaos"]["mttr_cycles"].as_u64().unwrap(),
+            v["chaos"]["outages_observed"].as_u64().unwrap() * 900,
+            "{chaotic}"
+        );
+        assert_eq!(run_serve_cmd(&args(cmd)).unwrap(), chaotic);
+        // The chaos metrics land in the registry dump.
+        let dir = std::env::temp_dir().join("smcsim-cli-serve-chaos-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("chaos.jsonl").to_str().unwrap().to_string();
+        run_serve_cmd(&args(&format!("{cmd} --metrics-out {metrics}"))).unwrap();
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(text.contains("fault.degraded_requests"), "{text}");
+        assert!(text.contains("recovery.mttr_cycles"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+        // Bad plans and the text renderer's chaos block both work.
+        assert!(
+            run_serve_cmd(&args("--tenants ls:1:copy:64 --chaos gremlins:9"))
+                .unwrap_err()
+                .contains("--chaos")
+        );
+        let text = run_serve_cmd(&args(
+            "--tenants bh:1:copy:64 --fifo 16 --channels 2 --chaos outage:0:100:300",
+        ))
+        .unwrap();
+        assert!(text.contains("recovery:"), "{text}");
     }
 
     #[test]

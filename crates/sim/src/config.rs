@@ -162,6 +162,17 @@ pub struct SystemConfig {
     /// Empty means a symmetric system.
     #[serde(default)]
     pub remote_penalty: Vec<Cycle>,
+    /// Channel-level chaos plan: brownouts, outages, and device failures
+    /// interpreted by the memory-system router (degraded-mode delivery
+    /// with exact per-channel loss accounting). `None` — or a plan with no
+    /// channel-scoped clauses — runs healthy and is provably inert.
+    #[serde(default)]
+    pub chaos: Option<faults::FaultPlan>,
+    /// Seed forwarded to the chaos injector (channel-scoped clauses are
+    /// deterministic windows, but the injector carries one for its
+    /// duty-cycle draws).
+    #[serde(default)]
+    pub chaos_seed: u64,
 }
 
 impl SystemConfig {
@@ -198,6 +209,8 @@ impl SystemConfig {
             channels: default_channels(),
             placement: Placement::default(),
             remote_penalty: Vec::new(),
+            chaos: None,
+            chaos_seed: 0,
         }
     }
 
@@ -270,6 +283,21 @@ impl SystemConfig {
         self.faults = Some(plan);
         self.fault_seed = seed;
         self
+    }
+
+    /// Route channel-scoped clauses of `plan` through the memory system's
+    /// degraded-mode delivery path. Plans without channel-scoped clauses
+    /// leave the system healthy.
+    pub fn with_chaos(mut self, plan: faults::FaultPlan, seed: u64) -> Self {
+        self.chaos = Some(plan);
+        self.chaos_seed = seed;
+        self
+    }
+
+    /// Whether this configuration carries an active (channel-scoped)
+    /// chaos plan.
+    pub fn chaos_active(&self) -> bool {
+        self.chaos.as_ref().is_some_and(|p| p.has_channel_faults())
     }
 
     /// The analytic stream-system parameters matching this configuration.

@@ -5,6 +5,7 @@
 //! runs them all and records paper-vs-measured comparisons for
 //! EXPERIMENTS.md.
 
+pub mod chaos;
 pub mod extra;
 pub mod fig1;
 pub mod fig2;
@@ -17,11 +18,11 @@ pub mod grid;
 pub mod headline;
 pub mod numa;
 
-/// Names of all experiments, in paper order (`extra` and `numa` are this
-/// reproduction's extension studies; `headline` is appended by the `repro`
-/// binary).
-pub const ALL: [&str; 10] = [
-    "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "extra", "numa",
+/// Names of all experiments, in paper order (`extra`, `numa`, and `chaos`
+/// are this reproduction's extension studies; `headline` is appended by
+/// the `repro` binary).
+pub const ALL: [&str; 11] = [
+    "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "extra", "numa", "chaos",
 ];
 
 /// Render one experiment by name (`"headline"` for the Section 6 numbers).
@@ -41,8 +42,11 @@ pub fn render(name: &str) -> String {
         "fig9" => fig9::run().render(),
         "extra" => extra::run().render(),
         "numa" => numa::run().render(),
+        "chaos" => chaos::run().render(),
         "headline" => headline::run().render(),
-        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, numa, headline"),
+        other => {
+            panic!("unknown experiment {other:?}; known: fig1..fig9, extra, numa, chaos, headline")
+        }
     }
 }
 
@@ -61,9 +65,12 @@ pub fn json(name: &str) -> Option<String> {
         "fig9" => Some(to(&fig9::run())),
         "extra" => Some(to(&extra::run())),
         "numa" => Some(to(&numa::run())),
+        "chaos" => Some(to(&chaos::run())),
         "headline" => Some(to(&headline::run())),
         "fig1" | "fig2" | "fig4" | "fig5" | "fig6" => None,
-        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, numa, headline"),
+        other => {
+            panic!("unknown experiment {other:?}; known: fig1..fig9, extra, numa, chaos, headline")
+        }
     }
 }
 
@@ -79,8 +86,11 @@ pub fn csv(name: &str) -> Option<String> {
         "fig8" => Some(fig8::run().to_csv()),
         "fig9" => Some(fig9::run().to_csv()),
         "numa" => Some(numa::run().to_csv()),
+        "chaos" => Some(chaos::run().to_csv()),
         "fig1" | "fig2" | "fig4" | "fig5" | "fig6" | "extra" | "headline" => None,
-        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, numa, headline"),
+        other => {
+            panic!("unknown experiment {other:?}; known: fig1..fig9, extra, numa, chaos, headline")
+        }
     }
 }
 
@@ -95,7 +105,11 @@ pub fn svgs(name: &str) -> Vec<(String, String)> {
         "fig7" => fig7::run().to_svgs(),
         "fig8" => vec![("fig8.svg".into(), fig8::run().to_svg())],
         "fig9" => vec![("fig9.svg".into(), fig9::run().to_svg())],
-        "fig1" | "fig2" | "fig4" | "fig5" | "fig6" | "extra" | "numa" | "headline" => Vec::new(),
-        other => panic!("unknown experiment {other:?}; known: fig1..fig9, extra, numa, headline"),
+        "fig1" | "fig2" | "fig4" | "fig5" | "fig6" | "extra" | "numa" | "chaos" | "headline" => {
+            Vec::new()
+        }
+        other => {
+            panic!("unknown experiment {other:?}; known: fig1..fig9, extra, numa, chaos, headline")
+        }
     }
 }

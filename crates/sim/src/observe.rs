@@ -250,6 +250,7 @@ pub fn trace_from_jsonl(text: &str) -> Result<ServeTrace, String> {
                 let kind = match text_field("incident")?.as_str() {
                     "starvation" => IncidentKind::Starvation,
                     "executor_failure" => IncidentKind::ExecutorFailure,
+                    "retry" => IncidentKind::Retry,
                     other => {
                         return Err(format!("line {}: unknown incident {other:?}", lineno + 1))
                     }
@@ -435,6 +436,12 @@ mod tests {
             tenant: 1,
             kind: IncidentKind::Starvation,
             detail: "waited 51 cycles (queue 3, level \"Shed\")".into(),
+        });
+        trace.record_incident(TraceIncident {
+            cycle: 9,
+            tenant: 0,
+            kind: IncidentKind::Retry,
+            detail: "attempt 1 backs off 72 cycles".into(),
         });
         let text = trace_jsonl(&trace);
         let back = trace_from_jsonl(&text).expect("parses");

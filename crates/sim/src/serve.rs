@@ -79,6 +79,7 @@ pub fn bank_data_cycles_of(result: &crate::RunResult) -> Vec<(usize, u64)> {
 pub struct SimExecutor {
     base: SystemConfig,
     memo: RefCell<BTreeMap<(String, u64, u64), ServiceReport>>,
+    chaos_totals: RefCell<memsys::ChannelFaultStats>,
 }
 
 impl SimExecutor {
@@ -91,7 +92,14 @@ impl SimExecutor {
         Self {
             base,
             memo: RefCell::new(BTreeMap::new()),
+            chaos_totals: RefCell::new(memsys::ChannelFaultStats::default()),
         }
+    }
+
+    /// Degraded-mode accounting accumulated across every request this
+    /// executor ran (all-zero without an active chaos plan).
+    pub fn chaos_totals(&self) -> memsys::ChannelFaultStats {
+        *self.chaos_totals.borrow()
     }
 
     fn run_once(&self, tenant: &TenantSpec, req: &Request) -> Result<ServiceReport, String> {
@@ -107,14 +115,29 @@ impl SimExecutor {
             );
             config.fault_seed = seed;
         }
+        if let Some(plan) = self.base.chaos.as_ref().filter(|p| p.has_channel_faults()) {
+            // The chaos plan's windows are wall-clock (serve-loop) cycles;
+            // each request's kernel run starts its own clock at 0, so the
+            // plan is shifted to the request's submission instant. A
+            // request arriving mid-brownout sees the remaining window.
+            config.chaos = Some(plan.shifted(req.submitted_at));
+        }
         let result = crate::run_kernel(kernel, tenant.n, tenant.stride, &config)
             .map_err(|e| e.to_string())?;
+        let chaos = result.chaos_total();
+        if !chaos.is_clean() {
+            self.chaos_totals.borrow_mut().absorb(&chaos);
+        }
+        // Degraded and deferred deliveries count as fault events so the
+        // degradation ladder sees a channel incident, not just slow runs.
         let fault_events = result
             .msu_stats
             .as_ref()
             .map(|m| m.data_nacks + u64::from(m.injected_stall_cycles > 0))
             .or_else(|| result.baseline.as_ref().map(|b| b.data_nacks))
-            .unwrap_or(0);
+            .unwrap_or(0)
+            + chaos.deferred_commands
+            + u64::from(chaos.degraded_commands > 0);
         Ok(ServiceReport {
             cycles: result.cycles,
             useful_words: result.useful_words,
@@ -126,7 +149,9 @@ impl SimExecutor {
 
 impl tenancy::Executor for SimExecutor {
     fn execute(&self, tenant: &TenantSpec, req: &Request) -> Result<ServiceReport, String> {
-        if self.base.faults.is_none() {
+        // Chaos plans are request-relative (shifted to the submission
+        // instant), so chaotic configurations never memoize.
+        if self.base.faults.is_none() && !self.base.chaos_active() {
             let key = (tenant.kernel.clone(), tenant.n, tenant.stride);
             if let Some(hit) = self.memo.borrow().get(&key) {
                 return Ok(hit.clone());
@@ -200,6 +225,24 @@ pub fn run_serve_traced(
     Ok((report, trace))
 }
 
+/// [`run_serve_traced`] for degraded-mode runs: additionally returns the
+/// executor's accumulated per-channel fault accounting summed over every
+/// request (all-zero when `base` carries no active chaos plan), so the
+/// CLI and the chaos experiment can report losses and MTTR alongside the
+/// serve outcome.
+pub fn run_serve_chaos(
+    mix: &TenantMix,
+    cfg: &ServeConfig,
+    base: &SystemConfig,
+) -> Result<(ServeReport, ServeTrace, memsys::ChannelFaultStats), String> {
+    validate_mix(mix)?;
+    let exec = SimExecutor::new(base.clone());
+    let mut trace = ServeTrace::new();
+    let report = serve_traced(mix, cfg, &exec, Some(&mut trace)).map_err(|e| e.to_string())?;
+    let totals = exec.chaos_totals();
+    Ok((report, trace, totals))
+}
+
 /// Fold a serve report into a telemetry registry under the `serve.*`
 /// metrics, reconciling the aggregate counters.
 pub fn record_serve_metrics(report: &ServeReport, registry: &mut telemetry::Registry) {
@@ -218,9 +261,33 @@ pub fn record_serve_metrics(report: &ServeReport, registry: &mut telemetry::Regi
     );
     registry.set(MetricId::ServeTenants, report.tenants.len() as u64);
     registry.set(MetricId::ServeFairnessMilli, report.fairness_milli());
+    let (retries, exhausted) = report.tenants.iter().fold((0u64, 0u64), |(r, x), t| {
+        (r + t.retries, x + t.retry_exhausted)
+    });
+    registry.add(MetricId::ServeRetries, retries);
+    registry.add(MetricId::ServeRetryExhausted, exhausted);
     for t in &report.tenants {
         registry.observe(MetricId::ServeWaitCycles, t.max_wait);
     }
+}
+
+/// Fold degraded-mode fault accounting into a telemetry registry under
+/// the `fault.*` / `recovery.*` metrics.
+pub fn record_chaos_metrics(total: &memsys::ChannelFaultStats, registry: &mut telemetry::Registry) {
+    use telemetry::MetricId;
+    registry.add(MetricId::FaultDegradedRequests, total.degraded_commands);
+    registry.add(MetricId::FaultDeferredRequests, total.deferred_commands);
+    registry.add(MetricId::FaultDeferredCycles, total.deferred_cycles);
+    registry.add(
+        MetricId::FaultBrownoutPenaltyCycles,
+        total.brownout_penalty_cycles,
+    );
+    registry.add(
+        MetricId::FaultDevfailPenaltyCycles,
+        total.devfail_penalty_cycles,
+    );
+    registry.add(MetricId::RecoveryOutagesObserved, total.outages_observed);
+    registry.add(MetricId::RecoveryMttrCycles, total.mttr_cycles);
 }
 
 /// Fold a recorded serve trace into a telemetry registry: one latency and
@@ -415,6 +482,64 @@ mod tests {
         assert_eq!(lat.count(), completed);
         let slack = registry.histogram(MetricId::ServeSlackCycles).unwrap();
         assert_eq!(slack.count(), completed);
+    }
+
+    #[test]
+    fn chaotic_serves_degrade_recover_and_replay_bit_identically() {
+        // A two-channel serve through a brownout + outage: requests
+        // arriving inside the windows pay delivery penalties, the
+        // executor's accumulated accounting is non-trivial, and the whole
+        // run replays bit-identically.
+        let plan = faults::FaultPlan::parse("brownout:0:0:4000:4;outage:1:500:900").unwrap();
+        let base = base().with_channels(2).with_chaos(plan, 11);
+        let mix = TenantMix::parse("ls:1:daxpy:64+bh:2:copy:64").unwrap();
+        let banks = base.device.total_banks() * base.channels;
+        let cfg = serve_config_for(banks, 0, base.device.timing.t_pack);
+        let (report, trace, totals) = run_serve_chaos(&mix, &cfg, &base).unwrap();
+        report.check_conservation().unwrap();
+        assert!(!totals.is_clean(), "chaos windows were hit");
+        assert!(
+            totals.degraded_commands > 0,
+            "brownout stretched deliveries"
+        );
+        assert_eq!(trace.spans().len() as u64, report.totals().0);
+        let (again, _, totals2) = run_serve_chaos(&mix, &cfg, &base).unwrap();
+        assert_eq!(again, report, "chaotic serves replay bit-identically");
+        assert_eq!(totals2, totals);
+        // The fault accounting lands in the registry under fault.*.
+        let mut registry = telemetry::Registry::new();
+        record_chaos_metrics(&totals, &mut registry);
+        use telemetry::MetricId;
+        assert_eq!(
+            registry.value(MetricId::FaultDegradedRequests),
+            totals.degraded_commands
+        );
+        assert_eq!(
+            registry.value(MetricId::RecoveryMttrCycles),
+            totals.mttr_cycles
+        );
+    }
+
+    #[test]
+    fn closed_loop_retries_reach_the_registry() {
+        // Force rejections with a tiny admission queue (shedding pushed
+        // out of reach so overflow is answered with backpressure, not
+        // load-shedding), then let the closed loop resubmit them; the
+        // serve metrics must carry the retry counters.
+        let mut cfg = serve_cfg();
+        cfg.queue_capacity = 1;
+        cfg.ladder.shed_fill_permille = 1001;
+        cfg.ladder.critical_fill_permille = 1002;
+        cfg.retry = tenancy::RetryPolicy::with_budget(4, 9);
+        let mix = TenantMix::parse("bh:4:copy:64").unwrap();
+        let report = run_serve(&mix, &cfg, &base()).unwrap();
+        report.check_conservation().unwrap();
+        let retries: u64 = report.tenants.iter().map(|t| t.retries).sum();
+        assert!(retries > 0, "tiny queue must trigger resubmissions");
+        let mut registry = telemetry::Registry::new();
+        record_serve_metrics(&report, &mut registry);
+        use telemetry::MetricId;
+        assert_eq!(registry.value(MetricId::ServeRetries), retries);
     }
 
     #[test]

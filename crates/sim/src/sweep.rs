@@ -49,6 +49,11 @@ pub fn job_for(point: &RunPoint) -> Result<(Kernel, SystemConfig), String> {
             .map_err(|e| format!("bad fault spec `{}`: {e}", point.faults))?;
         config = config.with_faults(plan, point.fault_seed);
     }
+    if !point.chaos.is_empty() {
+        let plan = faults::FaultPlan::parse(&point.chaos)
+            .map_err(|e| format!("bad chaos spec `{}`: {e}", point.chaos))?;
+        config = config.with_chaos(plan, point.fault_seed);
+    }
     if point.devices_per_channel > 1 {
         config.device.devices = usize::try_from(point.devices_per_channel).map_err(|_| {
             format!(
@@ -100,10 +105,26 @@ pub fn run_point(point: &RunPoint) -> Outcome {
                     stats.attr_idle_cycles = g.idle;
                 }
             }
+            if !result.chaos_stats.is_empty() {
+                fold_chaos(&mut stats, &result.chaos_total());
+            }
             Outcome::Ok(stats)
         }
         Err(e) => Outcome::Error(e.to_string()),
     }
+}
+
+/// Fold the device-level degraded-mode accounting into the campaign
+/// counters. Only chaotic points call this, so fault-free records never
+/// carry (or serialize) these fields.
+fn fold_chaos(stats: &mut RunStats, total: &memsys::ChannelFaultStats) {
+    stats.chaos_degraded_commands = total.degraded_commands;
+    stats.chaos_deferred_commands = total.deferred_commands;
+    stats.chaos_deferred_cycles = total.deferred_cycles;
+    stats.chaos_brownout_penalty_cycles = total.brownout_penalty_cycles;
+    stats.chaos_devfail_penalty_cycles = total.devfail_penalty_cycles;
+    stats.chaos_outages_observed = total.outages_observed;
+    stats.chaos_mttr_cycles = total.mttr_cycles;
 }
 
 /// Execute a multi-tenant run point: parse the mix, size the serve
@@ -124,10 +145,29 @@ fn run_tenant_point(point: &RunPoint) -> Outcome {
     // gets one bucket per bank on every channel, denominated in measured
     // DATA-bus cycles (the device's packet time sets the exchange rate).
     let banks = config.device.total_banks() * config.channels.max(1);
-    let cfg =
+    let mut cfg =
         crate::serve::serve_config_for(banks, point.budget_permille, config.device.timing.t_pack);
-    match crate::serve::run_serve(&mix, &cfg, &config) {
-        Ok(report) => Outcome::Ok(stats_of_serve(&report)),
+    let chaotic = !point.chaos.is_empty() || point.retry_budget != 0;
+    if point.retry_budget != 0 {
+        let budget = u32::try_from(point.retry_budget).unwrap_or(u32::MAX);
+        cfg.retry = tenancy::RetryPolicy::with_budget(budget, point.fault_seed);
+    }
+    if !chaotic {
+        // Fault-free, retry-free points take the classic path, bit-identical
+        // to builds without the chaos layer.
+        return match crate::serve::run_serve(&mix, &cfg, &config) {
+            Ok(report) => Outcome::Ok(stats_of_serve(&report)),
+            Err(message) => Outcome::Error(message),
+        };
+    }
+    match crate::serve::run_serve_chaos(&mix, &cfg, &config) {
+        Ok((report, _trace, chaos_total)) => {
+            let mut stats = stats_of_serve(&report);
+            stats.serve_retries = report.tenants.iter().map(|t| t.retries).sum();
+            stats.serve_retry_exhausted = report.tenants.iter().map(|t| t.retry_exhausted).sum();
+            fold_chaos(&mut stats, &chaos_total);
+            Outcome::Ok(stats)
+        }
         Err(message) => Outcome::Error(message),
     }
 }
@@ -364,6 +404,85 @@ mod tests {
             panic!("bad placement must error");
         };
         assert!(e.contains("placement"), "{e}");
+    }
+
+    #[test]
+    fn chaos_axes_at_defaults_leave_the_store_byte_identical() {
+        // Pinning the chaos axes to their defaults must not move a single
+        // byte of the store: empty plan + zero budget IS the healthy system.
+        let implicit = run_spec(&paper_matrix(), 2, None).to_jsonl();
+        let mut spec = paper_matrix();
+        spec.axes.chaos_plans = vec![String::new()];
+        spec.axes.retry_budgets = vec![0];
+        let explicit = run_spec(&spec, 2, None).to_jsonl();
+        assert_eq!(explicit, implicit);
+    }
+
+    #[test]
+    fn chaotic_points_degrade_deterministically_and_account_for_mttr() {
+        let healthy = RunPoint {
+            channels: 2,
+            ..RunPoint::smoke("copy", 256)
+        };
+        let chaotic = RunPoint {
+            chaos: "brownout:0:100:1500:4;outage:1:400:600".into(),
+            ..healthy.clone()
+        };
+        assert_ne!(chaotic.run_id(), healthy.run_id());
+        let (h, c) = (run_point(&healthy), run_point(&chaotic));
+        let (Outcome::Ok(base), Outcome::Ok(hit)) = (&h, &c) else {
+            panic!("both points run clean: {h:?} / {c:?}");
+        };
+        // Degraded mode slows the run but never corrupts the work...
+        assert!(hit.cycles > base.cycles, "{} > {}", hit.cycles, base.cycles);
+        assert_eq!(hit.useful_words, base.useful_words);
+        assert!(hit.chaos_degraded_commands > 0);
+        // ...the healthy record never carries chaos accounting...
+        assert_eq!(base.chaos_degraded_commands, 0);
+        assert_eq!(base.chaos_mttr_cycles, 0);
+        // ...and measured MTTR reconciles exactly against the injected
+        // 600-cycle outage window.
+        assert_eq!(hit.chaos_mttr_cycles, hit.chaos_outages_observed * 600);
+        // Deterministic: same point, same stats.
+        assert_eq!(run_point(&chaotic), c);
+    }
+
+    #[test]
+    fn retry_budgets_flow_into_the_closed_loop() {
+        let point = RunPoint {
+            tenants: "ls:1:daxpy:64+bh:2:copy:64".into(),
+            budget_permille: 500,
+            retry_budget: 3,
+            ..RunPoint::smoke("daxpy", 32)
+        };
+        let out = run_point(&point);
+        let Outcome::Ok(stats) = &out else {
+            panic!("retrying tenant point runs clean: {out:?}");
+        };
+        assert!(stats.serve_completed > 0);
+        // Retry amplification is bounded by the per-request budget:
+        // at most `budget` resubmissions per original rejection.
+        assert!(stats.serve_retries <= (stats.serve_rejected + stats.serve_retry_exhausted) * 3);
+        // Deterministic, and distinct from the budget-free point.
+        assert_eq!(run_point(&point), out);
+        let plain = RunPoint {
+            retry_budget: 0,
+            ..point.clone()
+        };
+        assert_ne!(plain.run_id(), point.run_id());
+        let Outcome::Ok(base) = run_point(&plain) else {
+            panic!("budget-free point runs clean");
+        };
+        assert_eq!(base.serve_retries, 0, "disabled loop never retries");
+        // A bad chaos spec surfaces as a structured error.
+        let bad = RunPoint {
+            chaos: "gremlins:9".into(),
+            ..point.clone()
+        };
+        let Outcome::Error(e) = run_point(&bad) else {
+            panic!("bad chaos spec must error");
+        };
+        assert!(e.contains("chaos"), "{e}");
     }
 
     #[test]

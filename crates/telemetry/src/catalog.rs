@@ -139,11 +139,31 @@ pub enum MetricId {
     ServeLatencyCycles,
     /// Distribution of per-request deadline slack (cycles).
     ServeSlackCycles,
+    /// Deliveries stretched by a channel brownout or device failure.
+    FaultDegradedRequests,
+    /// Deliveries deferred past a channel outage window.
+    FaultDeferredRequests,
+    /// Cycles deliveries sat deferred behind channel outages.
+    FaultDeferredCycles,
+    /// Extra delivery cycles paid to brownout cost multipliers.
+    FaultBrownoutPenaltyCycles,
+    /// Extra delivery cycles paid to failed-device cost multipliers.
+    FaultDevfailPenaltyCycles,
+    /// Channel outage windows observed end to end (entered and recovered).
+    RecoveryOutagesObserved,
+    /// Summed cycles from each observed outage's first deferral to its
+    /// recovery edge (mean time to recovery numerator).
+    RecoveryMttrCycles,
+    /// Closed-loop client resubmissions of rejected requests.
+    ServeRetries,
+    /// Rejected requests abandoned with an exhausted retry budget or a
+    /// passed deadline.
+    ServeRetryExhausted,
 }
 
 /// Number of metrics in the catalog (= length of the registry's backing
 /// array).
-pub const METRIC_COUNT: usize = 51;
+pub const METRIC_COUNT: usize = 60;
 
 impl MetricId {
     /// Index of this metric in the registry's backing array.
@@ -517,6 +537,69 @@ pub const CATALOG: &[MetricDef] = &[
         kind: MetricKind::Histogram,
         unit: "cycles",
         help: "distribution of per-request deadline slack at completion",
+    },
+    MetricDef {
+        id: MetricId::FaultDegradedRequests,
+        name: "fault.degraded_requests",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        help: "deliveries stretched by a channel brownout or device failure",
+    },
+    MetricDef {
+        id: MetricId::FaultDeferredRequests,
+        name: "fault.deferred_requests",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        help: "deliveries deferred past a channel outage window",
+    },
+    MetricDef {
+        id: MetricId::FaultDeferredCycles,
+        name: "fault.deferred_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "cycles deliveries sat deferred behind channel outages",
+    },
+    MetricDef {
+        id: MetricId::FaultBrownoutPenaltyCycles,
+        name: "fault.brownout_penalty_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "extra delivery cycles paid to brownout cost multipliers",
+    },
+    MetricDef {
+        id: MetricId::FaultDevfailPenaltyCycles,
+        name: "fault.devfail_penalty_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "extra delivery cycles paid to failed-device cost multipliers",
+    },
+    MetricDef {
+        id: MetricId::RecoveryOutagesObserved,
+        name: "recovery.outages_observed",
+        kind: MetricKind::Counter,
+        unit: "outages",
+        help: "channel outage windows observed end to end (entered and recovered)",
+    },
+    MetricDef {
+        id: MetricId::RecoveryMttrCycles,
+        name: "recovery.mttr_cycles",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        help: "summed first-deferral-to-recovery spans of observed outages",
+    },
+    MetricDef {
+        id: MetricId::ServeRetries,
+        name: "serve.retries",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        help: "closed-loop client resubmissions of rejected requests",
+    },
+    MetricDef {
+        id: MetricId::ServeRetryExhausted,
+        name: "serve.retry_exhausted",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        help: "rejections abandoned on an exhausted retry budget or passed deadline",
     },
 ];
 

@@ -19,6 +19,10 @@
 //! - [`arbiter`] — pluggable arbitration policies (FCFS, round-robin,
 //!   bank-aware, regulated) behind one trait, orthogonal to the MSU's
 //!   intra-request access ordering;
+//! - [`retry`] — closed-loop clients: a seeded, integer-only exponential
+//!   backoff-with-jitter policy that resubmits rejected requests (never
+//!   earlier than the server's `retry_after` hint), with per-request retry
+//!   budgets and an auditable resubmission trail;
 //! - [`server`] — the deterministic virtual-time serve loop with
 //!   per-request deadlines, miss accounting, and a per-tenant
 //!   forward-progress watchdog emitting structured starvation reports;
@@ -41,6 +45,7 @@ pub mod arbiter;
 pub mod ladder;
 pub mod queue;
 pub mod regulator;
+pub mod retry;
 pub mod server;
 pub mod tenant;
 pub mod trace;
@@ -49,6 +54,7 @@ pub use arbiter::{policy_by_name, ArbitrationPolicy};
 pub use ladder::{DegradeLevel, LadderConfig};
 pub use queue::{Admission, Request};
 pub use regulator::{BucketConfig, RegulatorConfig};
+pub use retry::{RetryAudit, RetryPolicy};
 pub use server::{
     serve, serve_traced, Executor, ServeConfig, ServeError, ServeReport, ServiceReport,
     StarvationReport, TenantServeStats,

@@ -19,12 +19,14 @@
 //!   structured [`StarvationReport`]s instead of silent hangs, and the
 //!   loop itself always terminates (time always advances).
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::arbiter::{policy_by_name, ArbiterView, QueueView};
 use crate::ladder::{DegradeLevel, Ladder, LadderConfig, LadderTransition, OverloadSignal};
 use crate::queue::{Admission, Request, TenantQueue};
 use crate::regulator::{DispatchAudit, Regulator, RegulatorConfig};
+use crate::retry::{RetryAudit, RetryPolicy};
 use crate::tenant::{Cycle, TenantClass, TenantMix, TenantSpec};
 use crate::trace::{IncidentKind, RequestOutcome, RequestSpan, ServeTrace, TraceIncident};
 
@@ -81,6 +83,10 @@ pub struct ServeConfig {
     pub failure_penalty: Cycle,
     /// Hard ceiling on the serve clock; exceeding it is a [`ServeError`].
     pub max_cycles: Cycle,
+    /// Closed-loop client retry policy; disabled by default, which keeps
+    /// rejected requests terminal exactly as before the closed loop
+    /// existed.
+    pub retry: RetryPolicy,
 }
 
 impl ServeConfig {
@@ -95,6 +101,7 @@ impl ServeConfig {
             progress_deadline: 1_000_000,
             failure_penalty: 4_096,
             max_cycles: 1_000_000_000,
+            retry: RetryPolicy::disabled(),
         }
     }
 }
@@ -174,6 +181,12 @@ pub struct TenantServeStats {
     pub latency_sum: Cycle,
     /// Worst queue wait observed at dispatch time.
     pub max_wait: Cycle,
+    /// Closed-loop resubmissions scheduled for the tenant's rejected
+    /// requests (each also counts in `submitted` when it re-arrives).
+    pub retries: u64,
+    /// Rejected requests the closed loop abandoned: retry budget spent,
+    /// or the backoff would land past the request's deadline.
+    pub retry_exhausted: u64,
 }
 
 /// Result of one serve run.
@@ -202,6 +215,9 @@ pub struct ServeReport {
     pub first_bh_shed: Option<Cycle>,
     /// First cycle a latency-sensitive request was shed, if any.
     pub first_ls_shed: Option<Cycle>,
+    /// Closed-loop resubmission audit trail, in scheduling order (empty
+    /// when the retry policy is disabled).
+    pub retry_log: Vec<RetryAudit>,
 }
 
 impl ServeReport {
@@ -276,6 +292,86 @@ struct TenantState {
     last_progress: Cycle,
 }
 
+/// Closed-loop retry state for one serve run: resubmissions pending by
+/// maturity cycle, plus the audit trail.
+struct RetryState {
+    queue: BTreeMap<Cycle, Vec<(Request, u32)>>,
+    log: Vec<RetryAudit>,
+}
+
+/// Account one rejection and, when the closed loop is on, either schedule
+/// the resubmission (never earlier than `now + retry_after`) or abandon
+/// the request as retry-exhausted. `rejected` pairs the request with the
+/// resubmissions already consumed (0 = the original submission was
+/// rejected) — the same shape the retry queue stores.
+fn on_rejection(
+    policy: &RetryPolicy,
+    now: Cycle,
+    rejected: (Request, u32),
+    retry_after: Cycle,
+    stat: &mut TenantServeStats,
+    retry: &mut RetryState,
+    mut trace: Option<&mut ServeTrace>,
+) {
+    let (req, attempt) = rejected;
+    stat.rejected += 1;
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.record_span(RequestSpan {
+            tenant: req.tenant,
+            seq: req.seq,
+            submitted_at: req.submitted_at,
+            dispatched_at: None,
+            resolved_at: now.max(req.submitted_at),
+            deadline_at: req.deadline_at,
+            outcome: RequestOutcome::Rejected,
+            deadline_missed: false,
+        });
+    }
+    if !policy.is_enabled() {
+        return;
+    }
+    if attempt >= policy.max_retries {
+        stat.retry_exhausted += 1;
+        return;
+    }
+    let hint = retry_after.max(1);
+    let backoff = policy.backoff(req.tenant, req.seq, attempt);
+    let resubmit_at = now.saturating_add(hint.max(backoff));
+    if resubmit_at > req.deadline_at {
+        // A resubmission that cannot beat its own deadline is abandoned:
+        // deadlines bound retry amplification even under long outages.
+        stat.retry_exhausted += 1;
+        return;
+    }
+    stat.retries += 1;
+    retry.log.push(RetryAudit {
+        tenant: req.tenant,
+        seq: req.seq,
+        attempt,
+        rejected_at: now,
+        hint,
+        backoff,
+        resubmit_at,
+    });
+    if let Some(tr) = trace {
+        tr.record_incident(TraceIncident {
+            cycle: now,
+            tenant: req.tenant,
+            kind: IncidentKind::Retry,
+            detail: format!(
+                "seq {} attempt {attempt}: resubmit at {resubmit_at} \
+                 (hint {hint}, backoff {backoff})",
+                req.seq
+            ),
+        });
+    }
+    retry
+        .queue
+        .entry(resubmit_at)
+        .or_default()
+        .push((req, attempt + 1));
+}
+
 /// Run the serving loop for `mix` under `cfg`, executing requests with
 /// `exec`. Deterministic: identical inputs produce identical reports.
 pub fn serve(
@@ -342,6 +438,10 @@ pub fn serve_traced(
     let mut starvation: Vec<StarvationReport> = Vec::new();
     let mut first_bh_shed: Option<Cycle> = None;
     let mut first_ls_shed: Option<Cycle> = None;
+    let mut retry = RetryState {
+        queue: BTreeMap::new(),
+        log: Vec::new(),
+    };
 
     // Arrival cycle of tenant t's request k: a small per-tenant offset
     // breaks ties deterministically without floats or randomness.
@@ -386,21 +486,61 @@ pub fn serve_traced(
                 };
                 match queues[t].offer(req, spec.period.max(1)) {
                     Admission::Admitted { .. } => stats[t].admitted += 1,
-                    Admission::Rejected { .. } => {
-                        stats[t].rejected += 1;
-                        if let Some(tr) = trace.as_deref_mut() {
-                            tr.record_span(RequestSpan {
-                                tenant: t,
-                                seq,
-                                submitted_at: at,
-                                dispatched_at: None,
-                                resolved_at: now.max(at),
-                                deadline_at,
-                                outcome: RequestOutcome::Rejected,
-                                deadline_missed: false,
-                            });
-                        }
+                    Admission::Rejected { retry_after } => on_rejection(
+                        &cfg.retry,
+                        now,
+                        (req, 0),
+                        retry_after,
+                        &mut stats[t],
+                        &mut retry,
+                        trace.as_deref_mut(),
+                    ),
+                }
+            }
+        }
+
+        // 1b. Closed-loop clients resubmit matured retries. Resubmissions
+        // ride the same admission path as fresh arrivals — the ladder
+        // sheds first (BH strictly before LS, so a retry storm cannot
+        // amplify overload past the shed point), then the bounded queue
+        // answers, and a renewed rejection re-enters the backoff loop
+        // until the request's retry budget or deadline runs out.
+        while let Some((&due, _)) = retry.queue.range(..=now).next() {
+            let Some(batch) = retry.queue.remove(&due) else {
+                break;
+            };
+            for (req, attempt) in batch {
+                let t = req.tenant;
+                let spec = &mix.tenants[t];
+                stats[t].submitted += 1;
+                if level_now.sheds(spec.class) {
+                    stats[t].shed += 1;
+                    note_shed(spec.class, now, &mut first_bh_shed, &mut first_ls_shed);
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.record_span(RequestSpan {
+                            tenant: t,
+                            seq: req.seq,
+                            submitted_at: req.submitted_at,
+                            dispatched_at: None,
+                            resolved_at: now.max(req.submitted_at),
+                            deadline_at: req.deadline_at,
+                            outcome: RequestOutcome::ShedAtArrival,
+                            deadline_missed: false,
+                        });
                     }
+                    continue;
+                }
+                match queues[t].offer(req, spec.period.max(1)) {
+                    Admission::Admitted { .. } => stats[t].admitted += 1,
+                    Admission::Rejected { retry_after } => on_rejection(
+                        &cfg.retry,
+                        now,
+                        (req, attempt),
+                        retry_after,
+                        &mut stats[t],
+                        &mut retry,
+                        trace.as_deref_mut(),
+                    ),
                 }
             }
         }
@@ -547,11 +687,19 @@ pub fn serve_traced(
             last_served = Some(t);
             states[t].last_progress = now;
         } else {
-            // 6. Nothing dispatchable: jump to the next event.
-            let next_arrival = (0..mix.tenants.len())
+            // 6. Nothing dispatchable: jump to the next event (arrival or
+            // matured retry; the loop only ends once both are exhausted
+            // and every queue is drained, so scheduled resubmissions are
+            // never dropped).
+            let fresh = (0..mix.tenants.len())
                 .filter(|&t| states[t].next_seq < mix.tenants[t].requests)
                 .map(|t| arrival(t, states[t].next_seq))
                 .min();
+            let matured = retry.queue.keys().next().copied();
+            let next_arrival = match (fresh, matured) {
+                (Some(a), Some(r)) => Some(a.min(r)),
+                (a, r) => a.or(r),
+            };
             let any_queued = queues.iter().any(|q| !q.is_empty());
             let next = match (next_arrival, any_queued) {
                 (None, false) => break, // all work accounted for
@@ -612,6 +760,7 @@ pub fn serve_traced(
         audits: regulator.audits().to_vec(),
         first_bh_shed,
         first_ls_shed,
+        retry_log: retry.log,
     })
 }
 
@@ -899,6 +1048,124 @@ mod tests {
             assert_eq!(incident.tenant, sr.tenant);
             assert!(incident.detail.contains("waited"));
         }
+    }
+
+    #[test]
+    fn closed_loop_resubmits_and_never_beats_the_hint() {
+        let m = mix("ls:1:copy:64+bh:4:copy:64");
+        let mut c = cfg();
+        c.queue_capacity = 1;
+        c.retry = RetryPolicy::with_budget(3, 7);
+        let exec = Fixed {
+            cycles: 2_000,
+            words: 16,
+        };
+        let report = serve(&m, &c, &exec).unwrap();
+        report.check_conservation().unwrap();
+        let retries: u64 = report.tenants.iter().map(|t| t.retries).sum();
+        assert!(
+            retries > 0,
+            "overload with bounded queues must engage the closed loop"
+        );
+        assert_eq!(report.retry_log.len() as u64, retries);
+        for a in &report.retry_log {
+            assert!(
+                a.resubmit_at >= a.rejected_at + a.hint,
+                "client resubmitted before its retry_after hint: {a:?}"
+            );
+            assert_eq!(a.resubmit_at, a.rejected_at + a.hint.max(a.backoff));
+            assert!(a.attempt < c.retry.max_retries);
+        }
+        // Retry amplification is bounded by the configured budget.
+        let (submitted, ..) = report.totals();
+        let original = m.total_requests();
+        assert!(
+            submitted <= original * (1 + u64::from(c.retry.max_retries)),
+            "submitted {submitted} exceeds the amplification bound"
+        );
+        assert!(submitted > original, "resubmissions count as submissions");
+        // Bit-identical replay.
+        assert_eq!(serve(&m, &c, &exec).unwrap(), report);
+    }
+
+    #[test]
+    fn disabled_retry_keeps_rejections_terminal() {
+        let m = mix("ls:1:copy:64+bh:4:copy:64");
+        let mut c = cfg();
+        c.queue_capacity = 1;
+        let exec = Fixed {
+            cycles: 2_000,
+            words: 16,
+        };
+        let report = serve(&m, &c, &exec).unwrap();
+        let (submitted, _c2, _f, _s, rejected, _m2, _w) = report.totals();
+        assert!(rejected > 0, "this workload must overflow its queues");
+        assert_eq!(submitted, m.total_requests(), "no resubmissions");
+        assert!(report.retry_log.is_empty());
+        for t in &report.tenants {
+            assert_eq!(t.retries, 0);
+            assert_eq!(t.retry_exhausted, 0);
+        }
+    }
+
+    #[test]
+    fn retry_budget_and_deadline_bound_the_loop() {
+        let m = mix("bh:4:copy:64");
+        let mut c = cfg();
+        c.queue_capacity = 1;
+        c.retry = RetryPolicy::with_budget(2, 11);
+        // Service so slow every retry is eventually exhausted or abandoned.
+        let exec = Fixed {
+            cycles: 30_000,
+            words: 8,
+        };
+        let report = serve(&m, &c, &exec).unwrap();
+        report.check_conservation().unwrap();
+        let exhausted: u64 = report.tenants.iter().map(|t| t.retry_exhausted).sum();
+        assert!(exhausted > 0, "slow service must exhaust some retry loops");
+        // No audit entry ever exceeds the per-request budget, and none
+        // schedules past its deadline.
+        for a in &report.retry_log {
+            assert!(a.attempt < 2);
+        }
+        let (submitted, ..) = report.totals();
+        assert!(submitted <= m.total_requests() * 3);
+    }
+
+    #[test]
+    fn retried_spans_still_conserve_the_report() {
+        let m = mix("ls:1:copy:64+bh:4:copy:64");
+        let mut c = cfg();
+        c.queue_capacity = 1;
+        c.retry = RetryPolicy::with_budget(3, 5);
+        let exec = Fixed {
+            cycles: 2_000,
+            words: 16,
+        };
+        let untraced = serve(&m, &c, &exec).unwrap();
+        let mut trace = ServeTrace::new();
+        let traced = serve_traced(&m, &c, &exec, Some(&mut trace)).unwrap();
+        assert_eq!(
+            traced, untraced,
+            "tracing stays inert under the closed loop"
+        );
+        let (submitted, completed, failed, shed, rejected, _m2, _w) = traced.totals();
+        assert_eq!(
+            trace.spans().len() as u64,
+            submitted,
+            "every submission (including resubmissions) leaves one span"
+        );
+        assert_eq!(trace.outcome_totals(), (completed, failed, shed, rejected));
+        let retry_incidents = trace
+            .incidents()
+            .iter()
+            .filter(|i| i.kind == IncidentKind::Retry)
+            .count() as u64;
+        assert_eq!(
+            retry_incidents,
+            traced.retry_log.len() as u64,
+            "one retry incident per scheduled resubmission"
+        );
     }
 
     #[test]

@@ -101,6 +101,9 @@ pub enum IncidentKind {
     /// The executor failed a request — for the simulator executor this is
     /// a stringified livelock report or retry exhaustion.
     ExecutorFailure,
+    /// A closed-loop client scheduled a resubmission of a rejected
+    /// request ([`RetryAudit`](crate::retry::RetryAudit)).
+    Retry,
 }
 
 impl IncidentKind {
@@ -109,6 +112,7 @@ impl IncidentKind {
         match self {
             IncidentKind::Starvation => "starvation",
             IncidentKind::ExecutorFailure => "executor_failure",
+            IncidentKind::Retry => "retry",
         }
     }
 }

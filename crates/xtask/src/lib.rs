@@ -74,6 +74,8 @@ pub const CYCLE_HOT_FILES: &[&str] = &[
     "crates/baseline/src/controller.rs",
     "crates/memsys/src/system.rs",
     "crates/memsys/src/map.rs",
+    "crates/faults/src/injector.rs",
+    "crates/tenancy/src/retry.rs",
 ];
 
 /// Crates that must carry `#![deny(missing_docs)]`.

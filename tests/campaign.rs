@@ -184,6 +184,84 @@ fn fresh_multichannel_run_matches_the_committed_golden() {
     );
 }
 
+/// With an empty chaos plan and a zero retry budget the chaos axes are
+/// inert: keys, run IDs, and record bytes never mention the fault layer,
+/// so every pre-chaos golden in the repository still matches bit-for-bit.
+#[test]
+fn chaos_free_path_is_inert() {
+    for spec_name in [
+        "smoke.json",
+        "tenancy-smoke.json",
+        "multichannel-smoke.json",
+    ] {
+        let spec = CampaignSpec::from_json(&repo_file(spec_name)).expect("committed spec parses");
+        let store = sim::sweep::run_spec(&spec, 2, None);
+        for record in &store.records {
+            assert!(record.point.chaos.is_empty(), "{spec_name}");
+            assert_eq!(record.point.retry_budget, 0, "{spec_name}");
+            let line = record.to_json_line();
+            assert!(!line.contains("chaos"), "{spec_name}: {line}");
+            assert!(!line.contains("retry_budget"), "{spec_name}: {line}");
+            assert!(!record.point.key().contains("chaos"), "keys unchanged");
+        }
+    }
+    // And no committed pre-chaos golden mentions the fault layer at all.
+    for name in [
+        "smoke.golden.jsonl",
+        "tenancy-smoke.golden.jsonl",
+        "multichannel-smoke.golden.jsonl",
+    ] {
+        let text = repo_file(name);
+        assert!(!text.contains("chaos"), "{name}");
+        assert!(!text.contains("retry_budget"), "{name}");
+    }
+}
+
+/// The chaos smoke campaign reproduces its committed golden bit-for-bit
+/// at the CI worker count; chaotic records carry the degraded-mode
+/// accounting and the measured MTTR reconciles exactly against the
+/// injected 600-cycle outage window.
+#[test]
+fn fresh_chaos_run_matches_the_committed_golden() {
+    let spec =
+        CampaignSpec::from_json(&repo_file("chaos-smoke.json")).expect("committed spec parses");
+    let golden = ResultsStore::from_jsonl(&repo_file("chaos-smoke.golden.jsonl"))
+        .expect("committed chaos golden parses");
+    let store = sim::sweep::run_spec(&spec, 2, None);
+    let report = diff_stores(&golden, &store, Tolerance::default());
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(
+        store.to_jsonl(),
+        golden.to_jsonl(),
+        "regenerated chaos store is byte-identical to the committed golden"
+    );
+    assert_eq!(golden.errored(), 0, "the chaos campaign runs clean");
+    let mut chaotic = 0;
+    for record in &golden.records {
+        let campaign::Outcome::Ok(stats) = &record.outcome else {
+            panic!("{} errored", record.point.key());
+        };
+        if record.point.chaos.is_empty() {
+            assert_eq!(stats.chaos_mttr_cycles, 0, "{}", record.point.key());
+            continue;
+        }
+        chaotic += 1;
+        assert!(
+            record.to_json_line().contains("\"chaos\":"),
+            "chaotic records carry the plan"
+        );
+        // MTTR reconciles exactly: the spec injects one 600-cycle outage
+        // window per plan, so measured repair time is 600 per observation.
+        assert_eq!(
+            stats.chaos_mttr_cycles,
+            stats.chaos_outages_observed * 600,
+            "{}",
+            record.point.key()
+        );
+    }
+    assert!(chaotic > 0, "the spec exercises chaotic points");
+}
+
 /// The diff gate actually fires on a cycle regression in this store.
 #[test]
 fn gate_catches_an_injected_regression() {

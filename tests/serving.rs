@@ -21,7 +21,8 @@
 use faults::FaultPlan;
 use sim::{MemorySystem, SystemConfig};
 use tenancy::{
-    serve, DegradeLevel, Executor, Request, ServeReport, ServiceReport, TenantMix, TenantSpec,
+    serve, DegradeLevel, Executor, Request, RetryPolicy, ServeReport, ServiceReport, TenantMix,
+    TenantSpec,
 };
 
 /// splitmix64: the repo-standard cheap deterministic hash for tests.
@@ -212,6 +213,135 @@ fn all_policies_hold_the_invariants_under_storm() {
             check_invariants(seed, &report);
         }
     }
+}
+
+/// A serving configuration that can actually reject work: a one-slot
+/// queue with fill-based shedding disabled, so overload surfaces as
+/// `Rejected { retry_after }` instead of ladder sheds, engaging the
+/// closed loop.
+fn closed_loop_cfg(banks: usize, budget: u32, seed: u64) -> tenancy::ServeConfig {
+    let mut cfg = sim::serve::serve_config_for(banks, 500, 1);
+    cfg.policy = "regulated".to_string();
+    cfg.queue_capacity = 1;
+    cfg.ladder.shed_fill_permille = 1001;
+    cfg.ladder.critical_fill_permille = 1002;
+    cfg.retry = RetryPolicy::with_budget(budget, seed);
+    cfg
+}
+
+/// Satellite property: `retry_after` is honored end to end. Across a
+/// seeded sweep of overloaded closed-loop runs, no client ever resubmits
+/// earlier than the server's hint, every resubmission lands at exactly
+/// `rejected_at + max(hint, backoff)`, and no audit exceeds the retry
+/// budget.
+#[test]
+fn no_client_resubmits_before_its_retry_after_hint() {
+    let banks = 16;
+    let mut audited = 0u64;
+    for seed in 0..32u64 {
+        let mut mix = mix_for(seed);
+        for t in &mut mix.tenants {
+            t.requests *= 4;
+        }
+        let exec = SynthExecutor {
+            seed,
+            pressure_permille: 3000 + mix64(seed ^ 0xfeed) % 5000,
+            banks,
+        };
+        let cfg = closed_loop_cfg(banks, 3, seed);
+        let report = serve(&mix, &cfg, &exec)
+            .unwrap_or_else(|e| panic!("seed {seed} failed to terminate: {e}"));
+        check_invariants(seed, &report);
+        let retries: u64 = report.tenants.iter().map(|t| t.retries).sum();
+        assert_eq!(report.retry_log.len() as u64, retries, "seed {seed}");
+        for a in &report.retry_log {
+            assert!(
+                a.resubmit_at >= a.rejected_at + a.hint,
+                "seed {seed}: client beat its retry_after hint: {a:?}"
+            );
+            assert_eq!(
+                a.resubmit_at,
+                a.rejected_at + a.hint.max(a.backoff),
+                "seed {seed}: {a:?}"
+            );
+            assert!(a.attempt < cfg.retry.max_retries, "seed {seed}: {a:?}");
+        }
+        audited += retries;
+    }
+    assert!(
+        audited > 0,
+        "the sweep must engage the closed loop, not pass vacuously"
+    );
+}
+
+/// Satellite soak: 128 seeded closed-loop scenarios with retry budgets
+/// on. Every run terminates (zero livelocks), holds the serving
+/// invariants (zero budget violations, monotone shed ordering), keeps
+/// retry amplification bounded by the configured budget, and replays
+/// bit-identically from the same seed.
+#[test]
+fn closed_loop_soak_is_livelock_free_with_bounded_amplification() {
+    let banks = 16;
+    let mut total_retries = 0u64;
+    let mut exhausted_runs = 0u32;
+    for seed in 0..128u64 {
+        let mut mix = mix_for(seed);
+        // Odd seeds are storms, as in the open-loop sweep; even seeds run
+        // merely overloaded so some retries eventually succeed.
+        let pressure = if seed % 2 == 1 {
+            for t in &mut mix.tenants {
+                t.requests *= 8;
+            }
+            3000 + mix64(seed ^ 0xdead) % 7000
+        } else {
+            1500 + mix64(seed ^ 0xbeef) % 1500
+        };
+        let budget = 1 + u32::try_from(mix64(seed ^ 0xcafe) % 3).unwrap();
+        let exec = SynthExecutor {
+            seed,
+            pressure_permille: pressure,
+            banks,
+        };
+        let mut cfg = closed_loop_cfg(banks, budget, seed);
+        cfg.progress_deadline = 8_192;
+        let report =
+            serve(&mix, &cfg, &exec).unwrap_or_else(|e| panic!("seed {seed} livelocked: {e}"));
+        check_invariants(seed, &report);
+        // Retry amplification is bounded by the budget: every original
+        // request resubmits at most `budget` times.
+        let (submitted, ..) = report.totals();
+        let original = mix.total_requests();
+        assert!(
+            submitted <= original * (1 + u64::from(budget)),
+            "seed {seed}: submitted {submitted} exceeds the amplification \
+             bound for {original} originals at budget {budget}"
+        );
+        let retries: u64 = report.tenants.iter().map(|t| t.retries).sum();
+        assert!(
+            retries <= original * u64::from(budget),
+            "seed {seed}: {retries} retries exceed the budget bound"
+        );
+        total_retries += retries;
+        if report.tenants.iter().any(|t| t.retry_exhausted > 0) {
+            exhausted_runs += 1;
+        }
+        // Same seed, same bytes: the closed loop adds no nondeterminism.
+        if seed % 32 == 0 {
+            assert_eq!(
+                serve(&mix, &cfg, &exec).expect("replays"),
+                report,
+                "seed {seed}"
+            );
+        }
+    }
+    assert!(
+        total_retries > 0,
+        "the soak must drive the closed loop, not pass vacuously"
+    );
+    assert!(
+        exhausted_runs > 0,
+        "storms should exhaust at least one tenant's retry budget"
+    );
 }
 
 /// Overload soak against the *real* simulator: 64 tenants (16 LS + 48
